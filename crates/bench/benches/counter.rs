@@ -1,0 +1,81 @@
+//! E9 (real-atomics side) — f-array counter operation latency vs the
+//! CAS-loop and FAA comparison counters.
+//!
+//! The f-array's `add` pays `Θ(log K)` uncontended work to buy a
+//! *wait-free bound* under contention; the single-word counters are
+//! faster uncontended but the CAS loop degrades adversarially. Run with
+//! `cargo bench -p bench --bench counter`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcounter::{CasCounter, FArray, FaaCounter, SharedCounter};
+
+fn bench_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_add");
+    for k in [8usize, 64, 512] {
+        let fa = FArray::new(k);
+        group.bench_with_input(BenchmarkId::new("f-array", k), &k, |b, _| {
+            b.iter(|| SharedCounter::add(&fa, 0, 1));
+        });
+    }
+    let cas = CasCounter::new();
+    group.bench_function("cas-loop", |b| b.iter(|| cas.add(0, 1)));
+    let faa = FaaCounter::new();
+    group.bench_function("fetch-add", |b| b.iter(|| faa.add(0, 1)));
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_read");
+    for k in [8usize, 512] {
+        let fa = FArray::new(k);
+        fa.add(0, 3);
+        group.bench_with_input(BenchmarkId::new("f-array", k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(SharedCounter::read(&fa)));
+        });
+    }
+    let faa = FaaCounter::new();
+    group.bench_function("fetch-add", |b| {
+        b.iter(|| std::hint::black_box(faa.read()))
+    });
+    group.finish();
+}
+
+fn bench_contended_adds(c: &mut Criterion) {
+    use std::sync::Arc;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let per_thread = 2_000u64;
+    let mut group = c.benchmark_group(format!("counter_contended/{threads}threads"));
+    group.sample_size(10);
+
+    let counters: Vec<Arc<dyn SharedCounter>> = vec![
+        Arc::new(FArray::new(threads)),
+        Arc::new(CasCounter::new()),
+        Arc::new(FaaCounter::new()),
+    ];
+    for counter in counters {
+        let label = counter.name().to_string();
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut handles = Vec::new();
+                for id in 0..threads {
+                    let counter = Arc::clone(&counter);
+                    handles.push(std::thread::spawn(move || {
+                        for _ in 0..per_thread {
+                            counter.add(id, 1);
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_add, bench_read, bench_contended_adds);
+criterion_main!(benches);

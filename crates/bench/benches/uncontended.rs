@@ -1,0 +1,78 @@
+//! Uncontended passage latency of every lock implementation: the price of
+//! a reader or writer passage when nobody else competes. The `A_f` reader
+//! pays its `Θ(log(n/f))` f-array walk even uncontended; the `f` policy
+//! moves that cost between the two rows. Run with
+//! `cargo bench -p bench --bench uncontended`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwcore::{
+    AfConfig, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock, MutexRwLock, RawAfLock,
+    RawRwLock,
+};
+
+fn locks(n: usize) -> Vec<(String, Box<dyn RawRwLock>)> {
+    vec![
+        (
+            "a_f(f=1)".into(),
+            Box::new(RawAfLock::new(AfConfig { readers: n, writers: 2, policy: FPolicy::One })),
+        ),
+        (
+            "a_f(f=sqrt)".into(),
+            Box::new(RawAfLock::new(AfConfig {
+                readers: n,
+                writers: 2,
+                policy: FPolicy::SqrtN,
+            })),
+        ),
+        (
+            "a_f(f=n)".into(),
+            Box::new(RawAfLock::new(AfConfig {
+                readers: n,
+                writers: 2,
+                policy: FPolicy::Linear,
+            })),
+        ),
+        (
+            "a_f-gated(f=1)".into(),
+            Box::new(GatedAfLock::new(AfConfig {
+                readers: n,
+                writers: 2,
+                policy: FPolicy::One,
+            })),
+        ),
+        ("centralized-cas".into(), Box::new(CentralizedRwLock::new())),
+        ("faa-indicator".into(), Box::new(FaaRwLock::new(2))),
+        ("mutex-only".into(), Box::new(MutexRwLock::new(n, 2))),
+    ]
+}
+
+fn bench_reader_passage(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("uncontended_reader_passage");
+    for (name, lock) in locks(n) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                lock.reader_lock(0);
+                lock.reader_unlock(0);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_writer_passage(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("uncontended_writer_passage");
+    for (name, lock) in locks(n) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                lock.writer_lock(0);
+                lock.writer_unlock(0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader_passage, bench_writer_passage);
+criterion_main!(benches);

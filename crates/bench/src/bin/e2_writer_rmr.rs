@@ -1,0 +1,46 @@
+//! E2 — Lemma 17 (writer side): writer passages incur `Θ(f(n))` RMRs.
+//!
+//! Measures complete writer passages in the simulator under both coherence
+//! protocols: solo from cold caches, and after all `n` readers have
+//! passed (counters resident in reader caches). The `RMR / f` column
+//! should stay near a constant per policy as `n` grows.
+
+use bench::{measure_af, Table};
+use ccsim::Protocol;
+use rwcore::{AfConfig, FPolicy};
+
+fn main() {
+    for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+        let mut table = Table::new([
+            "n",
+            "f policy",
+            "groups f",
+            "writer solo RMR",
+            "solo/f",
+            "writer post-readers RMR",
+            "post/f",
+        ]);
+        for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+            for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear] {
+                let cfg = AfConfig { readers: n, writers: 1, policy };
+                let s = measure_af(cfg, protocol);
+                table.row([
+                    n.to_string(),
+                    policy.to_string(),
+                    s.groups.to_string(),
+                    s.writer_solo_rmrs.to_string(),
+                    format!("{:.1}", s.writer_solo_rmrs as f64 / s.groups as f64),
+                    s.writer_post_reader_rmrs.to_string(),
+                    format!("{:.1}", s.writer_post_reader_rmrs as f64 / s.groups as f64),
+                ]);
+            }
+        }
+        println!("E2 — writer passage RMRs, {protocol:?} protocol\n");
+        table.print();
+        println!();
+    }
+    println!(
+        "Expected shape: RMR/f is a small constant (the per-group loop body)\n\
+         independent of n — writer cost is Θ(f(n)) per Lemma 17."
+    );
+}

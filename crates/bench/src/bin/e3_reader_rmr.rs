@@ -1,0 +1,49 @@
+//! E3 — Lemma 17 (reader side): reader passages incur `Θ(log(n/f(n)))`
+//! RMRs.
+//!
+//! Measures complete reader passages: solo from cold caches, the worst
+//! mean under all-readers contention, and the wait path (arriving while a
+//! writer holds the CS). The `RMR / log2(K)` column should stay near a
+//! constant as `n` grows (K = n/f is the group size; the passage cost is
+//! dominated by the f-array adds).
+
+use bench::{log2, measure_af, Table};
+use ccsim::Protocol;
+use rwcore::{AfConfig, FPolicy};
+
+fn main() {
+    for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+        let mut table = Table::new([
+            "n",
+            "f policy",
+            "K=n/f",
+            "reader solo RMR",
+            "solo/log2K",
+            "concurrent max RMR",
+            "wait-path RMR",
+        ]);
+        for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+            for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear] {
+                let cfg = AfConfig { readers: n, writers: 1, policy };
+                let s = measure_af(cfg, protocol);
+                let logk = log2(s.group_size.max(2) as f64);
+                table.row([
+                    n.to_string(),
+                    policy.to_string(),
+                    s.group_size.to_string(),
+                    s.reader_solo_rmrs.to_string(),
+                    format!("{:.1}", s.reader_solo_rmrs as f64 / logk),
+                    s.reader_concurrent_max_rmrs.to_string(),
+                    s.reader_wait_path_rmrs.to_string(),
+                ]);
+            }
+        }
+        println!("E3 — reader passage RMRs, {protocol:?} protocol\n");
+        table.print();
+        println!();
+    }
+    println!(
+        "Expected shape: RMR/log2(K) is a small constant — reader cost is\n\
+         Θ(log(n/f)) per Lemma 17; with f=n (K=1) passages are O(1)."
+    );
+}

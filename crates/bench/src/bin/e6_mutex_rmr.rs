@@ -1,0 +1,38 @@
+//! E6 — the `WL` substrate: tournament mutex passages incur `Θ(log m)`
+//! RMRs (the writer-side floor implied by Corollary 7).
+
+use bench::{log2, measure_mutex, Table};
+use ccsim::Protocol;
+
+fn main() {
+    for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+        let mut table = Table::new([
+            "m",
+            "levels",
+            "solo RMR",
+            "solo/levels",
+            "contended max RMR",
+            "contended/levels",
+        ]);
+        for m in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let s = measure_mutex(m, protocol);
+            let lv = s.levels.max(1) as f64;
+            table.row([
+                m.to_string(),
+                s.levels.to_string(),
+                s.solo_rmrs.to_string(),
+                format!("{:.1}", s.solo_rmrs as f64 / lv),
+                s.contended_max_rmrs.to_string(),
+                format!("{:.1}", s.contended_max_rmrs as f64 / lv),
+            ]);
+        }
+        println!("E6 — tournament mutex passage RMRs, {protocol:?} protocol\n");
+        table.print();
+        println!();
+    }
+    println!(
+        "Expected shape: RMR/levels stays near a constant — Θ(log m) per\n\
+         passage (levels = ceil(log2 m) = {:.0} at m = 256).",
+        log2(256.0)
+    );
+}

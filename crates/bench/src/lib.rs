@@ -1,0 +1,53 @@
+//! # bench — the experiment harness
+//!
+//! One binary per paper claim (see `src/bin/`, DESIGN.md's per-experiment
+//! index, and EXPERIMENTS.md for recorded results), plus criterion
+//! micro-benchmarks under `benches/`.
+//!
+//! | binary | claim |
+//! |---|---|
+//! | `e1_lower_bound` | Theorem 5 / Figure 1: `r = Θ(log₃(n/f))`, Lemma 2 & 4 |
+//! | `e2_writer_rmr` | Lemma 17: writer passage `Θ(f(n))` RMRs |
+//! | `e3_reader_rmr` | Lemma 17: reader passage `Θ(log(n/f))` RMRs |
+//! | `e4_tradeoff` | Corollary 6: the writer×reader RMR frontier |
+//! | `e5_properties` | Theorem 18: exhaustive + randomized property checks |
+//! | `e6_mutex_rmr` | `WL` substrate: `Θ(log m)` RMRs |
+//! | `e7_baselines` | §6: centralized CAS vs `A_f` vs FAA under the adversary |
+//! | `e9_counter` | f-array: `add` `Θ(log K)` steps, `read` `O(1)` |
+//! | `e10_concurrent_entering` | Concurrent Entering constant `b` |
+//!
+//! (`e8` is the criterion throughput suite: `cargo bench -p bench`.)
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod rmr;
+mod table;
+pub mod throughput;
+
+pub use rmr::{
+    measure_af, measure_concurrent_entering, measure_mutex, standard_sweep, AfRmrSample,
+    MutexRmrSample,
+};
+pub use table::Table;
+
+/// `log₃(x)` helper used when comparing against the paper's `3^j` bound.
+pub fn log3(x: f64) -> f64 {
+    x.ln() / 3f64.ln()
+}
+
+/// `log₂(x)` helper.
+pub fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_helpers() {
+        assert!((log3(27.0) - 3.0).abs() < 1e-9);
+        assert!((log2(1024.0) - 10.0).abs() < 1e-9);
+    }
+}

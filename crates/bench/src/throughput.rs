@@ -1,0 +1,225 @@
+//! Real-hardware throughput harness (experiment E8).
+//!
+//! Measures wall-clock passages/second of the real-atomics locks under
+//! mixed read/write workloads, with per-thread roles fixed up front (the
+//! `A_f` model has distinct reader and writer processes).
+
+use rwcore::{AfConfig, CentralizedRwLock, FaaRwLock, MutexRwLock, RawAfLock, RawRwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// A lock adapter measured by the harness: one full passage per call,
+/// with a tiny critical section touching shared data.
+pub trait BenchLock: Send + Sync {
+    /// One reader passage by reader process `id`.
+    fn read_pass(&self, id: usize);
+    /// One writer passage by writer process `id`.
+    fn write_pass(&self, id: usize);
+    /// Implementation name for tables.
+    fn label(&self) -> String;
+}
+
+/// Wraps any [`RawRwLock`] (our locks) with a tiny shared-counter CS.
+#[derive(Debug)]
+pub struct RawAdapter<L> {
+    lock: L,
+    shared: AtomicU64,
+}
+
+impl<L: RawRwLock> RawAdapter<L> {
+    /// Wrap a raw lock.
+    pub fn new(lock: L) -> Self {
+        RawAdapter { lock, shared: AtomicU64::new(0) }
+    }
+}
+
+impl<L: RawRwLock> BenchLock for RawAdapter<L> {
+    fn read_pass(&self, id: usize) {
+        self.lock.reader_lock(id);
+        std::hint::black_box(self.shared.load(Ordering::Relaxed));
+        self.lock.reader_unlock(id);
+    }
+    fn write_pass(&self, id: usize) {
+        self.lock.writer_lock(id);
+        let v = self.shared.load(Ordering::Relaxed);
+        self.shared.store(v + 1, Ordering::Relaxed);
+        self.lock.writer_unlock(id);
+    }
+    fn label(&self) -> String {
+        self.lock.name().to_string()
+    }
+}
+
+/// `std::sync::RwLock` adapter.
+#[derive(Debug, Default)]
+pub struct StdAdapter {
+    lock: std::sync::RwLock<u64>,
+}
+
+impl BenchLock for StdAdapter {
+    fn read_pass(&self, _id: usize) {
+        std::hint::black_box(*self.lock.read().unwrap());
+    }
+    fn write_pass(&self, _id: usize) {
+        *self.lock.write().unwrap() += 1;
+    }
+    fn label(&self) -> String {
+        "std::RwLock".into()
+    }
+}
+
+/// `parking_lot::RwLock` adapter.
+#[derive(Debug, Default)]
+pub struct ParkingLotAdapter {
+    lock: parking_lot::RwLock<u64>,
+}
+
+impl BenchLock for ParkingLotAdapter {
+    fn read_pass(&self, _id: usize) {
+        std::hint::black_box(*self.lock.read());
+    }
+    fn write_pass(&self, _id: usize) {
+        *self.lock.write() += 1;
+    }
+    fn label(&self) -> String {
+        "parking_lot".into()
+    }
+}
+
+/// Workload shape: how many reader and writer threads, and how many
+/// passages each performs.
+#[derive(Copy, Clone, Debug)]
+pub struct Workload {
+    /// Reader thread count.
+    pub readers: usize,
+    /// Writer thread count.
+    pub writers: usize,
+    /// Passages per reader thread.
+    pub reads_per_reader: u64,
+    /// Passages per writer thread.
+    pub writes_per_writer: u64,
+}
+
+impl Workload {
+    /// A read-heavy workload sized to `threads` total.
+    pub fn read_heavy(threads: usize) -> Self {
+        let writers = 1.max(threads / 8);
+        Workload {
+            readers: threads.saturating_sub(writers).max(1),
+            writers,
+            reads_per_reader: 20_000,
+            writes_per_writer: 2_000,
+        }
+    }
+
+    /// A balanced workload.
+    pub fn mixed(threads: usize) -> Self {
+        let writers = 1.max(threads / 2);
+        Workload {
+            readers: threads.saturating_sub(writers).max(1),
+            writers,
+            reads_per_reader: 10_000,
+            writes_per_writer: 10_000,
+        }
+    }
+
+    /// Total passages.
+    pub fn total_passages(&self) -> u64 {
+        self.readers as u64 * self.reads_per_reader
+            + self.writers as u64 * self.writes_per_writer
+    }
+}
+
+/// Result of one throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputSample {
+    /// Lock label.
+    pub lock: String,
+    /// The workload run.
+    pub workload: Workload,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Total passages / second.
+    pub passages_per_sec: f64,
+}
+
+/// Run `workload` against `lock` once and report throughput.
+pub fn run_throughput(lock: Arc<dyn BenchLock>, workload: Workload) -> ThroughputSample {
+    let barrier = Arc::new(Barrier::new(workload.readers + workload.writers + 1));
+    let mut handles = Vec::new();
+    for r in 0..workload.readers {
+        let lock = Arc::clone(&lock);
+        let barrier = Arc::clone(&barrier);
+        let reads = workload.reads_per_reader;
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..reads {
+                lock.read_pass(r);
+            }
+        }));
+    }
+    for w in 0..workload.writers {
+        let lock = Arc::clone(&lock);
+        let barrier = Arc::clone(&barrier);
+        let writes = workload.writes_per_writer;
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..writes {
+                lock.write_pass(w);
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench thread panicked");
+    }
+    let elapsed = start.elapsed();
+    ThroughputSample {
+        lock: lock.label(),
+        workload,
+        elapsed,
+        passages_per_sec: workload.total_passages() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// The standard contender set for a given `(readers, writers)` shape.
+pub fn contenders(readers: usize, writers: usize) -> Vec<Arc<dyn BenchLock>> {
+    vec![
+        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(readers, writers)))),
+        Arc::new(RawAdapter::new(CentralizedRwLock::new())),
+        Arc::new(RawAdapter::new(FaaRwLock::new(writers))),
+        Arc::new(RawAdapter::new(MutexRwLock::new(readers, writers))),
+        Arc::new(StdAdapter::default()),
+        Arc::new(ParkingLotAdapter::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contenders_complete_a_small_workload() {
+        let wl = Workload {
+            readers: 2,
+            writers: 1,
+            reads_per_reader: 500,
+            writes_per_writer: 100,
+        };
+        for lock in contenders(2, 1) {
+            let sample = run_throughput(lock, wl);
+            assert!(sample.passages_per_sec > 0.0, "{}", sample.lock);
+        }
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let rh = Workload::read_heavy(8);
+        assert!(rh.readers > rh.writers);
+        assert!(rh.total_passages() > 0);
+        let mx = Workload::mixed(8);
+        assert_eq!(mx.readers + mx.writers, 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-process cache state for the two CC coherence protocols of §2.
+
+use crate::value::VarId;
+use std::collections::HashMap;
+
+/// The cache-coherence protocol simulated by [`crate::Memory`].
+///
+/// The paper's results apply to both the write-through and write-back CC
+/// protocols; the simulator implements both so experiments can confirm the
+/// complexity shapes are protocol-independent.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Protocol {
+    /// Write-through: reads hit only on a valid cached copy; every write
+    /// goes to main memory (an RMR) and invalidates all *other* copies.
+    WriteThrough,
+    /// Write-back (the default): copies are held Shared or Exclusive; reads
+    /// hit on either mode, writes hit only on Exclusive.
+    #[default]
+    WriteBack,
+    /// Distributed shared memory: every variable lives in one process's
+    /// memory segment ([`crate::Layout::var_at`]); an access is an RMR iff
+    /// the accessing process is not the variable's home. There are no
+    /// caches — spinning on a remote variable costs an RMR per read.
+    ///
+    /// This model is *outside* the paper's results (its tradeoff is for
+    /// CC; §6 notes Danek–Hadzilacos's Ω(n) DSM lower bound instead).
+    /// Experiment E11 uses it to show `A_f`'s local-spin structure is
+    /// CC-specific.
+    Dsm,
+}
+
+/// The mode in which a cache line is held (write-back protocol). The
+/// write-through protocol only uses [`Mode::Shared`] ("valid").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mode {
+    /// A read-only copy; other caches may hold the line too.
+    Shared,
+    /// The sole, writable copy (write-back only).
+    Exclusive,
+}
+
+/// One process's private cache: the set of variables it holds copies of.
+///
+/// Values are not stored in the cache: the simulator is sequentially
+/// consistent, so the authoritative value always lives in
+/// [`crate::Memory`]; the cache only tracks *which* variables are locally
+/// readable/writable, which is all that RMR accounting needs.
+#[derive(Clone, Debug, Default)]
+pub struct Cache {
+    lines: HashMap<VarId, Mode>,
+}
+
+impl Cache {
+    /// An empty (cold) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mode in which `v` is cached, if at all.
+    pub fn mode(&self, v: VarId) -> Option<Mode> {
+        self.lines.get(&v).copied()
+    }
+
+    /// True if the cache holds any copy of `v`.
+    pub fn holds(&self, v: VarId) -> bool {
+        self.lines.contains_key(&v)
+    }
+
+    /// True if the cache holds `v` in [`Mode::Exclusive`].
+    pub fn holds_exclusive(&self, v: VarId) -> bool {
+        self.mode(v) == Some(Mode::Exclusive)
+    }
+
+    /// Install or upgrade a line.
+    pub(crate) fn insert(&mut self, v: VarId, mode: Mode) {
+        self.lines.insert(v, mode);
+    }
+
+    /// Drop a line entirely (invalidation).
+    pub(crate) fn invalidate(&mut self, v: VarId) {
+        self.lines.remove(&v);
+    }
+
+    /// Downgrade an Exclusive line to Shared (write-back read by another
+    /// process). No-op if the line is absent or already Shared.
+    pub(crate) fn downgrade(&mut self, v: VarId) {
+        if let Some(m) = self.lines.get_mut(&v) {
+            *m = Mode::Shared;
+        }
+    }
+
+    /// Number of lines currently held.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if the cache is cold.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_holds_invalidate() {
+        let mut c = Cache::new();
+        let v = VarId(0);
+        assert!(!c.holds(v));
+        c.insert(v, Mode::Shared);
+        assert!(c.holds(v));
+        assert!(!c.holds_exclusive(v));
+        c.insert(v, Mode::Exclusive);
+        assert!(c.holds_exclusive(v));
+        c.invalidate(v);
+        assert!(!c.holds(v));
+    }
+
+    #[test]
+    fn downgrade_exclusive_to_shared() {
+        let mut c = Cache::new();
+        let v = VarId(1);
+        c.insert(v, Mode::Exclusive);
+        c.downgrade(v);
+        assert_eq!(c.mode(v), Some(Mode::Shared));
+        // Downgrading an absent line is a no-op.
+        c.downgrade(VarId(2));
+        assert!(!c.holds(VarId(2)));
+    }
+
+    #[test]
+    fn len_tracks_lines() {
+        let mut c = Cache::new();
+        assert!(c.is_empty());
+        c.insert(VarId(0), Mode::Shared);
+        c.insert(VarId(1), Mode::Shared);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Sequentially-consistent shared memory with exact RMR accounting.
+
+use crate::cache::{Cache, Mode, Protocol};
+use crate::layout::Layout;
+use crate::op::Op;
+use crate::value::{ProcId, Value, VarId};
+use std::hash::{Hash, Hasher};
+
+/// The result of applying one shared-memory operation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StepOutcome {
+    /// The value returned to the process: the read value for reads, the
+    /// prior value for CAS, [`Value::Nil`] for writes.
+    pub response: Value,
+    /// Whether the step incurred a remote memory reference under the
+    /// configured coherence protocol.
+    pub rmr: bool,
+    /// Whether the step was *trivial* (did not change the value of the
+    /// variable it accessed, §2). Failed CAS steps and writes of the
+    /// current value are trivial.
+    pub trivial: bool,
+    /// The variable's value before the step.
+    pub old: Value,
+    /// The variable's value after the step.
+    pub new: Value,
+}
+
+/// Simulated shared memory: authoritative variable values plus one [`Cache`]
+/// per process, implementing the write-through or write-back CC protocol as
+/// quoted in §2 of the paper.
+///
+/// The memory is sequentially consistent: steps are applied one at a time in
+/// the order the scheduler chooses, and reads always return the latest
+/// written value. RMRs are charged per the protocol rules:
+///
+/// * **Write-through** — a read hits iff the process holds a valid copy
+///   (else RMR + install copy); a write always RMRs, invalidates all other
+///   copies, and leaves the writer with a valid copy.
+/// * **Write-back** — a read hits iff the process holds a copy in either
+///   mode (else RMR, downgrading any Exclusive holder to Shared); a write
+///   hits iff the process holds the line Exclusive (else RMR, invalidating
+///   all other copies and installing Exclusive).
+///
+/// A CAS is treated as a *write* by the coherence protocol regardless of
+/// whether it succeeds (real hardware issues a read-for-ownership), and as
+/// both a reading and a writing step by the knowledge formalism.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    protocol: Protocol,
+    values: Vec<Value>,
+    caches: Vec<Cache>,
+    /// DSM home segments (unused by the CC protocols).
+    homes: Vec<Option<usize>>,
+}
+
+impl Memory {
+    /// Create a memory with the variables of `layout` (at their initial
+    /// values) and `n_procs` cold caches.
+    pub fn new(layout: &Layout, n_procs: usize, protocol: Protocol) -> Self {
+        Memory {
+            protocol,
+            values: layout.initial_values(),
+            caches: (0..n_procs).map(|_| Cache::new()).collect(),
+            homes: layout.home_assignments(),
+        }
+    }
+
+    /// The coherence protocol in force.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of processes (caches).
+    pub fn n_procs(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Number of shared variables.
+    pub fn n_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Inspect a variable's current value without simulating a step (no
+    /// cache effects, no RMR). For harness assertions only.
+    pub fn peek(&self, v: VarId) -> Value {
+        self.values[v.0]
+    }
+
+    /// The cache of process `p` (for tests and metrics).
+    pub fn cache(&self, p: ProcId) -> &Cache {
+        &self.caches[p.0]
+    }
+
+    /// Would `p` incur an RMR if it executed `op` now? Pure query used by
+    /// adversarial schedulers; does not mutate anything.
+    pub fn would_rmr(&self, p: ProcId, op: &Op) -> bool {
+        let v = op.var();
+        let cache = &self.caches[p.0];
+        match (self.protocol, op) {
+            (Protocol::WriteThrough, Op::Read(_)) => !cache.holds(v),
+            // Write-through writes (and CAS, which needs ownership) always
+            // go to main memory.
+            (Protocol::WriteThrough, _) => true,
+            (Protocol::WriteBack, Op::Read(_)) => !cache.holds(v),
+            (Protocol::WriteBack, _) => !cache.holds_exclusive(v),
+            // DSM: locality is static — an access is remote unless the
+            // variable is homed at the accessing process.
+            (Protocol::Dsm, _) => self.homes[v.0] != Some(p.0),
+        }
+    }
+
+    /// Apply one operation by process `p`, updating values, caches and
+    /// returning the full outcome.
+    ///
+    /// # Panics
+    /// Panics if `p` or the accessed variable is out of range.
+    pub fn apply(&mut self, p: ProcId, op: &Op) -> StepOutcome {
+        let v = op.var();
+        assert!(p.0 < self.caches.len(), "process {p} out of range");
+        assert!(v.0 < self.values.len(), "variable {v} out of range");
+        let old = self.values[v.0];
+        let rmr = self.would_rmr(p, op);
+
+        let (response, new) = match *op {
+            Op::Read(_) => (old, old),
+            Op::Write(_, val) => (Value::Nil, val),
+            Op::Cas { expected, new, .. } => {
+                if old == expected {
+                    (old, new)
+                } else {
+                    (old, old)
+                }
+            }
+            Op::Faa { delta, .. } => (old, Value::Int(old.expect_int() + delta)),
+        };
+        self.values[v.0] = new;
+
+        // Coherence bookkeeping (no caches in the DSM model).
+        if self.protocol == Protocol::Dsm {
+            return StepOutcome { response, rmr, trivial: old == new, old, new };
+        }
+        match (self.protocol, op.is_writing()) {
+            (Protocol::WriteThrough, false) => {
+                self.caches[p.0].insert(v, Mode::Shared);
+            }
+            (Protocol::WriteThrough, true) => {
+                self.invalidate_others(p, v);
+                self.caches[p.0].insert(v, Mode::Shared);
+            }
+            (Protocol::WriteBack, false) => {
+                if !self.caches[p.0].holds(v) {
+                    // Miss: downgrade any exclusive holder, install Shared.
+                    for (i, c) in self.caches.iter_mut().enumerate() {
+                        if i != p.0 {
+                            c.downgrade(v);
+                        }
+                    }
+                    self.caches[p.0].insert(v, Mode::Shared);
+                }
+            }
+            (Protocol::WriteBack, true) => {
+                if !self.caches[p.0].holds_exclusive(v) {
+                    self.invalidate_others(p, v);
+                }
+                self.caches[p.0].insert(v, Mode::Exclusive);
+            }
+            (Protocol::Dsm, _) => unreachable!("handled by the early return above"),
+        }
+
+        StepOutcome {
+            response,
+            rmr,
+            trivial: old == new,
+            old,
+            new,
+        }
+    }
+
+    fn invalidate_others(&mut self, p: ProcId, v: VarId) {
+        for (i, c) in self.caches.iter_mut().enumerate() {
+            if i != p.0 {
+                c.invalidate(v);
+            }
+        }
+    }
+
+    /// Hash the variable values (not cache state) into `h`. Used for
+    /// model-checking fingerprints: cache state affects only RMR counts,
+    /// never the values any step observes, so it is excluded from the
+    /// explored state space.
+    pub fn hash_values<H: Hasher>(&self, h: &mut H) {
+        self.values.hash(h);
+    }
+
+    /// A snapshot of all variable values, in variable order.
+    pub fn snapshot(&self) -> Vec<Value> {
+        self.values.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(protocol: Protocol) -> (Memory, VarId, VarId) {
+        let mut l = Layout::new();
+        let x = l.var("x", Value::Int(0));
+        let y = l.var("y", Value::Nil);
+        (Memory::new(&l, 3, protocol), x, y)
+    }
+
+    #[test]
+    fn read_returns_value_and_write_updates() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        let out = m.apply(ProcId(0), &Op::Read(x));
+        assert_eq!(out.response, Value::Int(0));
+        assert!(out.trivial);
+        m.apply(ProcId(0), &Op::write(x, 5));
+        assert_eq!(m.peek(x), Value::Int(5));
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        let ok = m.apply(ProcId(0), &Op::cas(x, 0, 7));
+        assert_eq!(ok.response, Value::Int(0), "CAS returns prior value");
+        assert!(!ok.trivial);
+        assert_eq!(m.peek(x), Value::Int(7));
+        let fail = m.apply(ProcId(1), &Op::cas(x, 0, 9));
+        assert_eq!(fail.response, Value::Int(7));
+        assert!(fail.trivial, "failed CAS is a trivial step");
+        assert_eq!(m.peek(x), Value::Int(7));
+    }
+
+    #[test]
+    fn trivial_write_detected() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        let out = m.apply(ProcId(0), &Op::write(x, 0));
+        assert!(out.trivial, "writing the current value is trivial");
+    }
+
+    #[test]
+    fn write_back_read_caching() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr, "cold read misses");
+        assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr, "warm read hits");
+        // Another process writing invalidates our copy.
+        m.apply(ProcId(1), &Op::write(x, 3));
+        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr, "invalidated read misses");
+    }
+
+    #[test]
+    fn write_back_exclusive_write_is_local() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        assert!(m.apply(ProcId(0), &Op::write(x, 1)).rmr, "first write misses");
+        assert!(
+            !m.apply(ProcId(0), &Op::write(x, 2)).rmr,
+            "write on an Exclusive line hits"
+        );
+        // A read by another process downgrades us to Shared...
+        m.apply(ProcId(1), &Op::Read(x));
+        assert_eq!(m.cache(ProcId(0)).mode(x), Some(Mode::Shared));
+        // ...so our next write must re-acquire exclusivity.
+        assert!(m.apply(ProcId(0), &Op::write(x, 3)).rmr);
+    }
+
+    #[test]
+    fn write_back_spinning_is_local() {
+        // The crux of local-spin algorithms: re-reading an unchanged variable
+        // costs no RMRs until someone else writes it.
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        m.apply(ProcId(0), &Op::Read(x));
+        for _ in 0..100 {
+            assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr);
+        }
+        m.apply(ProcId(2), &Op::write(x, 9));
+        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr);
+    }
+
+    #[test]
+    fn write_through_every_write_rmrs() {
+        let (mut m, x, _) = setup(Protocol::WriteThrough);
+        assert!(m.apply(ProcId(0), &Op::write(x, 1)).rmr);
+        assert!(m.apply(ProcId(0), &Op::write(x, 2)).rmr, "WT writes always RMR");
+        // But the writer keeps a valid copy for subsequent reads.
+        assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr);
+    }
+
+    #[test]
+    fn write_through_read_caching() {
+        let (mut m, x, _) = setup(Protocol::WriteThrough);
+        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr);
+        assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr);
+        m.apply(ProcId(1), &Op::write(x, 1));
+        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr, "invalidated by writer");
+    }
+
+    #[test]
+    fn cas_acquires_exclusivity_even_on_failure() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        m.apply(ProcId(0), &Op::Read(x)); // p0 caches x Shared
+        let out = m.apply(ProcId(1), &Op::cas(x, 99, 100)); // fails
+        assert!(out.rmr);
+        assert!(out.trivial);
+        assert!(
+            !m.cache(ProcId(0)).holds(x),
+            "failed CAS still invalidates other copies"
+        );
+        assert!(m.cache(ProcId(1)).holds_exclusive(x));
+    }
+
+    #[test]
+    fn faa_returns_prior_value_and_adds() {
+        let (mut m, x, _) = setup(Protocol::WriteBack);
+        let out = m.apply(ProcId(0), &Op::Faa { var: x, delta: 5 });
+        assert_eq!(out.response, Value::Int(0), "FAA returns prior value");
+        assert!(!out.trivial);
+        assert!(out.rmr);
+        assert_eq!(m.peek(x), Value::Int(5));
+        let out = m.apply(ProcId(0), &Op::Faa { var: x, delta: -2 });
+        assert!(!out.rmr, "FAA on an Exclusive line is local");
+        assert_eq!(m.peek(x), Value::Int(3));
+        let out = m.apply(ProcId(1), &Op::Faa { var: x, delta: 0 });
+        assert!(out.trivial, "zero-delta FAA is trivial");
+    }
+
+    #[test]
+    fn dsm_locality_is_static() {
+        let mut l = Layout::new();
+        let x = l.var_at("x", Value::Int(0), 0); // homed at p0
+        let y = l.var("y", Value::Int(0)); // no home: remote to all
+        let mut m = Memory::new(&l, 2, Protocol::Dsm);
+        assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr, "home read is local");
+        assert!(!m.apply(ProcId(0), &Op::write(x, 1)).rmr, "home write is local");
+        assert!(m.apply(ProcId(1), &Op::Read(x)).rmr, "remote read is an RMR");
+        // Spinning on a remote variable costs an RMR per read: no caching.
+        assert!(m.apply(ProcId(1), &Op::Read(x)).rmr);
+        assert!(m.apply(ProcId(1), &Op::Read(x)).rmr);
+        assert!(m.apply(ProcId(0), &Op::Read(y)).rmr, "homeless vars are remote");
+        assert!(m.apply(ProcId(1), &Op::Read(y)).rmr);
+    }
+
+    #[test]
+    fn dsm_values_agree_with_cc() {
+        // The protocol affects RMR accounting only — never values.
+        let mut l = Layout::new();
+        let x = l.var("x", Value::Int(0));
+        let mut cc = Memory::new(&l, 2, Protocol::WriteBack);
+        let mut dsm = Memory::new(&l, 2, Protocol::Dsm);
+        let script = [
+            (ProcId(0), Op::write(x, 3)),
+            (ProcId(1), Op::cas(x, 3, 5)),
+            (ProcId(0), Op::Faa { var: x, delta: 2 }),
+            (ProcId(1), Op::Read(x)),
+        ];
+        for (p, op) in script {
+            let a = cc.apply(p, &op);
+            let b = dsm.apply(p, &op);
+            assert_eq!(a.response, b.response, "op {op}");
+            assert_eq!(a.new, b.new);
+            assert_eq!(a.trivial, b.trivial);
+        }
+    }
+
+    #[test]
+    fn would_rmr_matches_apply() {
+        let (mut m, x, y) = setup(Protocol::WriteBack);
+        for op in [Op::Read(x), Op::write(y, 1), Op::cas(x, 0, 1)] {
+            let predicted = m.would_rmr(ProcId(2), &op);
+            let actual = m.apply(ProcId(2), &op).rmr;
+            assert_eq!(predicted, actual, "op {op}");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_peek_agree() {
+        let (mut m, x, y) = setup(Protocol::WriteBack);
+        m.apply(ProcId(0), &Op::write(x, 4));
+        let snap = m.snapshot();
+        assert_eq!(snap[x.0], m.peek(x));
+        assert_eq!(snap[y.0], Value::Nil);
+    }
+}

@@ -1,0 +1,254 @@
+//! The step-machine interface simulated algorithms implement.
+//!
+//! Every simulated algorithm is an explicit state machine that performs
+//! exactly one shared-memory operation per step, mirroring the paper's
+//! per-line program-counter (`pc`) reasoning. The two-phase
+//! [`Program::poll`] / [`Program::resume`] protocol lets schedulers *peek*
+//! at a process's pending operation without executing it — which is exactly
+//! what the Theorem-5 adversary needs in order to decide whether the next
+//! step would be an expanding step.
+
+use crate::op::Op;
+use crate::value::Value;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Whether a process is one of the paper's `n` readers or `m` writers.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// A reader process (`R_1..R_n`): may share the CS with other readers.
+    Reader,
+    /// A writer process (`W_1..W_m`): requires exclusive access to the CS.
+    Writer,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Reader => write!(f, "reader"),
+            Role::Writer => write!(f, "writer"),
+        }
+    }
+}
+
+/// The section of a passage a process is currently in (§2.1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Phase {
+    /// Not in the midst of a passage.
+    #[default]
+    Remainder,
+    /// Executing the entry section.
+    Entry,
+    /// Inside the critical section.
+    Cs,
+    /// Executing the exit section.
+    Exit,
+}
+
+impl Phase {
+    /// Dense index for per-phase metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Remainder => 0,
+            Phase::Entry => 1,
+            Phase::Cs => 2,
+            Phase::Exit => 3,
+        }
+    }
+
+    /// All phases, in [`Phase::index`] order.
+    pub const ALL: [Phase; 4] = [Phase::Remainder, Phase::Entry, Phase::Cs, Phase::Exit];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Remainder => write!(f, "remainder"),
+            Phase::Entry => write!(f, "entry"),
+            Phase::Cs => write!(f, "CS"),
+            Phase::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// What a process will do when next scheduled.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Execute one shared-memory operation.
+    Op(Op),
+    /// The process is in the critical section; scheduling it (via
+    /// [`Program::resume`] with [`Value::Nil`]) makes it begin its exit
+    /// section.
+    Cs,
+    /// The process is in the remainder section; scheduling it begins a new
+    /// passage (entry section).
+    Remainder,
+}
+
+/// A simulated lock-client process: performs passages (entry section →
+/// critical section → exit section) forever, one shared-memory operation
+/// per step.
+///
+/// # Contract
+///
+/// * `poll` is **pure**: it must return the same `Step` until `resume` is
+///   called, and must not mutate observable state.
+/// * After `poll` returns [`Step::Op`], the scheduler applies the operation
+///   to [`crate::Memory`] and passes the response to `resume`.
+/// * After `poll` returns [`Step::Cs`] or [`Step::Remainder`], the scheduler
+///   passes [`Value::Nil`] to `resume` to let the process proceed (into its
+///   exit section / a fresh passage respectively). The scheduler may instead
+///   leave the process parked there indefinitely.
+/// * `phase` reports the current section and must be consistent with `poll`
+///   (`Step::Cs` ⟺ `Phase::Cs`, `Step::Remainder` ⟺ `Phase::Remainder`).
+pub trait Program {
+    /// The process's pending action. Pure; see the trait-level contract.
+    fn poll(&self) -> Step;
+
+    /// Advance past the pending action, feeding it the memory response
+    /// (or [`Value::Nil`] for section transitions).
+    fn resume(&mut self, response: Value);
+
+    /// The section of the passage the process is currently executing.
+    fn phase(&self) -> Phase;
+
+    /// Reader or writer.
+    fn role(&self) -> Role;
+
+    /// Hash all local state (program counter and local variables) into `h`.
+    /// Used by the model checker to fingerprint global configurations.
+    fn fingerprint(&self, h: &mut dyn Hasher);
+
+    /// Duplicate this process with its full local state. Used by the model
+    /// checker to branch a configuration; the canonical implementation is
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+/// What a sub-machine (an operation of a shared object used *inside* an
+/// algorithm, e.g. a counter `add` or a mutex `enter`) will do next.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SubStep {
+    /// Execute one shared-memory operation.
+    Op(Op),
+    /// The object operation has completed with this result.
+    Done(Value),
+}
+
+/// A state machine for a single operation on a shared object, nested inside
+/// a [`Program`] the way the paper's `A_f` nests counter and mutex calls.
+///
+/// The same poll/resume contract as [`Program`] applies. A parent machine
+/// forwards `poll`/`resume` while a sub-machine is live and folds the
+/// [`SubStep::Done`] result into its own state; see
+/// [`crate::sub::drive`] for the standard helper.
+pub trait SubMachine {
+    /// The pending operation, or the final result.
+    fn poll(&self) -> SubStep;
+
+    /// Advance past the pending operation with its memory response.
+    fn resume(&mut self, response: Value);
+
+    /// Hash all local state into `h` (model-checking fingerprints).
+    fn fingerprint(&self, h: &mut dyn Hasher);
+}
+
+/// Helpers for composing [`SubMachine`]s into parent machines.
+pub mod sub {
+    use super::{SubMachine, SubStep};
+    use crate::value::Value;
+
+    /// Outcome of [`drive`]: either the sub-machine finished with a value,
+    /// or it is still running (after having consumed the response).
+    #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+    pub enum Drive {
+        /// The sub-operation completed with this result.
+        Finished(Value),
+        /// More steps remain.
+        Running,
+    }
+
+    /// Feed `response` to `m` and report whether it has completed.
+    ///
+    /// Parents call this from their own `resume` and, on
+    /// [`Drive::Finished`], advance their program counter — guaranteeing a
+    /// sub-machine never rests in a `Done` state across a `poll`.
+    pub fn drive(m: &mut dyn SubMachine, response: Value) -> Drive {
+        m.resume(response);
+        match m.poll() {
+            SubStep::Done(v) => Drive::Finished(v),
+            SubStep::Op(_) => Drive::Running,
+        }
+    }
+
+    /// Poll a sub-machine that is known to be mid-operation.
+    ///
+    /// # Panics
+    /// Panics if the sub-machine is already done — parents must fold
+    /// completed sub-machines out of their state (see [`drive`]).
+    pub fn poll_op(m: &dyn SubMachine) -> crate::op::Op {
+        match m.poll() {
+            SubStep::Op(op) => op,
+            SubStep::Done(v) => {
+                panic!("sub-machine polled while Done({v:?}); parent must fold results eagerly")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::VarId;
+
+    /// A sub-machine that reads `var` `reps` times and returns the last
+    /// response.
+    struct ReadLoop {
+        var: VarId,
+        remaining: u32,
+        last: Value,
+    }
+
+    impl SubMachine for ReadLoop {
+        fn poll(&self) -> SubStep {
+            if self.remaining == 0 {
+                SubStep::Done(self.last)
+            } else {
+                SubStep::Op(Op::Read(self.var))
+            }
+        }
+        fn resume(&mut self, response: Value) {
+            assert!(self.remaining > 0);
+            self.remaining -= 1;
+            self.last = response;
+        }
+        fn fingerprint(&self, h: &mut dyn Hasher) {
+            h.write_u32(self.remaining);
+        }
+    }
+
+    #[test]
+    fn drive_reports_completion() {
+        let mut m = ReadLoop { var: VarId(0), remaining: 2, last: Value::Nil };
+        assert_eq!(sub::poll_op(&m), Op::Read(VarId(0)));
+        assert_eq!(sub::drive(&mut m, Value::Int(1)), sub::Drive::Running);
+        assert_eq!(
+            sub::drive(&mut m, Value::Int(2)),
+            sub::Drive::Finished(Value::Int(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "polled while Done")]
+    fn poll_op_panics_when_done() {
+        let m = ReadLoop { var: VarId(0), remaining: 0, last: Value::Nil };
+        sub::poll_op(&m);
+    }
+
+    #[test]
+    fn phase_indices_are_dense() {
+        for (i, ph) in Phase::ALL.iter().enumerate() {
+            assert_eq!(ph.index(), i);
+        }
+    }
+}

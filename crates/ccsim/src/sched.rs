@@ -1,0 +1,336 @@
+//! Generic schedulers: round-robin, uniformly random, and solo runners.
+//!
+//! These drive a [`Sim`] while checking Mutual Exclusion after every step
+//! and detecting stalls (no passage completing for a long stretch — the
+//! observable symptom of deadlock or livelock in a finite run). The
+//! adversarial lower-bound scheduler lives in the `knowledge` crate.
+
+use crate::program::Step;
+use crate::sim::{MutualExclusionViolation, Sim};
+use crate::value::ProcId;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration for the bulk runners.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RunConfig {
+    /// Number of passages each process should complete.
+    pub passages_per_proc: u64,
+    /// Hard cap on total scheduled steps.
+    pub max_steps: u64,
+    /// If no passage completes for this many consecutive steps, the run is
+    /// declared stalled (deadlock/livelock suspicion).
+    pub stall_after: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            passages_per_proc: 1,
+            max_steps: 1_000_000,
+            stall_after: 200_000,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// Mutual Exclusion was violated after some step.
+    MutualExclusion(MutualExclusionViolation),
+    /// No passage completed within `RunConfig::stall_after` steps.
+    Stalled {
+        /// Steps executed by this run when the stall was declared.
+        steps: u64,
+    },
+    /// `RunConfig::max_steps` was exhausted before all quotas were met.
+    StepBudgetExhausted {
+        /// Passages completed per process when the budget ran out.
+        completed: Vec<u64>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MutualExclusion(v) => write!(f, "{v}"),
+            RunError::Stalled { steps } => {
+                write!(f, "run stalled: no passage completed near step {steps}")
+            }
+            RunError::StepBudgetExhausted { completed } => {
+                write!(f, "step budget exhausted; completed passages: {completed:?}")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::MutualExclusion(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<MutualExclusionViolation> for RunError {
+    fn from(v: MutualExclusionViolation) -> Self {
+        RunError::MutualExclusion(v)
+    }
+}
+
+/// Summary of a successful run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunReport {
+    /// Steps executed by this run.
+    pub steps: u64,
+    /// Passages completed per process *during this run*.
+    pub completed: Vec<u64>,
+}
+
+fn eligible(sim: &Sim, p: ProcId, done: &[u64], quota: u64) -> bool {
+    match sim.poll(p) {
+        Step::Op(_) | Step::Cs => true,
+        Step::Remainder => done[p.0] < quota,
+    }
+}
+
+/// Run every process for `cfg.passages_per_proc` passages, choosing the
+/// next process round-robin among eligible ones.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_round_robin(sim: &mut Sim, cfg: &RunConfig) -> Result<RunReport, RunError> {
+    run_with(sim, cfg, |_, eligible_procs, turn| {
+        eligible_procs[(turn as usize) % eligible_procs.len()]
+    })
+}
+
+/// Run every process for `cfg.passages_per_proc` passages, choosing the
+/// next process uniformly at random among eligible ones.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_random<R: Rng>(
+    sim: &mut Sim,
+    rng: &mut R,
+    cfg: &RunConfig,
+) -> Result<RunReport, RunError> {
+    run_with(sim, cfg, |rng_slot, eligible_procs, _| {
+        let _ = rng_slot;
+        eligible_procs[rng.gen_range(0..eligible_procs.len())]
+    })
+}
+
+fn run_with(
+    sim: &mut Sim,
+    cfg: &RunConfig,
+    mut pick: impl FnMut(&Sim, &[ProcId], u64) -> ProcId,
+) -> Result<RunReport, RunError> {
+    let n = sim.n_procs();
+    let base: Vec<u64> = (0..n).map(|i| sim.stats(ProcId(i)).passages).collect();
+    let mut done = vec![0u64; n];
+    let mut steps = 0u64;
+    let mut since_progress = 0u64;
+    let mut turn = 0u64;
+
+    loop {
+        for i in 0..n {
+            done[i] = sim.stats(ProcId(i)).passages - base[i];
+        }
+        let eligible_procs: Vec<ProcId> = (0..n)
+            .map(ProcId)
+            .filter(|&p| eligible(sim, p, &done, cfg.passages_per_proc))
+            .collect();
+        if eligible_procs.is_empty() {
+            return Ok(RunReport { steps, completed: done });
+        }
+        if steps >= cfg.max_steps {
+            return Err(RunError::StepBudgetExhausted { completed: done });
+        }
+        if since_progress >= cfg.stall_after {
+            return Err(RunError::Stalled { steps });
+        }
+
+        let p = pick(sim, &eligible_procs, turn);
+        turn += 1;
+        let before = sim.stats(p).passages;
+        sim.step(p);
+        steps += 1;
+        sim.check_mutual_exclusion()?;
+        if sim.stats(p).passages > before {
+            since_progress = 0;
+        } else {
+            since_progress += 1;
+        }
+    }
+}
+
+/// Step only process `p` until `until(sim)` holds, up to `max_steps`.
+///
+/// Returns the number of steps taken, or `None` if the budget was exhausted
+/// before the predicate held. This is the building block for the paper's
+/// "runs solo" execution fragments (e.g. `E_3`, where `W_1` enters the CS
+/// alone).
+pub fn run_solo(
+    sim: &mut Sim,
+    p: ProcId,
+    max_steps: u64,
+    mut until: impl FnMut(&Sim) -> bool,
+) -> Option<u64> {
+    let mut steps = 0;
+    while !until(sim) {
+        if steps >= max_steps {
+            return None;
+        }
+        sim.step(p);
+        steps += 1;
+    }
+    Some(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::memory::Memory;
+    use crate::cache::Protocol;
+    use crate::op::Op;
+    use crate::program::{Phase, Program, Role};
+    use crate::value::{Value, VarId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hash::Hasher;
+
+    /// A client that performs one read in entry and one in exit.
+    #[derive(Clone)]
+    struct ReadClient {
+        v: VarId,
+        pc: u8,
+    }
+
+    impl Program for ReadClient {
+        fn poll(&self) -> Step {
+            match self.pc {
+                0 => Step::Remainder,
+                1 => Step::Op(Op::Read(self.v)),
+                2 => Step::Cs,
+                3 => Step::Op(Op::Read(self.v)),
+                _ => unreachable!(),
+            }
+        }
+        fn resume(&mut self, _: Value) {
+            self.pc = (self.pc + 1) % 4;
+        }
+        fn phase(&self) -> Phase {
+            [Phase::Remainder, Phase::Entry, Phase::Cs, Phase::Exit][self.pc as usize]
+        }
+        fn role(&self) -> Role {
+            Role::Reader
+        }
+        fn fingerprint(&self, h: &mut dyn Hasher) {
+            h.write_u8(self.pc);
+        }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    }
+
+    /// A client that spins forever in its entry section (never enters CS).
+    #[derive(Clone)]
+    struct Spinner {
+        v: VarId,
+        started: bool,
+    }
+
+    impl Program for Spinner {
+        fn poll(&self) -> Step {
+            if self.started {
+                Step::Op(Op::Read(self.v))
+            } else {
+                Step::Remainder
+            }
+        }
+        fn resume(&mut self, _: Value) {
+            self.started = true;
+        }
+        fn phase(&self) -> Phase {
+            if self.started { Phase::Entry } else { Phase::Remainder }
+        }
+        fn role(&self) -> Role {
+            Role::Reader
+        }
+        fn fingerprint(&self, h: &mut dyn Hasher) {
+            h.write_u8(self.started as u8);
+        }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    }
+
+    fn read_world(n: usize) -> Sim {
+        let mut l = Layout::new();
+        let v = l.var("x", Value::Int(0));
+        let mem = Memory::new(&l, n, Protocol::WriteBack);
+        let procs: Vec<Box<dyn Program>> = (0..n)
+            .map(|_| Box::new(ReadClient { v, pc: 0 }) as Box<dyn Program>)
+            .collect();
+        Sim::new(mem, procs)
+    }
+
+    #[test]
+    fn round_robin_completes_quotas() {
+        let mut sim = read_world(3);
+        let cfg = RunConfig { passages_per_proc: 5, ..Default::default() };
+        let report = run_round_robin(&mut sim, &cfg).unwrap();
+        assert_eq!(report.completed, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn random_completes_quotas() {
+        let mut sim = read_world(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let report = run_random(&mut sim, &mut rng, &cfg).unwrap();
+        assert_eq!(report.completed, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn stall_detection_fires_on_livelock() {
+        let mut l = Layout::new();
+        let v = l.var("x", Value::Int(0));
+        let mem = Memory::new(&l, 1, Protocol::WriteBack);
+        let mut sim = Sim::new(mem, vec![Box::new(Spinner { v, started: false })]);
+        let cfg = RunConfig { passages_per_proc: 1, max_steps: 10_000, stall_after: 100 };
+        match run_round_robin(&mut sim, &cfg) {
+            Err(RunError::Stalled { .. }) => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_solo_reaches_predicate() {
+        let mut sim = read_world(2);
+        let steps =
+            run_solo(&mut sim, ProcId(0), 100, |s| s.phase(ProcId(0)) == Phase::Cs).unwrap();
+        assert_eq!(steps, 2, "begin passage + one entry read");
+        assert_eq!(sim.phase(ProcId(1)), Phase::Remainder, "others untouched");
+    }
+
+    #[test]
+    fn run_solo_budget_exhaustion_returns_none() {
+        let mut sim = read_world(1);
+        assert_eq!(run_solo(&mut sim, ProcId(0), 3, |_| false), None);
+    }
+
+    #[test]
+    fn second_run_quota_is_relative() {
+        let mut sim = read_world(1);
+        let cfg = RunConfig { passages_per_proc: 2, ..Default::default() };
+        run_round_robin(&mut sim, &cfg).unwrap();
+        let report = run_round_robin(&mut sim, &cfg).unwrap();
+        assert_eq!(report.completed, vec![2], "quota counts from run start");
+        assert_eq!(sim.stats(ProcId(0)).passages, 4);
+    }
+}

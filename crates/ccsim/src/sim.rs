@@ -1,0 +1,477 @@
+//! The simulation world: processes + memory + metrics + trace.
+
+use crate::memory::Memory;
+use crate::op::Op;
+use crate::program::{Phase, Program, Role, Step};
+use crate::trace::{StepKind, StepRecord, Trace};
+use crate::value::{ProcId, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Per-process execution metrics, split by passage section.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProcStats {
+    /// Memory operations executed, per [`Phase::index`].
+    pub ops_by_phase: [u64; 4],
+    /// RMRs incurred, per [`Phase::index`].
+    pub rmrs_by_phase: [u64; 4],
+    /// Completed passages.
+    pub passages: u64,
+}
+
+impl ProcStats {
+    /// Total memory operations.
+    pub fn ops(&self) -> u64 {
+        self.ops_by_phase.iter().sum()
+    }
+
+    /// Total RMRs.
+    pub fn rmrs(&self) -> u64 {
+        self.rmrs_by_phase.iter().sum()
+    }
+
+    /// RMRs incurred in a given phase.
+    pub fn rmrs_in(&self, phase: Phase) -> u64 {
+        self.rmrs_by_phase[phase.index()]
+    }
+
+    /// Memory operations executed in a given phase.
+    pub fn ops_in(&self, phase: Phase) -> u64 {
+        self.ops_by_phase[phase.index()]
+    }
+}
+
+/// A violation of the Mutual Exclusion property (§2.1): a writer in the CS
+/// concurrently with any other process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MutualExclusionViolation {
+    /// All processes that were in the CS, with their roles.
+    pub occupants: Vec<(ProcId, Role)>,
+}
+
+impl fmt::Display for MutualExclusionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mutual exclusion violated; CS occupants:")?;
+        for (p, r) in &self.occupants {
+            write!(f, " {p}({r})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for MutualExclusionViolation {}
+
+/// The simulation world: a set of [`Program`] processes sharing a
+/// [`Memory`], with per-process metrics and an optional step [`Trace`].
+///
+/// The `Sim` itself imposes no schedule — callers (round-robin and random
+/// runners, the model checker, the lower-bound adversary) decide which
+/// process steps next via [`Sim::step`].
+///
+/// # Examples
+/// ```
+/// use ccsim::{Layout, Memory, Protocol, Sim, Value};
+/// # use ccsim::{Op, Phase, Program, Role, Step};
+/// # struct Noop;
+/// # impl Program for Noop {
+/// #   fn poll(&self) -> Step { Step::Remainder }
+/// #   fn resume(&mut self, _: Value) {}
+/// #   fn phase(&self) -> Phase { Phase::Remainder }
+/// #   fn role(&self) -> Role { Role::Reader }
+/// #   fn fingerprint(&self, _: &mut dyn std::hash::Hasher) {}
+/// #   fn clone_box(&self) -> Box<dyn Program> { Box::new(Noop) }
+/// # }
+/// let layout = Layout::new();
+/// let mem = Memory::new(&layout, 1, Protocol::WriteBack);
+/// let sim = Sim::new(mem, vec![Box::new(Noop)]);
+/// assert_eq!(sim.n_procs(), 1);
+/// ```
+pub struct Sim {
+    mem: Memory,
+    procs: Vec<Box<dyn Program>>,
+    stats: Vec<ProcStats>,
+    trace: Option<Trace>,
+    steps: u64,
+}
+
+impl Sim {
+    /// Create a world from a memory and its processes.
+    ///
+    /// # Panics
+    /// Panics if the memory was not created with exactly
+    /// `procs.len()` caches.
+    pub fn new(mem: Memory, procs: Vec<Box<dyn Program>>) -> Self {
+        assert_eq!(
+            mem.n_procs(),
+            procs.len(),
+            "memory must have one cache per process"
+        );
+        let n = procs.len();
+        Sim {
+            mem,
+            procs,
+            stats: vec![ProcStats::default(); n],
+            trace: None,
+            steps: 0,
+        }
+    }
+
+    /// Enable (or disable) step tracing. Tracing is off by default; the
+    /// lower-bound adversary and the knowledge analyses require it.
+    pub fn set_tracing(&mut self, on: bool) {
+        if on && self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        } else if !on {
+            self.trace = None;
+        }
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Take the recorded trace, leaving tracing enabled with a fresh trace.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.replace(Trace::new())
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// All process ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.procs.len()).map(ProcId)
+    }
+
+    /// The shared memory (for assertions and adversary planning).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The program of process `p`.
+    pub fn program(&self, p: ProcId) -> &dyn Program {
+        &*self.procs[p.0]
+    }
+
+    /// What process `p` will do when next stepped.
+    pub fn poll(&self, p: ProcId) -> Step {
+        self.procs[p.0].poll()
+    }
+
+    /// The phase process `p` is in.
+    pub fn phase(&self, p: ProcId) -> Phase {
+        self.procs[p.0].phase()
+    }
+
+    /// The role of process `p`.
+    pub fn role(&self, p: ProcId) -> Role {
+        self.procs[p.0].role()
+    }
+
+    /// Metrics for process `p`.
+    pub fn stats(&self, p: ProcId) -> ProcStats {
+        self.stats[p.0]
+    }
+
+    /// Reset all metrics (the trace is unaffected). Useful between
+    /// measurement phases of an experiment.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = ProcStats::default();
+        }
+    }
+
+    /// Total steps executed since construction.
+    pub fn total_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Would stepping `p` now incur an RMR? (False for section
+    /// transitions.) Pure; used by adversarial schedulers.
+    pub fn would_rmr(&self, p: ProcId) -> bool {
+        match self.poll(p) {
+            Step::Op(op) => self.mem.would_rmr(p, &op),
+            _ => false,
+        }
+    }
+
+    /// The pending memory operation of `p`, if any.
+    pub fn pending_op(&self, p: ProcId) -> Option<Op> {
+        match self.poll(p) {
+            Step::Op(op) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Execute one step of process `p` and return the record of what
+    /// happened (also appended to the trace when tracing is on).
+    ///
+    /// Stepping a process whose poll is [`Step::Cs`] releases it into its
+    /// exit section; stepping one in [`Step::Remainder`] starts a new
+    /// passage.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn step(&mut self, p: ProcId) -> StepRecord {
+        let phase_before = self.procs[p.0].phase();
+        let role = self.procs[p.0].role();
+        let kind = match self.procs[p.0].poll() {
+            Step::Op(op) => {
+                let out = self.mem.apply(p, &op);
+                self.procs[p.0].resume(out.response);
+                let st = &mut self.stats[p.0];
+                st.ops_by_phase[phase_before.index()] += 1;
+                if out.rmr {
+                    st.rmrs_by_phase[phase_before.index()] += 1;
+                }
+                StepKind::Op {
+                    op,
+                    response: out.response,
+                    old: out.old,
+                    new: out.new,
+                    rmr: out.rmr,
+                    trivial: out.trivial,
+                }
+            }
+            Step::Cs => {
+                self.procs[p.0].resume(Value::Nil);
+                StepKind::BeginExit
+            }
+            Step::Remainder => {
+                self.procs[p.0].resume(Value::Nil);
+                StepKind::BeginPassage
+            }
+        };
+        // Passage completion: the process just returned to the remainder
+        // section (usually Exit -> Remainder; Cs -> Remainder when the exit
+        // section is empty, e.g. a 1-process tournament).
+        if phase_before != Phase::Remainder && self.procs[p.0].phase() == Phase::Remainder {
+            self.stats[p.0].passages += 1;
+        }
+        let record = StepRecord {
+            index: self.steps,
+            proc: p,
+            role,
+            phase: phase_before,
+            kind,
+        };
+        self.steps += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(record);
+        }
+        record
+    }
+
+    /// All processes currently inside the critical section.
+    pub fn procs_in_cs(&self) -> Vec<ProcId> {
+        self.proc_ids()
+            .filter(|&p| self.phase(p) == Phase::Cs)
+            .collect()
+    }
+
+    /// Check the Mutual Exclusion property in the current configuration:
+    /// if any writer is in the CS, it must be alone.
+    ///
+    /// # Errors
+    /// Returns the full occupant list on violation.
+    pub fn check_mutual_exclusion(&self) -> Result<(), MutualExclusionViolation> {
+        let occupants: Vec<(ProcId, Role)> = self
+            .procs_in_cs()
+            .into_iter()
+            .map(|p| (p, self.role(p)))
+            .collect();
+        let writer_present = occupants.iter().any(|(_, r)| *r == Role::Writer);
+        if writer_present && occupants.len() > 1 {
+            return Err(MutualExclusionViolation { occupants });
+        }
+        Ok(())
+    }
+
+    /// A 64-bit fingerprint of the global configuration: all variable
+    /// values plus every process's local state. Cache state and metrics are
+    /// excluded (they never influence observable behaviour).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.mem.hash_values(&mut h);
+        for p in &self.procs {
+            p.fingerprint(&mut h);
+        }
+        h.finish()
+    }
+
+    /// True if every process is in its remainder section (a *quiescent*
+    /// configuration, §2.1).
+    pub fn is_quiescent(&self) -> bool {
+        self.proc_ids().all(|p| self.phase(p) == Phase::Remainder)
+    }
+
+    /// Duplicate the entire world — memory, caches, process states, and
+    /// metrics (the trace is not copied). This is how the model checker
+    /// branches a configuration.
+    pub fn clone_world(&self) -> Sim {
+        Sim {
+            mem: self.mem.clone(),
+            procs: self.procs.iter().map(|p| p.clone_box()).collect(),
+            stats: self.stats.clone(),
+            trace: None,
+            steps: self.steps,
+        }
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("n_procs", &self.procs.len())
+            .field("steps", &self.steps)
+            .field(
+                "phases",
+                &self
+                    .proc_ids()
+                    .map(|p| self.phase(p))
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::memory::Memory;
+    use crate::cache::Protocol;
+    use crate::value::VarId;
+
+    /// A trivial test lock client: entry = write flag, CS, exit = clear flag.
+    #[derive(Clone)]
+    struct FlagClient {
+        flag: VarId,
+        me: ProcId,
+        role: Role,
+        pc: u8, // 0 remainder, 1 about-to-set, 2 cs, 3 about-to-clear
+    }
+
+    impl Program for FlagClient {
+        fn poll(&self) -> Step {
+            match self.pc {
+                0 => Step::Remainder,
+                1 => Step::Op(Op::write(self.flag, Value::Proc(self.me))),
+                2 => Step::Cs,
+                3 => Step::Op(Op::Write(self.flag, Value::Nil)),
+                _ => unreachable!(),
+            }
+        }
+        fn resume(&mut self, _: Value) {
+            self.pc = (self.pc + 1) % 4;
+        }
+        fn phase(&self) -> Phase {
+            match self.pc {
+                0 => Phase::Remainder,
+                1 => Phase::Entry,
+                2 => Phase::Cs,
+                3 => Phase::Exit,
+                _ => unreachable!(),
+            }
+        }
+        fn role(&self) -> Role {
+            self.role
+        }
+        fn fingerprint(&self, h: &mut dyn Hasher) {
+            h.write_u8(self.pc);
+        }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    }
+
+    fn world(roles: &[Role]) -> Sim {
+        let mut l = Layout::new();
+        let flag = l.var("flag", Value::Nil);
+        let mem = Memory::new(&l, roles.len(), Protocol::WriteBack);
+        let procs: Vec<Box<dyn Program>> = roles
+            .iter()
+            .enumerate()
+            .map(|(i, &role)| {
+                Box::new(FlagClient { flag, me: ProcId(i), role, pc: 0 }) as Box<dyn Program>
+            })
+            .collect();
+        Sim::new(mem, procs)
+    }
+
+    #[test]
+    fn passage_lifecycle_and_stats() {
+        let mut sim = world(&[Role::Reader]);
+        let p = ProcId(0);
+        assert_eq!(sim.poll(p), Step::Remainder);
+        sim.step(p); // begin passage
+        assert_eq!(sim.phase(p), Phase::Entry);
+        sim.step(p); // entry write
+        assert_eq!(sim.phase(p), Phase::Cs);
+        sim.step(p); // leave CS
+        assert_eq!(sim.phase(p), Phase::Exit);
+        sim.step(p); // exit write
+        assert_eq!(sim.phase(p), Phase::Remainder);
+        let st = sim.stats(p);
+        assert_eq!(st.passages, 1);
+        assert_eq!(st.ops(), 2);
+        assert_eq!(st.rmrs_in(Phase::Entry), 1);
+    }
+
+    #[test]
+    fn mutual_exclusion_check_flags_writer_overlap() {
+        let mut sim = world(&[Role::Writer, Role::Reader]);
+        for p in [ProcId(0), ProcId(1)] {
+            sim.step(p); // begin passage
+            sim.step(p); // entry op -> CS
+        }
+        assert_eq!(sim.procs_in_cs().len(), 2);
+        let err = sim.check_mutual_exclusion().unwrap_err();
+        assert_eq!(err.occupants.len(), 2);
+        assert!(err.to_string().contains("mutual exclusion violated"));
+    }
+
+    #[test]
+    fn readers_may_share_cs() {
+        let mut sim = world(&[Role::Reader, Role::Reader]);
+        for p in [ProcId(0), ProcId(1)] {
+            sim.step(p);
+            sim.step(p);
+        }
+        assert_eq!(sim.procs_in_cs().len(), 2);
+        assert!(sim.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_state() {
+        let mut sim = world(&[Role::Reader]);
+        let f0 = sim.fingerprint();
+        sim.step(ProcId(0));
+        assert_ne!(f0, sim.fingerprint());
+    }
+
+    #[test]
+    fn tracing_records_steps() {
+        let mut sim = world(&[Role::Reader]);
+        sim.set_tracing(true);
+        sim.step(ProcId(0));
+        sim.step(ProcId(0));
+        let t = sim.take_trace().unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.records()[0].kind, StepKind::BeginPassage));
+        assert!(sim.trace().unwrap().is_empty(), "take_trace leaves a fresh trace");
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut sim = world(&[Role::Reader]);
+        assert!(sim.is_quiescent());
+        sim.step(ProcId(0));
+        assert!(!sim.is_quiescent());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests on the memory model: protocol-independence of values,
+//! RMR accounting consistency, and coherence invariants.
+
+use ccsim::{Layout, Memory, Op, ProcId, Protocol, Value};
+use proptest::prelude::*;
+
+/// A random operation over `n_vars` variables by one of `n_procs`
+/// processes.
+fn op_strategy(n_procs: usize, n_vars: usize) -> impl Strategy<Value = (ProcId, Op)> {
+    (0..n_procs, 0..n_vars, 0u8..4, -3i64..4).prop_map(|(p, v, kind, val)| {
+        let var = ccsim::VarId(v);
+        let op = match kind {
+            0 => Op::Read(var),
+            1 => Op::write(var, val),
+            2 => Op::cas(var, val, val + 1),
+            _ => Op::Faa { var, delta: val },
+        };
+        (ProcId(p), op)
+    })
+}
+
+fn world(protocol: Protocol, n_procs: usize, n_vars: usize) -> Memory {
+    let mut layout = Layout::new();
+    for i in 0..n_vars {
+        // Give half the variables DSM homes so the DSM runs are varied.
+        if i % 2 == 0 {
+            layout.var_at(format!("v{i}"), Value::Int(0), i % n_procs);
+        } else {
+            layout.var(format!("v{i}"), Value::Int(0));
+        }
+    }
+    Memory::new(&layout, n_procs, protocol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The protocol affects RMR accounting only: responses, values and
+    /// triviality are identical across WT, WB and DSM for any schedule.
+    #[test]
+    fn protocols_agree_on_values(ops in proptest::collection::vec(op_strategy(3, 4), 1..120)) {
+        let mut wt = world(Protocol::WriteThrough, 3, 4);
+        let mut wb = world(Protocol::WriteBack, 3, 4);
+        let mut dsm = world(Protocol::Dsm, 3, 4);
+        for (p, op) in ops {
+            let a = wt.apply(p, &op);
+            let b = wb.apply(p, &op);
+            let c = dsm.apply(p, &op);
+            prop_assert_eq!(a.response, b.response);
+            prop_assert_eq!(b.response, c.response);
+            prop_assert_eq!(a.new, b.new);
+            prop_assert_eq!(b.new, c.new);
+            prop_assert_eq!(a.trivial, b.trivial);
+            prop_assert_eq!(b.trivial, c.trivial);
+        }
+        prop_assert_eq!(wt.snapshot(), wb.snapshot());
+        prop_assert_eq!(wb.snapshot(), dsm.snapshot());
+    }
+
+    /// `would_rmr` always predicts `apply`'s RMR outcome exactly, under
+    /// every protocol.
+    #[test]
+    fn would_rmr_is_exact(
+        ops in proptest::collection::vec(op_strategy(3, 4), 1..120),
+        protocol_idx in 0usize..3,
+    ) {
+        let protocol = [Protocol::WriteThrough, Protocol::WriteBack, Protocol::Dsm][protocol_idx];
+        let mut mem = world(protocol, 3, 4);
+        for (p, op) in ops {
+            let predicted = mem.would_rmr(p, &op);
+            let actual = mem.apply(p, &op).rmr;
+            prop_assert_eq!(predicted, actual, "{:?} {:?}", protocol, op);
+        }
+    }
+
+    /// Write-back coherence: immediately after any step, re-reading the
+    /// same variable by the same process is free, and at most one process
+    /// holds a variable exclusively.
+    #[test]
+    fn write_back_coherence_invariants(ops in proptest::collection::vec(op_strategy(4, 3), 1..150)) {
+        let mut mem = world(Protocol::WriteBack, 4, 3);
+        for (p, op) in ops {
+            let v = op.var();
+            mem.apply(p, &op);
+            // Re-read is always a hit right after any access.
+            prop_assert!(!mem.would_rmr(p, &Op::Read(v)), "re-read after access must hit");
+            // Single-writer invariant across caches.
+            for var_idx in 0..mem.n_vars() {
+                let var = ccsim::VarId(var_idx);
+                let exclusive_holders = (0..mem.n_procs())
+                    .filter(|&q| mem.cache(ProcId(q)).holds_exclusive(var))
+                    .count();
+                prop_assert!(exclusive_holders <= 1, "two exclusive holders of {var}");
+                if exclusive_holders == 1 {
+                    let shared_elsewhere = (0..mem.n_procs()).any(|q| {
+                        let c = mem.cache(ProcId(q));
+                        c.holds(var) && !c.holds_exclusive(var)
+                    });
+                    prop_assert!(!shared_elsewhere, "exclusive + shared copies of {var}");
+                }
+            }
+        }
+    }
+
+    /// DSM RMR accounting is schedule-independent: whether an access is
+    /// remote depends only on (process, variable).
+    #[test]
+    fn dsm_rmr_is_static(ops in proptest::collection::vec(op_strategy(3, 4), 1..100)) {
+        let mut mem = world(Protocol::Dsm, 3, 4);
+        // Record the locality of the first access per (proc, var) pair
+        // and demand every later access agrees.
+        let mut seen = std::collections::HashMap::new();
+        for (p, op) in ops {
+            let rmr = mem.apply(p, &op).rmr;
+            let key = (p, op.var());
+            if let Some(prev) = seen.insert(key, rmr) {
+                prop_assert_eq!(prev, rmr, "DSM locality changed for {:?}", key);
+            }
+        }
+    }
+
+    /// Sequential consistency sanity: a read always returns the value of
+    /// the latest preceding write/CAS/FAA to that variable.
+    #[test]
+    fn reads_return_latest_value(ops in proptest::collection::vec(op_strategy(3, 2), 1..150)) {
+        let mut mem = world(Protocol::WriteBack, 3, 2);
+        let mut shadow = [Value::Int(0); 2];
+        for (p, op) in ops {
+            let out = mem.apply(p, &op);
+            let v = op.var().0;
+            match op {
+                Op::Read(_) => prop_assert_eq!(out.response, shadow[v]),
+                Op::Write(_, val) => shadow[v] = val,
+                Op::Cas { expected, new, .. } => {
+                    prop_assert_eq!(out.response, shadow[v]);
+                    if shadow[v] == expected {
+                        shadow[v] = new;
+                    }
+                }
+                Op::Faa { delta, .. } => {
+                    prop_assert_eq!(out.response, shadow[v]);
+                    shadow[v] = Value::Int(shadow[v].expect_int() + delta);
+                }
+            }
+        }
+    }
+}

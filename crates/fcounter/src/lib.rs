@@ -1,0 +1,41 @@
+//! # fcounter — wait-free f-array counters from read, write and CAS
+//!
+//! The `A_f` reader-writer locks of Hendler (PODC 2016) consolidate
+//! per-group reader counts in *K-process counter objects* supporting
+//! `add` in `O(log K)` steps and `read` in `O(1)` steps. The construction
+//! is Jayanti's f-array \[15\] adapted from LL/SC to CAS \[14\]: a complete
+//! binary tree whose leaves hold per-process contributions and whose
+//! internal nodes cache partial sums, propagated by a *double refresh* with
+//! version-stamped CAS.
+//!
+//! Two interchangeable implementations are provided:
+//!
+//! * [`FArray`] — real atomics, used by the production `rwcore` lock;
+//! * [`SimCounter`] / [`AddMachine`] / [`ReadMachine`] — `ccsim` step
+//!   machines, used for RMR measurement and model checking.
+//!
+//! Plus the comparison counters [`CasCounter`] (unbounded under
+//! contention) and [`FaaCounter`] (constant-time, but uses an operation
+//! outside the paper's model).
+//!
+//! ```
+//! use fcounter::FArray;
+//! let c = FArray::new(8);
+//! c.add(3, 1);
+//! c.add(5, 1);
+//! c.add(3, -1);
+//! assert_eq!(c.read(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod naive;
+mod real;
+mod sim;
+mod tree;
+
+pub use naive::{CasCounter, FaaCounter, SharedCounter};
+pub use real::FArray;
+pub use sim::{AddMachine, ReadMachine, SimCounter, SimCounterHandle};
+pub use tree::TreeShape;

@@ -1,0 +1,124 @@
+//! Property tests: the f-array is exact and wait-free-bounded under
+//! arbitrary interleavings, in both its simulated and real forms.
+
+use ccsim::{Layout, Memory, ProcId, Protocol, SubMachine, SubStep};
+use fcounter::{FArray, SimCounter, SimCounterHandle, TreeShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drive a batch of per-process operation lists to completion under a
+/// seeded random interleaving; return the final counter value and the
+/// worst per-operation step count observed.
+fn run_sim_batch(k: usize, deltas_per_proc: &[Vec<i64>], seed: u64) -> (i64, u64) {
+    let mut layout = Layout::new();
+    let counter = SimCounter::allocate(&mut layout, "C", k);
+    let mut mem = Memory::new(&layout, k, Protocol::WriteBack);
+    let mut handles: Vec<SimCounterHandle> = (0..k).map(|i| counter.handle(i)).collect();
+    let mut queues: Vec<std::collections::VecDeque<i64>> = deltas_per_proc
+        .iter()
+        .map(|v| v.iter().copied().collect())
+        .collect();
+    let mut current: Vec<Option<fcounter::AddMachine>> = (0..k).map(|_| None).collect();
+    let mut op_steps: Vec<u64> = vec![0; k];
+    let mut max_op_steps = 0u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    loop {
+        // Processes with work: either a live machine or a queued delta.
+        let live: Vec<usize> = (0..k)
+            .filter(|&i| current[i].is_some() || !queues[i].is_empty())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let i = live[rng.gen_range(0..live.len())];
+        if current[i].is_none() {
+            let delta = queues[i].pop_front().unwrap();
+            current[i] = Some(handles[i].add(delta));
+            op_steps[i] = 0;
+        }
+        let m = current[i].as_mut().unwrap();
+        match m.poll() {
+            SubStep::Op(op) => {
+                let out = mem.apply(ProcId(i), &op);
+                m.resume(out.response);
+                op_steps[i] += 1;
+                max_op_steps = max_op_steps.max(op_steps[i]);
+            }
+            SubStep::Done(_) => {
+                current[i] = None;
+            }
+        }
+    }
+    (counter.peek(&mem), max_op_steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any interleaving of any batch of adds yields the exact sum, and no
+    /// single add ever exceeds the wait-free bound 1 + 8 * depth steps.
+    #[test]
+    fn sim_adds_exact_and_bounded(
+        k in 1usize..7,
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(proptest::collection::vec(-5i64..6, 0..5), 1..7),
+    ) {
+        let deltas: Vec<Vec<i64>> = (0..k)
+            .map(|i| raw.get(i).cloned().unwrap_or_default())
+            .collect();
+        let expected: i64 = deltas.iter().flatten().sum();
+        let (got, max_steps) = run_sim_batch(k, &deltas, seed);
+        prop_assert_eq!(got, expected);
+        let bound = 1 + 8 * TreeShape::new(k).depth() as u64;
+        prop_assert!(
+            max_steps <= bound,
+            "an add took {max_steps} steps, wait-free bound is {bound} (k={k})"
+        );
+    }
+
+    /// The real f-array agrees with a sequential shadow under per-thread
+    /// operation lists (run on real threads).
+    #[test]
+    fn real_adds_exact(
+        k in 1usize..5,
+        raw in proptest::collection::vec(proptest::collection::vec(-4i64..5, 0..30), 1..5),
+    ) {
+        let deltas: Vec<Vec<i64>> = (0..k)
+            .map(|i| raw.get(i).cloned().unwrap_or_default())
+            .collect();
+        let expected: i64 = deltas.iter().flatten().sum();
+        let counter = FArray::new(k);
+        std::thread::scope(|s| {
+            for (id, list) in deltas.iter().enumerate() {
+                let counter = &counter;
+                s.spawn(move || {
+                    for &d in list {
+                        counter.add(id, d);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.read(), expected);
+    }
+
+    /// Reads during quiescent moments between batches are exact.
+    #[test]
+    fn sim_sequential_batches(seq in proptest::collection::vec(-3i64..4, 1..20)) {
+        let mut layout = Layout::new();
+        let counter = SimCounter::allocate(&mut layout, "C", 2);
+        let mut mem = Memory::new(&layout, 2, Protocol::WriteBack);
+        let mut handle = counter.handle(0);
+        let mut running = 0i64;
+        for d in seq {
+            let mut m = handle.add(d);
+            while let SubStep::Op(op) = m.poll() {
+                let out = mem.apply(ProcId(0), &op);
+                m.resume(out.response);
+            }
+            running += d;
+            prop_assert_eq!(counter.peek(&mem), running);
+        }
+    }
+}

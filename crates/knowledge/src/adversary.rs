@@ -1,0 +1,363 @@
+//! The Theorem-5 lower-bound adversary.
+//!
+//! Constructs the execution of Figure 1 against a live lock
+//! implementation:
+//!
+//! * `E1` — every reader runs solo through its entry section into the CS;
+//! * `E2 = σ0 σ1 … σr` — readers execute their exit sections, but each
+//!   reader is *parked* whenever its next step would be an expanding step
+//!   (Definition 3); each iteration releases all parked expanding steps in
+//!   the Lemma-2 order (reads, then writes, then CAS/FAA grouped by
+//!   variable) and lets readers run non-expanding again;
+//! * `E3` — one writer runs solo through its entry section into the CS.
+//!
+//! The report records `r` (the iteration count the paper proves is
+//! `Ω(log₃(n/f(n)))`), the per-iteration maximum knowledge `M` (which
+//! Lemma 2 bounds by `3^j`), the worst per-reader expanding-step count,
+//! reader exit RMRs, writer entry RMRs, and the Lemma-4 check that the
+//! writer ends up aware of every reader.
+
+use crate::lemma2::order_batch;
+use crate::tracker::KnowledgeTracker;
+use ccsim::{Phase, ProcId, Sim, Step, StepKind};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which processes play which part in the Figure-1 construction.
+#[derive(Clone, Debug)]
+pub struct AdversarySetup {
+    /// The readers `R_1..R_n` (process ids in the target `Sim`).
+    pub readers: Vec<ProcId>,
+    /// The writer `W_1`.
+    pub writer: ProcId,
+    /// Per-phase step budget per process; exceeded = the lock violates a
+    /// boundedness property (or the budget is too small).
+    pub solo_budget: u64,
+    /// Safety cap on adversary iterations.
+    pub max_iterations: u64,
+}
+
+impl AdversarySetup {
+    /// A setup with default budgets.
+    pub fn new(readers: Vec<ProcId>, writer: ProcId) -> Self {
+        AdversarySetup { readers, writer, solo_budget: 2_000_000, max_iterations: 10_000 }
+    }
+}
+
+/// Failure modes of the construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdversaryError {
+    /// A reader failed to reach the CS solo within budget (Concurrent
+    /// Entering violation or insufficient budget).
+    EntryStuck {
+        /// The stuck reader.
+        reader: ProcId,
+    },
+    /// A process kept taking non-expanding steps without finishing or
+    /// parking (Bounded Exit violation or insufficient budget).
+    TailStall {
+        /// The stalling process.
+        proc: ProcId,
+    },
+    /// The writer failed to enter the CS from the quiescent configuration
+    /// (Deadlock Freedom violation or insufficient budget).
+    WriterStuck,
+    /// The iteration cap was reached with readers still mid-exit.
+    IterationCapReached,
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::EntryStuck { reader } => {
+                write!(f, "reader {reader} could not enter the CS solo (E1)")
+            }
+            AdversaryError::TailStall { proc } => {
+                write!(f, "process {proc} ran non-expanding steps without bound (E2)")
+            }
+            AdversaryError::WriterStuck => {
+                write!(f, "writer could not enter the CS from quiescence (E3)")
+            }
+            AdversaryError::IterationCapReached => {
+                write!(f, "iteration cap reached with readers still exiting")
+            }
+        }
+    }
+}
+
+impl Error for AdversaryError {}
+
+/// Everything the construction measured.
+#[derive(Clone, Debug)]
+pub struct LowerBoundReport {
+    /// Number of readers `n`.
+    pub n: usize,
+    /// `r`: adversary iterations needed before every reader finished its
+    /// exit section. Theorem 5: `r = Ω(log₃(n / f(n)))`.
+    pub iterations: u64,
+    /// `M` after each iteration (index 0 = after `σ0`). Lemma 2:
+    /// `M_j ≤ 3^j`.
+    pub max_knowledge_per_iteration: Vec<usize>,
+    /// Whether every `M_j ≤ 3^j` held.
+    pub lemma2_bound_held: bool,
+    /// The largest number of *expanding* steps any single reader executed
+    /// during `E2` (each costs an RMR, Lemma 1).
+    pub max_reader_expanding: u64,
+    /// The largest exit-section RMR count over readers during `E2`.
+    pub max_reader_exit_rmrs: u64,
+    /// RMRs the writer incurred in its entry section during `E3`.
+    pub writer_entry_rmrs: u64,
+    /// Memory steps the writer took in `E3`.
+    pub writer_entry_steps: u64,
+    /// Lemma 4: after `E3` the writer is aware of all `n` readers.
+    pub writer_aware_of_all: bool,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ReaderState {
+    Active,
+    Parked,
+    Done,
+}
+
+/// Execute one tracked memory step of `p` (which must be pending an op).
+fn tracked_step(sim: &mut Sim, tracker: &mut KnowledgeTracker, p: ProcId) -> bool {
+    let record = sim.step(p);
+    match record.kind {
+        StepKind::Op { op, trivial, .. } => tracker.record(p, &op, trivial),
+        _ => false,
+    }
+}
+
+/// Run `p` until it parks (next step expanding), finishes its passage, or
+/// exhausts `budget`. Returns its new state.
+fn run_tail(
+    sim: &mut Sim,
+    tracker: &mut KnowledgeTracker,
+    p: ProcId,
+    budget: u64,
+) -> Result<ReaderState, AdversaryError> {
+    let mut steps = 0;
+    loop {
+        match sim.poll(p) {
+            Step::Remainder => return Ok(ReaderState::Done),
+            Step::Cs => {
+                sim.step(p); // release into the exit section
+            }
+            Step::Op(op) => {
+                if tracker.would_expand(p, &op) {
+                    return Ok(ReaderState::Parked);
+                }
+                let expanded = tracked_step(sim, tracker, p);
+                debug_assert!(!expanded);
+            }
+        }
+        steps += 1;
+        if steps > budget {
+            return Err(AdversaryError::TailStall { proc: p });
+        }
+    }
+}
+
+/// Run the full Figure-1 construction against `sim`.
+///
+/// The `Sim` must be in its initial (quiescent) configuration with every
+/// listed process in its remainder section.
+///
+/// # Errors
+/// See [`AdversaryError`]; any error indicates either a property violation
+/// in the lock under test or an insufficient budget.
+pub fn run_lower_bound(
+    sim: &mut Sim,
+    setup: &AdversarySetup,
+) -> Result<LowerBoundReport, AdversaryError> {
+    let n = setup.readers.len();
+
+    // ---- E1: all readers enter the CS, one by one, running solo. ----
+    for &r in &setup.readers {
+        let entered = ccsim::run_solo(sim, r, setup.solo_budget, |s| s.phase(r) == Phase::Cs);
+        if entered.is_none() {
+            return Err(AdversaryError::EntryStuck { reader: r });
+        }
+    }
+
+    // ---- E2: knowledge-throttled exit of all readers. ----
+    // The fragment starts here (configuration C1): fresh tracker, fresh
+    // RMR metrics.
+    sim.reset_stats();
+    let mut tracker = KnowledgeTracker::new(sim.n_procs());
+    let mut state: BTreeMap<ProcId, ReaderState> =
+        setup.readers.iter().map(|&r| (r, ReaderState::Active)).collect();
+    let mut expanding_by: BTreeMap<ProcId, u64> =
+        setup.readers.iter().map(|&r| (r, 0)).collect();
+
+    // σ0: run everyone until parked or done.
+    for &r in &setup.readers {
+        let s = run_tail(sim, &mut tracker, r, setup.solo_budget)?;
+        state.insert(r, s);
+    }
+
+    let mut max_knowledge = vec![tracker.max_knowledge()];
+    let mut iterations = 0u64;
+
+    loop {
+        let parked: Vec<ProcId> = setup
+            .readers
+            .iter()
+            .copied()
+            .filter(|r| state[r] == ReaderState::Parked)
+            .collect();
+        if parked.is_empty() {
+            break;
+        }
+        if iterations >= setup.max_iterations {
+            return Err(AdversaryError::IterationCapReached);
+        }
+        iterations += 1;
+
+        // Release in the Lemma-2 order: reads, then writes, then CAS/FAA
+        // grouped by variable.
+        let pending: Vec<(ProcId, ccsim::Op)> = parked
+            .iter()
+            .map(|&r| {
+                (r, sim.pending_op(r).expect("parked process must be pending an op"))
+            })
+            .collect();
+        let batch = order_batch(&pending);
+
+        // Release the scheduled expanding steps...
+        for &r in &batch {
+            if tracked_step(sim, &mut tracker, r) {
+                *expanding_by.get_mut(&r).expect("reader tracked") += 1;
+            }
+        }
+        // ...then let those readers run non-expanding again.
+        for &r in &batch {
+            let s = run_tail(sim, &mut tracker, r, setup.solo_budget)?;
+            state.insert(r, s);
+        }
+        max_knowledge.push(tracker.max_knowledge());
+    }
+
+    // Lemma-2 invariant: M_j ≤ 3^j (with M_0 ≤ 1).
+    let lemma2_bound_held = max_knowledge
+        .iter()
+        .enumerate()
+        .all(|(j, &m)| (m as f64) <= 3f64.powi(j as i32) + f64::EPSILON);
+
+    let max_reader_exit_rmrs = setup
+        .readers
+        .iter()
+        .map(|&r| sim.stats(r).rmrs_in(Phase::Exit))
+        .max()
+        .unwrap_or(0);
+
+    // ---- E3: the writer runs solo into the CS. ----
+    sim.reset_stats();
+    let w = setup.writer;
+    let mut writer_steps = 0u64;
+    loop {
+        if sim.phase(w) == Phase::Cs {
+            break;
+        }
+        if writer_steps > setup.solo_budget {
+            return Err(AdversaryError::WriterStuck);
+        }
+        match sim.poll(w) {
+            Step::Op(_) => {
+                tracked_step(sim, &mut tracker, w);
+            }
+            _ => {
+                sim.step(w);
+            }
+        }
+        writer_steps += 1;
+    }
+
+    let writer_aware_of_all = setup
+        .readers
+        .iter()
+        .all(|&r| tracker.awareness(w).contains(r));
+
+    Ok(LowerBoundReport {
+        n,
+        iterations,
+        max_knowledge_per_iteration: max_knowledge,
+        lemma2_bound_held,
+        max_reader_expanding: expanding_by.values().copied().max().unwrap_or(0),
+        max_reader_exit_rmrs,
+        writer_entry_rmrs: sim.stats(w).rmrs_in(Phase::Entry),
+        writer_entry_steps: sim.stats(w).ops_in(Phase::Entry),
+        writer_aware_of_all,
+    })
+}
+
+impl fmt::Display for LowerBoundReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lower-bound construction over n = {} readers: r = {} iterations",
+            self.n, self.iterations
+        )?;
+        writeln!(
+            f,
+            "  worst reader: {} expanding steps, {} exit RMRs",
+            self.max_reader_expanding, self.max_reader_exit_rmrs
+        )?;
+        writeln!(
+            f,
+            "  writer entry: {} RMRs over {} steps",
+            self.writer_entry_rmrs, self.writer_entry_steps
+        )?;
+        write!(
+            f,
+            "  Lemma 2 (M_j <= 3^j): {}; Lemma 4 (writer aware of all): {}",
+            if self.lemma2_bound_held { "held" } else { "VIOLATED" },
+            if self.writer_aware_of_all { "held" } else { "VIOLATED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_display_is_complete() {
+        let report = LowerBoundReport {
+            n: 8,
+            iterations: 5,
+            max_knowledge_per_iteration: vec![1, 2, 4, 8, 8, 8],
+            lemma2_bound_held: true,
+            max_reader_expanding: 5,
+            max_reader_exit_rmrs: 12,
+            writer_entry_rmrs: 4,
+            writer_entry_steps: 7,
+            writer_aware_of_all: true,
+        };
+        let s = report.to_string();
+        assert!(s.contains("r = 5"));
+        assert!(s.contains("12 exit RMRs"));
+        assert!(s.contains("held"));
+        assert!(!s.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn error_displays_name_their_phase() {
+        assert!(AdversaryError::EntryStuck { reader: ccsim::ProcId(3) }
+            .to_string()
+            .contains("E1"));
+        assert!(AdversaryError::TailStall { proc: ccsim::ProcId(1) }
+            .to_string()
+            .contains("E2"));
+        assert!(AdversaryError::WriterStuck.to_string().contains("E3"));
+    }
+
+    #[test]
+    fn setup_defaults_are_generous() {
+        let setup = AdversarySetup::new(vec![ccsim::ProcId(0)], ccsim::ProcId(1));
+        assert!(setup.solo_budget >= 1_000_000);
+        assert!(setup.max_iterations >= 1_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Lemma-2 scheduling order for a batch of expanding steps.
+//!
+//! Lemma 2 proves that any set of pending expanding steps can be ordered
+//! so the maximum knowledge `M` grows by at most a factor of 3:
+//!
+//! 1. **reads first** (any order) — each reader's awareness grows to at
+//!    most `AW ∪ F(v) ≤ 2M`, and no familiarity set changes;
+//! 2. **then writes** (any order) — each written variable's familiarity
+//!    *becomes* the writer's awareness (`≤ M`);
+//! 3. **then CAS steps, grouped by variable** — per variable, the first
+//!    CAS succeeds (extending `F(v)` to at most `2M`) and makes every
+//!    subsequent same-variable CAS in the batch trivial, so later CAS
+//!    steps only gain awareness (`≤ 3M`).
+//!
+//! [`order_batch`] produces exactly that order; the Theorem-5 adversary
+//! releases each iteration's parked steps through it.
+
+use ccsim::{Op, OpKind, ProcId};
+use std::collections::BTreeMap;
+
+/// Order a batch of pending `(process, operation)` steps per Lemma 2:
+/// reads, then writes, then read-modify-writes grouped by variable
+/// (deterministically, by variable id).
+///
+/// The relative order *within* the read and write classes follows the
+/// input order (the lemma allows any).
+pub fn order_batch(pending: &[(ProcId, Op)]) -> Vec<ProcId> {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut rmw_by_var: BTreeMap<usize, Vec<ProcId>> = BTreeMap::new();
+    for (p, op) in pending {
+        match OpKind::from(op) {
+            OpKind::Read => reads.push(*p),
+            OpKind::Write => writes.push(*p),
+            OpKind::Cas | OpKind::Faa => rmw_by_var.entry(op.var().0).or_default().push(*p),
+        }
+    }
+    reads
+        .into_iter()
+        .chain(writes)
+        .chain(rmw_by_var.into_values().flatten())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim::{Value, VarId};
+
+    fn p(i: usize) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn reads_before_writes_before_rmw() {
+        let v = VarId(0);
+        let batch = vec![
+            (p(0), Op::cas(v, 0, 1)),
+            (p(1), Op::write(v, 2)),
+            (p(2), Op::Read(v)),
+            (p(3), Op::Faa { var: v, delta: 1 }),
+            (p(4), Op::Read(v)),
+        ];
+        let order = order_batch(&batch);
+        assert_eq!(order, vec![p(2), p(4), p(1), p(0), p(3)]);
+    }
+
+    #[test]
+    fn rmw_grouped_by_variable() {
+        let (a, b) = (VarId(0), VarId(1));
+        let batch = vec![
+            (p(0), Op::cas(b, 0, 1)),
+            (p(1), Op::cas(a, 0, 1)),
+            (p(2), Op::cas(b, 0, 2)),
+            (p(3), Op::cas(a, 0, 2)),
+        ];
+        let order = order_batch(&batch);
+        // Variable a's CAS steps come first (lower id), consecutively.
+        assert_eq!(order, vec![p(1), p(3), p(0), p(2)]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(order_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_processes_appear_exactly_once() {
+        let batch: Vec<(ProcId, Op)> = (0..10)
+            .map(|i| {
+                let v = VarId(i % 3);
+                let op = match i % 4 {
+                    0 => Op::Read(v),
+                    1 => Op::write(v, i as i64),
+                    2 => Op::cas(v, 0, 1),
+                    _ => Op::Write(v, Value::Nil),
+                };
+                (p(i), op)
+            })
+            .collect();
+        let mut order = order_batch(&batch);
+        order.sort();
+        assert_eq!(order, (0..10).map(p).collect::<Vec<_>>());
+    }
+}

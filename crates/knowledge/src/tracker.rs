@@ -1,0 +1,250 @@
+//! Incremental awareness/familiarity tracking (Definitions 1–3).
+//!
+//! A [`KnowledgeTracker`] follows an execution *fragment* `C ↪ E` step by
+//! step and maintains, for every process `p`, the awareness set
+//! `AW(p, C↪E)` and, for every variable `v`, the familiarity set
+//! `F(v, C↪E)`. The paper's key generalisation is that these are defined
+//! over fragments (not whole executions), so the tracker is created at the
+//! fragment's start configuration with every process knowing only itself
+//! and every variable's familiarity empty.
+
+use crate::sets::ProcSet;
+use ccsim::{Op, OpKind, ProcId, VarId};
+use std::collections::HashMap;
+
+/// Incremental Definitions 1–3 over a live execution fragment.
+#[derive(Clone, Debug)]
+pub struct KnowledgeTracker {
+    n_procs: usize,
+    /// `AW(p)`, indexed by process id; base case `{p}` (Definition 2.1).
+    aw: Vec<ProcSet>,
+    /// `F(v)` for variables that have received non-trivial steps; absent
+    /// means ∅ (Definition 1).
+    fam: HashMap<VarId, ProcSet>,
+    /// Steps recorded so far.
+    steps: u64,
+    /// Expanding steps recorded so far (Definition 3).
+    expanding_steps: u64,
+}
+
+impl KnowledgeTracker {
+    /// Start tracking a fragment in a system of `n_procs` processes.
+    pub fn new(n_procs: usize) -> Self {
+        KnowledgeTracker {
+            n_procs,
+            aw: (0..n_procs).map(|p| ProcSet::singleton(n_procs, ProcId(p))).collect(),
+            fam: HashMap::new(),
+            steps: 0,
+            expanding_steps: 0,
+        }
+    }
+
+    /// The awareness set of `p` after the fragment so far.
+    pub fn awareness(&self, p: ProcId) -> &ProcSet {
+        &self.aw[p.0]
+    }
+
+    /// The familiarity set of `v` after the fragment so far (∅ if no
+    /// non-trivial step has touched `v`).
+    pub fn familiarity(&self, v: VarId) -> ProcSet {
+        self.fam.get(&v).cloned().unwrap_or_else(|| ProcSet::empty(self.n_procs))
+    }
+
+    /// `M(C↪E)`: the largest awareness or familiarity set size — the
+    /// quantity Lemma 2 bounds by a factor 3 per adversary iteration.
+    pub fn max_knowledge(&self) -> usize {
+        let aw_max = self.aw.iter().map(ProcSet::len).max().unwrap_or(0);
+        let f_max = self.fam.values().map(ProcSet::len).max().unwrap_or(0);
+        aw_max.max(f_max)
+    }
+
+    /// Total steps recorded.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Expanding steps recorded (every one of which incurs an RMR,
+    /// Lemma 1).
+    pub fn expanding_steps(&self) -> u64 {
+        self.expanding_steps
+    }
+
+    /// Would `p` executing `op` *now* be an expanding step (Definition 3)?
+    /// Only reading steps can expand, and only when the variable's
+    /// familiarity holds processes `p` is not yet aware of.
+    pub fn would_expand(&self, p: ProcId, op: &Op) -> bool {
+        if !op.is_reading() {
+            return false;
+        }
+        match self.fam.get(&op.var()) {
+            None => false, // F(v) = ∅
+            Some(f) => f.count_missing_from(&self.aw[p.0]) > 0,
+        }
+    }
+
+    /// Record an executed step by `p`: `op`, and whether the memory
+    /// reported it trivial. Returns whether the step was expanding.
+    ///
+    /// Update rules (pre-step values on the right-hand sides):
+    /// * read: `AW(p) ∪= F(v)` (Definition 2.2)
+    /// * non-trivial write: `F(v) := AW(p)` (Definition 1.1)
+    /// * CAS: `AW(p) ∪= F(v)`; if non-trivial, `F(v) ∪= AW(p)`
+    ///   (Definitions 1.2 and 2.2 — a CAS is both reading and writing)
+    /// * FAA (model extension): treated like CAS.
+    /// * trivial writing steps leave familiarity unchanged (Definition 1
+    ///   only considers non-trivial steps).
+    pub fn record(&mut self, p: ProcId, op: &Op, trivial: bool) -> bool {
+        self.steps += 1;
+        let v = op.var();
+        let expanding = self.would_expand(p, op);
+        if expanding {
+            self.expanding_steps += 1;
+        }
+        match OpKind::from(op) {
+            OpKind::Read => {
+                if let Some(f) = self.fam.get(&v) {
+                    // Split borrow: clone F(v) before touching AW(p).
+                    let f = f.clone();
+                    self.aw[p.0].union_with(&f);
+                }
+            }
+            OpKind::Write => {
+                if !trivial {
+                    self.fam.insert(v, self.aw[p.0].clone());
+                }
+            }
+            OpKind::Cas | OpKind::Faa => {
+                let aw_pre = self.aw[p.0].clone();
+                if let Some(f) = self.fam.get(&v) {
+                    let f_pre = f.clone();
+                    self.aw[p.0].union_with(&f_pre);
+                }
+                if !trivial {
+                    self.fam
+                        .entry(v)
+                        .or_insert_with(|| ProcSet::empty(self.n_procs))
+                        .union_with(&aw_pre);
+                }
+            }
+        }
+        expanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim::Op;
+
+    const P0: ProcId = ProcId(0);
+    const P1: ProcId = ProcId(1);
+    const P2: ProcId = ProcId(2);
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    #[test]
+    fn base_case_awareness_is_self() {
+        let t = KnowledgeTracker::new(3);
+        for p in 0..3 {
+            assert_eq!(t.awareness(ProcId(p)).len(), 1);
+            assert!(t.awareness(ProcId(p)).contains(ProcId(p)));
+        }
+        assert!(t.familiarity(X).is_empty());
+        assert_eq!(t.max_knowledge(), 1);
+    }
+
+    #[test]
+    fn write_then_read_transfers_awareness() {
+        let mut t = KnowledgeTracker::new(3);
+        // p0 writes x: F(x) = AW(p0) = {p0}.
+        t.record(P0, &Op::write(X, 1), false);
+        assert_eq!(t.familiarity(X).len(), 1);
+        // p1 reads x: AW(p1) ∪= F(x) — now {p0, p1}. This is expanding.
+        assert!(t.would_expand(P1, &Op::Read(X)));
+        assert!(t.record(P1, &Op::Read(X), true));
+        assert!(t.awareness(P1).contains(P0));
+        assert_eq!(t.awareness(P1).len(), 2);
+        // Re-reading is no longer expanding.
+        assert!(!t.would_expand(P1, &Op::Read(X)));
+        assert!(!t.record(P1, &Op::Read(X), true));
+    }
+
+    #[test]
+    fn overwrite_replaces_familiarity() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false);
+        // p2 (aware only of itself) overwrites x: F(x) = {p2}, p0 forgotten.
+        t.record(P2, &Op::write(X, 2), false);
+        let f = t.familiarity(X);
+        assert!(f.contains(P2));
+        assert!(!f.contains(P0), "a write *replaces* familiarity (Def 1.1)");
+    }
+
+    #[test]
+    fn cas_extends_familiarity() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false); // F(x) = {p0}
+        // p2 successful CAS: F(x) = {p0} ∪ {p2}; AW(p2) gains p0.
+        t.record(P2, &Op::cas(X, 1, 5), false);
+        let f = t.familiarity(X);
+        assert!(f.contains(P0) && f.contains(P2), "CAS *extends* familiarity (Def 1.2)");
+        assert!(t.awareness(P2).contains(P0), "CAS is also a reading step");
+    }
+
+    #[test]
+    fn failed_cas_reads_but_does_not_extend() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false);
+        // p1's CAS fails (trivial): gains awareness, F unchanged.
+        t.record(P1, &Op::cas(X, 99, 100), true);
+        assert!(t.awareness(P1).contains(P0));
+        assert!(!t.familiarity(X).contains(P1));
+    }
+
+    #[test]
+    fn trivial_write_leaves_familiarity() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false);
+        t.record(P1, &Op::write(X, 1), true); // writes current value
+        assert!(t.familiarity(X).contains(P0), "trivial steps don't redefine F");
+        assert!(!t.familiarity(X).contains(P1));
+    }
+
+    #[test]
+    fn awareness_chains_through_variables() {
+        let mut t = KnowledgeTracker::new(4);
+        t.record(P0, &Op::write(X, 1), false); // F(x) = {p0}
+        t.record(P1, &Op::Read(X), true); // AW(p1) = {p0, p1}
+        t.record(P1, &Op::write(Y, 1), false); // F(y) = {p0, p1}
+        t.record(P2, &Op::Read(Y), true); // AW(p2) = {p0, p1, p2}
+        assert_eq!(t.awareness(P2).len(), 3);
+        assert_eq!(t.max_knowledge(), 3);
+    }
+
+    #[test]
+    fn writes_never_expand() {
+        let mut t = KnowledgeTracker::new(2);
+        t.record(P0, &Op::write(X, 1), false);
+        assert!(!t.would_expand(P1, &Op::write(X, 2)), "only reading steps expand");
+    }
+
+    #[test]
+    fn expanding_step_counter() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false);
+        t.record(P1, &Op::Read(X), true);
+        t.record(P1, &Op::Read(X), true);
+        assert_eq!(t.expanding_steps(), 1);
+        assert_eq!(t.steps(), 3);
+    }
+
+    #[test]
+    fn faa_behaves_like_cas() {
+        let mut t = KnowledgeTracker::new(3);
+        t.record(P0, &Op::write(X, 1), false);
+        t.record(P2, &Op::Faa { var: X, delta: 1 }, false);
+        assert!(t.awareness(P2).contains(P0));
+        assert!(t.familiarity(X).contains(P2));
+        assert!(t.familiarity(X).contains(P0));
+    }
+}

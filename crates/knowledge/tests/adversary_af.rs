@@ -1,0 +1,190 @@
+//! End-to-end lower-bound constructions against real lock implementations.
+
+use ccsim::Protocol;
+use knowledge::{run_lower_bound, AdversarySetup};
+use rwcore::{af_world, centralized_world, faa_world, AfConfig, FPolicy};
+
+fn af_report(n: usize, policy: FPolicy) -> knowledge::LowerBoundReport {
+    let cfg = AfConfig { readers: n, writers: 1, policy };
+    let mut world = af_world(cfg, Protocol::WriteBack);
+    let setup = AdversarySetup::new(
+        world.pids.reader_pids().collect(),
+        world.pids.writer(0),
+    );
+    run_lower_bound(&mut world.sim, &setup).expect("construction must complete")
+}
+
+#[test]
+fn af_f1_iterations_grow_logarithmically() {
+    // f = 1: readers pay Θ(log n) — r must grow with n and the writer
+    // must end up aware of every reader (Lemma 4).
+    let mut last = 0;
+    for n in [4usize, 16, 64] {
+        let report = af_report(n, FPolicy::One);
+        assert!(report.writer_aware_of_all, "Lemma 4 failed at n={n}");
+        assert!(report.lemma2_bound_held, "Lemma 2 bound failed at n={n}");
+        assert!(
+            report.iterations >= last,
+            "r must not shrink as n grows: n={n}, r={} < {last}",
+            report.iterations
+        );
+        assert!(
+            report.iterations >= 1,
+            "n={n}: some reader must take at least one expanding step"
+        );
+        last = report.iterations;
+    }
+    assert!(last >= 3, "r should reach log-ish values by n=64, got {last}");
+}
+
+#[test]
+fn af_writer_rmrs_scale_with_f() {
+    // Writer entry RMRs after the adversarial reader exits: Θ(f(n)).
+    let n = 64;
+    let r_f1 = af_report(n, FPolicy::One);
+    let r_flin = af_report(n, FPolicy::Linear);
+    assert!(
+        r_flin.writer_entry_rmrs > 2 * r_f1.writer_entry_rmrs,
+        "f=n writer ({}) should far exceed f=1 writer ({})",
+        r_flin.writer_entry_rmrs,
+        r_f1.writer_entry_rmrs
+    );
+    // And readers pay the opposite way (f=n readers are near-constant).
+    assert!(
+        r_f1.max_reader_exit_rmrs > r_flin.max_reader_exit_rmrs,
+        "f=1 reader exit ({}) should exceed f=n reader exit ({})",
+        r_f1.max_reader_exit_rmrs,
+        r_flin.max_reader_exit_rmrs
+    );
+}
+
+#[test]
+fn af_lemma1_expanding_steps_cost_rmrs() {
+    // Every expanding step is an RMR (Lemma 1), so the max exit RMR count
+    // must be at least the max expanding-step count.
+    for n in [8usize, 32] {
+        let report = af_report(n, FPolicy::One);
+        assert!(
+            report.max_reader_exit_rmrs >= report.max_reader_expanding,
+            "n={n}: exit RMRs {} < expanding steps {}",
+            report.max_reader_exit_rmrs,
+            report.max_reader_expanding
+        );
+    }
+}
+
+#[test]
+fn centralized_lock_exit_degrades_linearly() {
+    // The centralized CAS lock has no Bounded Exit: under the adversary,
+    // its iteration count grows linearly with n, not logarithmically.
+    let mut world8 = centralized_world(8, 1, Protocol::WriteBack);
+    let setup8 = AdversarySetup::new(
+        world8.pids.reader_pids().collect(),
+        world8.pids.writer(0),
+    );
+    let r8 = run_lower_bound(&mut world8.sim, &setup8).unwrap();
+
+    let mut world32 = centralized_world(32, 1, Protocol::WriteBack);
+    let setup32 = AdversarySetup::new(
+        world32.pids.reader_pids().collect(),
+        world32.pids.writer(0),
+    );
+    let r32 = run_lower_bound(&mut world32.sim, &setup32).unwrap();
+
+    assert!(r8.writer_aware_of_all);
+    assert!(r32.writer_aware_of_all);
+    // Linear degradation: quadrupling n should much-more-than-double r.
+    assert!(
+        r32.iterations >= 3 * r8.iterations,
+        "centralized r should grow ~linearly: r(8)={}, r(32)={}",
+        r8.iterations,
+        r32.iterations
+    );
+    // The centralized exit is Θ(n): at n=32 the worst reader retries its
+    // exit CAS against every other exiting reader.
+    assert!(
+        r32.max_reader_exit_rmrs >= 31,
+        "centralized worst exit should be ~n: got {}",
+        r32.max_reader_exit_rmrs
+    );
+    // A_f's worst exit is Θ(log n) — strictly below the linear baseline at
+    // the same n, and the gap widens with n (see bench e7_baselines).
+    let af = af_report(32, FPolicy::One);
+    assert!(
+        af.max_reader_exit_rmrs < r32.max_reader_exit_rmrs,
+        "A_f exit ({}) should beat centralized exit ({}) at n=32",
+        af.max_reader_exit_rmrs,
+        r32.max_reader_exit_rmrs
+    );
+}
+
+#[test]
+fn faa_lock_escapes_the_bound() {
+    // The FAA read-indicator lock's exit is ONE step — constant RMRs no
+    // matter what the adversary does, because FAA is outside the model.
+    for n in [8usize, 64] {
+        let mut world = faa_world(n, 1, Protocol::WriteBack);
+        let setup = AdversarySetup::new(
+            world.pids.reader_pids().collect(),
+            world.pids.writer(0),
+        );
+        let report = run_lower_bound(&mut world.sim, &setup).unwrap();
+        assert!(
+            report.max_reader_exit_rmrs <= 1,
+            "n={n}: FAA exit should cost ≤1 RMR, got {}",
+            report.max_reader_exit_rmrs
+        );
+        assert!(report.writer_aware_of_all, "awareness still flows via FAA");
+    }
+}
+
+#[test]
+fn write_through_protocol_gives_same_shape() {
+    let cfg = AfConfig { readers: 16, writers: 1, policy: FPolicy::One };
+    let mut world = af_world(cfg, Protocol::WriteThrough);
+    let setup = AdversarySetup::new(
+        world.pids.reader_pids().collect(),
+        world.pids.writer(0),
+    );
+    let report = run_lower_bound(&mut world.sim, &setup).unwrap();
+    assert!(report.writer_aware_of_all);
+    assert!(report.lemma2_bound_held);
+    assert!(report.iterations >= 2);
+}
+
+#[test]
+fn adversary_detects_missing_concurrent_entering() {
+    // A plain mutex posing as a reader-writer lock cannot let all readers
+    // into the CS simultaneously, so the E1 phase of the construction
+    // reports EntryStuck — the adversary doubles as a Concurrent-Entering
+    // detector.
+    let mut world = rwcore::mutex_rw_world(3, 1, Protocol::WriteBack);
+    let mut setup = AdversarySetup::new(
+        world.pids.reader_pids().collect(),
+        world.pids.writer(0),
+    );
+    setup.solo_budget = 20_000; // small budget: the second reader spins forever
+    let err = run_lower_bound(&mut world.sim, &setup)
+        .expect_err("mutex-as-rwlock must fail Concurrent Entering");
+    assert!(
+        matches!(err, knowledge::AdversaryError::EntryStuck { .. }),
+        "expected EntryStuck, got {err}"
+    );
+}
+
+#[test]
+fn lemma2_knowledge_growth_is_at_most_tripling() {
+    // Direct check of the per-iteration growth factor on a large run.
+    let report = af_report(256, FPolicy::One);
+    let m = &report.max_knowledge_per_iteration;
+    for w in m.windows(2) {
+        assert!(
+            w[1] <= 3 * w[0].max(1),
+            "knowledge more than tripled: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    // And it reaches n by the end (the writer must be able to learn all).
+    assert_eq!(*m.last().unwrap(), 256);
+}

@@ -1,0 +1,8 @@
+//! The `A_f` reader-writer lock family (Algorithm 1).
+
+pub mod counters;
+pub mod gated;
+pub mod real;
+pub mod shared;
+pub mod sim;
+pub mod typed;

@@ -1,0 +1,378 @@
+//! The real-atomics `A_f` reader-writer lock (Algorithm 1 of the paper).
+//!
+//! Line numbers in comments refer to the paper's pseudo-code. Readers are
+//! statically partitioned into `f(n)` groups; each group consolidates its
+//! in-passage count (`C[i]`) and waiting count (`W[i]`) in f-array
+//! counters; writers serialize on the tournament mutex `WL` and handshake
+//! with readers through the `(seq, opcode)` signal words `RSIG` and
+//! `WSIG[i]`.
+
+use crate::config::AfConfig;
+use crate::sig::{Opcode, Signal};
+use fcounter::FArray;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wmutex::{IdMutex, TournamentLock};
+
+/// The raw (data-less) `A_f` lock: entry/exit sections for registered
+/// reader and writer process ids.
+///
+/// Per Theorem 18 the lock guarantees Mutual Exclusion, Bounded Exit,
+/// Deadlock Freedom, Concurrent Entering and freedom from reader
+/// starvation, with writer passages in `Θ(f(n))` RMRs and reader passages
+/// in `Θ(log(n/f(n)))` RMRs (CC model).
+///
+/// # Contract
+/// Each reader id in `0..cfg.readers` and writer id in `0..cfg.writers`
+/// must be used by at most one thread at a time, and lock/unlock calls
+/// must be properly paired. The typed [`crate::AfRwLock`] wrapper enforces
+/// this with handles and guards.
+#[derive(Debug)]
+pub struct RawAfLock {
+    cfg: AfConfig,
+    /// Non-empty reader groups (`g ≤ f(n)`, see [`AfConfig::occupied_groups`]).
+    groups: usize,
+    /// `C[i]`: readers of group i currently inside a passage (line 1).
+    c: Vec<FArray>,
+    /// `W[i]`: readers of group i waiting to be signalled (line 1).
+    w: Vec<FArray>,
+    /// `WL`: the m-process writer mutex (line 2).
+    wl: TournamentLock,
+    /// `WSEQ`: the writer-passage sequence number (line 3).
+    wseq: AtomicU64,
+    /// `WSIG[i]`: group-i readers → writer signal word (line 4).
+    wsig: Vec<AtomicU64>,
+    /// `RSIG`: writer → readers signal word (line 4).
+    rsig: AtomicU64,
+}
+
+impl RawAfLock {
+    /// Build a lock for the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero readers or writers.
+    pub fn new(cfg: AfConfig) -> Self {
+        cfg.validate();
+        let groups = cfg.occupied_groups();
+        RawAfLock {
+            cfg,
+            groups,
+            c: (0..groups).map(|g| FArray::new(cfg.group_population(g))).collect(),
+            w: (0..groups).map(|g| FArray::new(cfg.group_population(g))).collect(),
+            wl: TournamentLock::new(cfg.writers),
+            wseq: AtomicU64::new(0),
+            wsig: (0..groups)
+                .map(|_| AtomicU64::new(Signal::new(0, Opcode::Bot).pack()))
+                .collect(),
+            rsig: AtomicU64::new(Signal::new(0, Opcode::Nop).pack()),
+        }
+    }
+
+    /// The lock's configuration.
+    pub fn config(&self) -> &AfConfig {
+        &self.cfg
+    }
+
+    /// Number of non-empty reader groups actually maintained.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    fn rsig(&self) -> Signal {
+        Signal::unpack(self.rsig.load(Ordering::SeqCst))
+    }
+
+    fn wsig(&self, i: usize) -> Signal {
+        Signal::unpack(self.wsig[i].load(Ordering::SeqCst))
+    }
+
+    /// `HelpWCS(seq)` for group `i` (lines 50–54): if every in-passage
+    /// group-i reader is waiting, signal the writer it may enter the CS.
+    ///
+    /// **Reproduction note.** The paper's line 51 reads `C[i]` and then
+    /// `W[i]`. Our model checker found a 71-step execution (n = 3, f = 1)
+    /// in which the two non-atomic reads return equal values that were
+    /// never simultaneously true — a reader's `C` increment lands between
+    /// them — letting the writer enter the CS alongside a reader. Reading
+    /// `W[i]` *first* is sound: while `WSIG[i] = <seq, WAIT>` no reader
+    /// decrements `W[i]` (decrements happen only after the writer's exit
+    /// changes `RSIG`), so `W` is non-decreasing across the two reads, and
+    /// `C ≥ W` holds at every instant (each reader increments `C` before
+    /// `W`); hence `w(t1) = c(t2)` forces `C(t2) = W(t2)` — a true
+    /// instant at which every in-passage group-i reader is waiting. See
+    /// DESIGN.md, "Reproduction findings".
+    fn help_wcs(&self, seq: u64, i: usize) {
+        let waiting = self.w[i].read();
+        if self.c[i].read() == waiting {
+            // Line 52: exactly one such CAS can succeed for this passage.
+            let _ = self.wsig[i].compare_exchange(
+                Signal::new(seq, Opcode::Wait).pack(),
+                Signal::new(seq, Opcode::Cs).pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Reader entry section (lines 31–38).
+    ///
+    /// # Panics
+    /// Panics if `reader_id` is out of range.
+    pub fn reader_lock(&self, reader_id: usize) {
+        let slot = self.cfg.group_of(reader_id);
+        let (i, leaf) = (slot.group, slot.leaf);
+        self.c[i].add(leaf, 1); // line 31
+        let sig = self.rsig(); // line 32
+        if sig.op == Opcode::Wait {
+            // lines 33–38: a writer demands we wait for its passage `sig.seq`.
+            self.w[i].add(leaf, 1); // line 34
+            self.help_wcs(sig.seq, i); // line 35
+            let wait_word = Signal::new(sig.seq, Opcode::Wait).pack();
+            while self.rsig.load(Ordering::SeqCst) == wait_word {
+                std::hint::spin_loop(); // line 36 (WSEQ never repeats: ≤2 RMRs)
+            }
+            self.w[i].add(leaf, -1); // line 37
+        }
+    }
+
+    /// Reader exit section (lines 40–49).
+    ///
+    /// # Panics
+    /// Panics if `reader_id` is out of range.
+    pub fn reader_unlock(&self, reader_id: usize) {
+        let slot = self.cfg.group_of(reader_id);
+        let (i, leaf) = (slot.group, slot.leaf);
+        self.c[i].add(leaf, -1); // line 40
+        let sig = self.rsig(); // line 41
+        match sig.op {
+            Opcode::Preentry
+                // lines 42–46: a writer asked to be told when C[i] hits 0.
+                if self.c[i].read() == 0 => {
+                    let _ = self.wsig[i].compare_exchange(
+                        Signal::new(sig.seq, Opcode::Bot).pack(),
+                        Signal::new(sig.seq, Opcode::Proceed).pack(),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ); // line 45
+                }
+            Opcode::Wait => self.help_wcs(sig.seq, i), // lines 47–48
+            _ => {}
+        }
+    }
+
+    /// Writer entry section (lines 6–23).
+    ///
+    /// # Panics
+    /// Panics if `writer_id` is out of range.
+    pub fn writer_lock(&self, writer_id: usize) {
+        self.wl.lock(writer_id); // line 6
+        let seq = self.wseq.load(Ordering::SeqCst);
+        // Lines 7–9: arm WSIG[i] for this passage.
+        for i in 0..self.groups {
+            self.wsig[i].store(Signal::new(seq, Opcode::Bot).pack(), Ordering::SeqCst);
+        }
+        // Line 11: ask exiting readers to report empty groups.
+        self.rsig.store(Signal::new(seq, Opcode::Preentry).pack(), Ordering::SeqCst);
+        // Lines 12–17: verify no readers are still waiting on a previous
+        // passage, group by group.
+        for i in 0..self.groups {
+            if self.c[i].read() > 0 {
+                // line 14
+                let proceed = Signal::new(seq, Opcode::Proceed);
+                while self.wsig(i) != proceed {
+                    std::hint::spin_loop();
+                }
+            }
+            // line 16
+            self.wsig[i].store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
+        }
+        // Line 18: from now on, arriving readers wait for us.
+        self.rsig.store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
+        // Lines 19–23: wait for in-flight readers to clear the CS.
+        for i in 0..self.groups {
+            if self.c[i].read() > 0 {
+                // line 21
+                let cs = Signal::new(seq, Opcode::Cs);
+                while self.wsig(i) != cs {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Writer exit section (lines 25–27).
+    ///
+    /// # Panics
+    /// Panics if `writer_id` is out of range.
+    pub fn writer_unlock(&self, writer_id: usize) {
+        let seq = self.wseq.load(Ordering::SeqCst);
+        self.wseq.store(seq + 1, Ordering::SeqCst); // line 25
+        // Line 26: release waiting readers and reset for the next passage.
+        self.rsig.store(Signal::new(seq + 1, Opcode::Nop).pack(), Ordering::SeqCst);
+        self.wl.unlock(writer_id); // line 27
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FPolicy;
+    use std::sync::atomic::AtomicU64 as TestAtomic;
+    use std::sync::Arc;
+
+    /// Shared oracle state: tracks CS occupancy and checks the paper's
+    /// Mutual Exclusion property on every transition.
+    #[derive(Default)]
+    struct Oracle {
+        /// Low 32 bits: reader count; high 32 bits: writer count.
+        occupancy: TestAtomic,
+    }
+
+    impl Oracle {
+        fn reader_enter(&self) {
+            let v = self.occupancy.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(v >> 32, 0, "reader entered while a writer was in the CS");
+        }
+        fn reader_exit(&self) {
+            self.occupancy.fetch_sub(1, Ordering::SeqCst);
+        }
+        fn writer_enter(&self) {
+            let v = self.occupancy.fetch_add(1 << 32, Ordering::SeqCst);
+            assert_eq!(v, 0, "writer entered a non-empty CS (occupancy {v:#x})");
+        }
+        fn writer_exit(&self) {
+            self.occupancy.fetch_sub(1 << 32, Ordering::SeqCst);
+        }
+    }
+
+    fn stress(cfg: AfConfig, passes: u64) {
+        let lock = Arc::new(RawAfLock::new(cfg));
+        let oracle = Arc::new(Oracle::default());
+        let mut handles = Vec::new();
+        for r in 0..cfg.readers {
+            let lock = Arc::clone(&lock);
+            let oracle = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..passes {
+                    lock.reader_lock(r);
+                    oracle.reader_enter();
+                    oracle.reader_exit();
+                    lock.reader_unlock(r);
+                }
+            }));
+        }
+        for w in 0..cfg.writers {
+            let lock = Arc::clone(&lock);
+            let oracle = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..passes {
+                    lock.writer_lock(w);
+                    oracle.writer_enter();
+                    oracle.writer_exit();
+                    lock.writer_unlock(w);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_reader_single_writer() {
+        stress(AfConfig::new(1, 1), 2_000);
+    }
+
+    #[test]
+    fn many_readers_one_writer_all_policies() {
+        for policy in FPolicy::NAMED {
+            stress(AfConfig { readers: 6, writers: 1, policy }, 500);
+        }
+    }
+
+    #[test]
+    fn many_readers_many_writers() {
+        stress(AfConfig { readers: 6, writers: 3, policy: FPolicy::LogN }, 500);
+    }
+
+    #[test]
+    fn groups_of_one() {
+        stress(AfConfig { readers: 4, writers: 2, policy: FPolicy::Linear }, 500);
+    }
+
+    #[test]
+    fn single_group() {
+        stress(AfConfig { readers: 5, writers: 2, policy: FPolicy::One }, 500);
+    }
+
+    #[test]
+    fn uncontended_reader_passage() {
+        let lock = RawAfLock::new(AfConfig::new(4, 1));
+        for _ in 0..100 {
+            lock.reader_lock(2);
+            lock.reader_unlock(2);
+        }
+    }
+
+    #[test]
+    fn uncontended_writer_passage() {
+        let lock = RawAfLock::new(AfConfig::new(4, 2));
+        for _ in 0..100 {
+            lock.writer_lock(1);
+            lock.writer_unlock(1);
+        }
+    }
+
+    #[test]
+    fn readers_overlap_in_cs() {
+        // Two readers hold the lock simultaneously: acquire both before
+        // releasing either. Deadlock here would hang the test (harness
+        // timeout) — Concurrent Entering says this must complete.
+        let lock = RawAfLock::new(AfConfig::new(2, 1));
+        lock.reader_lock(0);
+        lock.reader_lock(1);
+        lock.reader_unlock(1);
+        lock.reader_unlock(0);
+    }
+
+    #[test]
+    fn writer_waits_for_reader() {
+        let lock = Arc::new(RawAfLock::new(AfConfig::new(2, 1)));
+        lock.reader_lock(0);
+        let l2 = Arc::clone(&lock);
+        let waited = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let w2 = Arc::clone(&waited);
+        let t = std::thread::spawn(move || {
+            l2.writer_lock(0);
+            assert!(w2.load(Ordering::SeqCst), "writer entered before reader left");
+            l2.writer_unlock(0);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        waited.store(true, Ordering::SeqCst);
+        lock.reader_unlock(0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn reader_waits_for_writer() {
+        let lock = Arc::new(RawAfLock::new(AfConfig::new(2, 1)));
+        lock.writer_lock(0);
+        let l2 = Arc::clone(&lock);
+        let released = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let r2 = Arc::clone(&released);
+        let t = std::thread::spawn(move || {
+            l2.reader_lock(1);
+            assert!(r2.load(Ordering::SeqCst), "reader entered before writer left");
+            l2.reader_unlock(1);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        released.store(true, Ordering::SeqCst);
+        lock.writer_unlock(0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_reader_id_panics() {
+        RawAfLock::new(AfConfig::new(2, 1)).reader_lock(2);
+    }
+}

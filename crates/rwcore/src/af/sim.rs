@@ -1,0 +1,721 @@
+//! The simulated `A_f` machines: Algorithm 1 as explicit `ccsim` step
+//! machines, one state per pseudo-code line, so the RMR claims of
+//! Lemma 17 can be *measured* and the safety claims of Lemmas 8–16
+//! model-checked.
+
+use crate::af::counters::{GroupAddMachine, GroupHandle, GroupReadMachine};
+use crate::af::shared::{AfShared, HelpOrder};
+use crate::config::GroupSlot;
+use crate::sig::{Opcode, Signal};
+use ccsim::{sub, Op, Phase, Program, Role, Step, SubMachine, SubStep, Value, VarId};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+fn signal_of(v: Value) -> Signal {
+    Signal::from_pair(v.expect_pair())
+}
+
+/// Sub-machine for `HelpWCS(seq)` (lines 50–54): read the two group
+/// counters and, if they are equal, CAS `WSIG[i]` from `<seq, WAIT>` to
+/// `<seq, CS>`. The counter read order is configured by
+/// [`HelpOrder`] — see the reproduction note there.
+#[derive(Clone, Debug)]
+pub struct HelpWcsMachine {
+    wsig: VarId,
+    seq: i64,
+    pc: HelpPc,
+}
+
+#[derive(Clone, Debug)]
+enum HelpPc {
+    /// Reading the first counter; the second counter's read machine is
+    /// held ready.
+    First { m: GroupReadMachine, second: GroupReadMachine },
+    /// Reading the second counter.
+    Second { first_val: i64, m: GroupReadMachine },
+    Cas,
+    Done,
+}
+
+impl HelpWcsMachine {
+    /// Start `HelpWCS(seq)` against group `i` of `shared`, honouring the
+    /// instance's [`HelpOrder`].
+    pub fn new(shared: &AfShared, i: usize, seq: i64) -> Self {
+        let (first, second) = match shared.help_order {
+            HelpOrder::WaitersFirst => (shared.w[i].read(), shared.c[i].read()),
+            HelpOrder::PaperLiteral => (shared.c[i].read(), shared.w[i].read()),
+        };
+        HelpWcsMachine {
+            wsig: shared.wsig[i],
+            seq,
+            pc: HelpPc::First { m: first, second },
+        }
+    }
+}
+
+impl SubMachine for HelpWcsMachine {
+    fn poll(&self) -> SubStep {
+        match &self.pc {
+            HelpPc::First { m, .. } | HelpPc::Second { m, .. } => m.poll(),
+            HelpPc::Cas => SubStep::Op(Op::Cas {
+                var: self.wsig,
+                expected: AfShared::sig_value(self.seq, Opcode::Wait),
+                new: AfShared::sig_value(self.seq, Opcode::Cs),
+            }),
+            HelpPc::Done => SubStep::Done(Value::Nil),
+        }
+    }
+
+    fn resume(&mut self, response: Value) {
+        self.pc = match std::mem::replace(&mut self.pc, HelpPc::Done) {
+            HelpPc::First { mut m, second } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(v) => {
+                    HelpPc::Second { first_val: v.expect_int(), m: second }
+                }
+                sub::Drive::Running => HelpPc::First { m, second },
+            },
+            HelpPc::Second { first_val, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(v) => {
+                    if v.expect_int() == first_val {
+                        HelpPc::Cas // line 51 condition holds
+                    } else {
+                        HelpPc::Done
+                    }
+                }
+                sub::Drive::Running => HelpPc::Second { first_val, m },
+            },
+            HelpPc::Cas => HelpPc::Done,
+            HelpPc::Done => panic!("HelpWcsMachine resumed after completion"),
+        };
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        match &self.pc {
+            HelpPc::First { m, .. } => {
+                0u8.hash(&mut h);
+                m.fingerprint(h);
+            }
+            HelpPc::Second { first_val, m } => {
+                1u8.hash(&mut h);
+                first_val.hash(&mut h);
+                m.fingerprint(h);
+            }
+            HelpPc::Cas => 2u8.hash(&mut h),
+            HelpPc::Done => 3u8.hash(&mut h),
+        }
+        self.seq.hash(&mut h);
+    }
+}
+
+/// Program counter of a simulated reader (the paper's line numbers).
+#[derive(Clone, Debug)]
+enum RPc {
+    /// Line 29/30: in the remainder section.
+    Remainder,
+    /// Line 31: `C[i].add(1)`.
+    AddC(GroupAddMachine),
+    /// Line 32: read `RSIG`.
+    ReadRsig,
+    /// Line 34: `W[i].add(1)` after observing `<seq, WAIT>`.
+    AddW { seq: i64, m: GroupAddMachine },
+    /// Line 35: `HelpWCS(seq)`.
+    Help1 { seq: i64, m: HelpWcsMachine },
+    /// Line 36: await `RSIG ≠ <seq, WAIT>`.
+    AwaitRsig { seq: i64 },
+    /// Line 37: `W[i].add(-1)`.
+    SubW(GroupAddMachine),
+    /// Line 39: critical section.
+    Cs,
+    /// Line 40: `C[i].add(-1)`.
+    SubC(GroupAddMachine),
+    /// Line 41: read `RSIG` again.
+    ReadRsig2,
+    /// Line 43: read `C[i]` after seeing `PREENTRY`.
+    ReadCForSignal { seq: i64, m: GroupReadMachine },
+    /// Line 45: CAS `WSIG[i]` from `<seq, ⊥>` to `<seq, PROCEED>`.
+    CasProceed { seq: i64 },
+    /// Line 48: `HelpWCS(seq)` from the exit path.
+    Help2 { m: HelpWcsMachine },
+}
+
+impl RPc {
+    fn discriminant(&self) -> u8 {
+        match self {
+            RPc::Remainder => 0,
+            RPc::AddC(_) => 1,
+            RPc::ReadRsig => 2,
+            RPc::AddW { .. } => 3,
+            RPc::Help1 { .. } => 4,
+            RPc::AwaitRsig { .. } => 5,
+            RPc::SubW(_) => 6,
+            RPc::Cs => 7,
+            RPc::SubC(_) => 8,
+            RPc::ReadRsig2 => 9,
+            RPc::ReadCForSignal { .. } => 10,
+            RPc::CasProceed { .. } => 11,
+            RPc::Help2 { .. } => 12,
+        }
+    }
+}
+
+/// A simulated `A_f` reader process (lines 29–49).
+#[derive(Clone, Debug)]
+pub struct AfReaderSim {
+    shared: Arc<AfShared>,
+    /// This reader's id (`0..n`) and group slot.
+    id: usize,
+    slot: GroupSlot,
+    c_handle: GroupHandle,
+    w_handle: GroupHandle,
+    pc: RPc,
+}
+
+impl AfReaderSim {
+    /// Build the machine for reader `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn new(shared: Arc<AfShared>, id: usize) -> Self {
+        let slot = shared.cfg.group_of(id);
+        let c_handle = shared.c[slot.group].handle(slot.leaf);
+        let w_handle = shared.w[slot.group].handle(slot.leaf);
+        AfReaderSim { shared, id, slot, c_handle, w_handle, pc: RPc::Remainder }
+    }
+
+    /// This reader's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Definition 4: the reader is *waiting* iff its pc is in [34, 36].
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.pc, RPc::AddW { .. } | RPc::Help1 { .. } | RPc::AwaitRsig { .. })
+    }
+
+    fn help(&self, seq: i64) -> HelpWcsMachine {
+        HelpWcsMachine::new(&self.shared, self.slot.group, seq)
+    }
+}
+
+impl Program for AfReaderSim {
+    fn poll(&self) -> Step {
+        match &self.pc {
+            RPc::Remainder => Step::Remainder,
+            RPc::AddC(m) | RPc::SubC(m) | RPc::SubW(m) => Step::Op(sub::poll_op(m)),
+            RPc::AddW { m, .. } => Step::Op(sub::poll_op(m)),
+            RPc::ReadRsig | RPc::ReadRsig2 | RPc::AwaitRsig { .. } => {
+                Step::Op(Op::Read(self.shared.rsig))
+            }
+            RPc::Help1 { m, .. } => Step::Op(sub::poll_op(m)),
+            RPc::Help2 { m } => Step::Op(sub::poll_op(m)),
+            RPc::Cs => Step::Cs,
+            RPc::ReadCForSignal { m, .. } => Step::Op(sub::poll_op(m)),
+            RPc::CasProceed { seq } => Step::Op(Op::Cas {
+                var: self.shared.wsig[self.slot.group],
+                expected: AfShared::sig_value(*seq, Opcode::Bot),
+                new: AfShared::sig_value(*seq, Opcode::Proceed),
+            }),
+        }
+    }
+
+    fn resume(&mut self, response: Value) {
+        self.pc = match std::mem::replace(&mut self.pc, RPc::Remainder) {
+            RPc::Remainder => RPc::AddC(self.c_handle.add(1)), // begin passage (line 31)
+            RPc::AddC(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::ReadRsig,
+                sub::Drive::Running => RPc::AddC(m),
+            },
+            RPc::ReadRsig => {
+                let sig = signal_of(response); // line 32
+                if sig.op == Opcode::Wait {
+                    RPc::AddW { seq: sig.seq as i64, m: self.w_handle.add(1) } // line 34
+                } else {
+                    RPc::Cs // line 33: op ≠ WAIT — enter freely
+                }
+            }
+            RPc::AddW { seq, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::Help1 { seq, m: self.help(seq) },
+                sub::Drive::Running => RPc::AddW { seq, m },
+            },
+            RPc::Help1 { seq, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::AwaitRsig { seq },
+                sub::Drive::Running => RPc::Help1 { seq, m },
+            },
+            RPc::AwaitRsig { seq } => {
+                if signal_of(response) == Signal::new(seq as u64, Opcode::Wait) {
+                    RPc::AwaitRsig { seq } // line 36: keep spinning
+                } else {
+                    RPc::SubW(self.w_handle.add(-1)) // line 37
+                }
+            }
+            RPc::SubW(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::Cs,
+                sub::Drive::Running => RPc::SubW(m),
+            },
+            RPc::Cs => RPc::SubC(self.c_handle.add(-1)), // begin exit (line 40)
+            RPc::SubC(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::ReadRsig2,
+                sub::Drive::Running => RPc::SubC(m),
+            },
+            RPc::ReadRsig2 => {
+                let sig = signal_of(response); // line 41
+                match sig.op {
+                    Opcode::Preentry => RPc::ReadCForSignal {
+                        seq: sig.seq as i64,
+                        m: self.shared.c[self.slot.group].read(), // line 43
+                    },
+                    Opcode::Wait => RPc::Help2 { m: self.help(sig.seq as i64) }, // line 48
+                    _ => RPc::Remainder, // passage complete
+                }
+            }
+            RPc::ReadCForSignal { seq, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(v) => {
+                    if v.expect_int() == 0 {
+                        RPc::CasProceed { seq } // line 45
+                    } else {
+                        RPc::Remainder
+                    }
+                }
+                sub::Drive::Running => RPc::ReadCForSignal { seq, m },
+            },
+            RPc::CasProceed { .. } => RPc::Remainder,
+            RPc::Help2 { mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::Remainder,
+                sub::Drive::Running => RPc::Help2 { m },
+            },
+        };
+    }
+
+    fn phase(&self) -> Phase {
+        match self.pc {
+            RPc::Remainder => Phase::Remainder,
+            RPc::AddC(_)
+            | RPc::ReadRsig
+            | RPc::AddW { .. }
+            | RPc::Help1 { .. }
+            | RPc::AwaitRsig { .. }
+            | RPc::SubW(_) => Phase::Entry,
+            RPc::Cs => Phase::Cs,
+            RPc::SubC(_)
+            | RPc::ReadRsig2
+            | RPc::ReadCForSignal { .. }
+            | RPc::CasProceed { .. }
+            | RPc::Help2 { .. } => Phase::Exit,
+        }
+    }
+
+    fn role(&self) -> Role {
+        Role::Reader
+    }
+
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        self.pc.discriminant().hash(&mut h);
+        self.c_handle.mirror().hash(&mut h);
+        self.w_handle.mirror().hash(&mut h);
+        match &self.pc {
+            RPc::AddC(m) | RPc::SubC(m) | RPc::SubW(m) => m.fingerprint(h),
+            RPc::AddW { seq, m } => {
+                seq.hash(&mut h);
+                m.fingerprint(h);
+            }
+            RPc::Help1 { seq, m } => {
+                seq.hash(&mut h);
+                m.fingerprint(h);
+            }
+            RPc::AwaitRsig { seq } => seq.hash(&mut h),
+            RPc::ReadCForSignal { seq, m } => {
+                seq.hash(&mut h);
+                m.fingerprint(h);
+            }
+            RPc::CasProceed { seq } => seq.hash(&mut h),
+            RPc::Help2 { m } => m.fingerprint(h),
+            _ => {}
+        }
+    }
+}
+
+/// Program counter of a simulated writer (the paper's line numbers).
+#[derive(Clone, Debug)]
+enum WPc {
+    Remainder,
+    /// Line 6: `WL.Enter()`.
+    WlEnter(wmutex::EnterMachine),
+    /// Read `WSEQ` into the local `seq` (implicit in lines 7–11).
+    ReadWseq,
+    /// Lines 7–9: `WSIG[i] := <seq, ⊥>`.
+    InitWsig { seq: i64, i: usize },
+    /// Line 11: `RSIG := <seq, PREENTRY>`.
+    RsigPreentry { seq: i64 },
+    /// Line 13: read `C[i]`.
+    L1ReadC { seq: i64, i: usize, m: GroupReadMachine },
+    /// Line 14: await `WSIG[i] = <seq, PROCEED>`.
+    L1Await { seq: i64, i: usize },
+    /// Line 16: `WSIG[i] := <seq, WAIT>`.
+    L1WriteWsig { seq: i64, i: usize },
+    /// Line 18: `RSIG := <seq, WAIT>`.
+    RsigWait { seq: i64 },
+    /// Line 20: read `C[i]`.
+    L2ReadC { seq: i64, i: usize, m: GroupReadMachine },
+    /// Line 21: await `WSIG[i] = <seq, CS>`.
+    L2Await { seq: i64, i: usize },
+    /// Line 24: critical section.
+    Cs { seq: i64 },
+    /// Line 25: `WSEQ := seq + 1`.
+    IncWseq { seq: i64 },
+    /// Line 26: `RSIG := <seq + 1, NOP>`.
+    RsigNop { seq: i64 },
+    /// Line 27: `WL.Exit()`.
+    WlExit(wmutex::ExitMachine),
+}
+
+impl WPc {
+    fn discriminant(&self) -> u8 {
+        match self {
+            WPc::Remainder => 0,
+            WPc::WlEnter(_) => 1,
+            WPc::ReadWseq => 2,
+            WPc::InitWsig { .. } => 3,
+            WPc::RsigPreentry { .. } => 4,
+            WPc::L1ReadC { .. } => 5,
+            WPc::L1Await { .. } => 6,
+            WPc::L1WriteWsig { .. } => 7,
+            WPc::RsigWait { .. } => 8,
+            WPc::L2ReadC { .. } => 9,
+            WPc::L2Await { .. } => 10,
+            WPc::Cs { .. } => 11,
+            WPc::IncWseq { .. } => 12,
+            WPc::RsigNop { .. } => 13,
+            WPc::WlExit(_) => 14,
+        }
+    }
+}
+
+/// A simulated `A_f` writer process (lines 5–28).
+#[derive(Clone, Debug)]
+pub struct AfWriterSim {
+    shared: Arc<AfShared>,
+    id: usize,
+    pc: WPc,
+}
+
+impl AfWriterSim {
+    /// Build the machine for writer `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn new(shared: Arc<AfShared>, id: usize) -> Self {
+        assert!(id < shared.cfg.writers, "writer id {id} out of range");
+        AfWriterSim { shared, id, pc: WPc::Remainder }
+    }
+
+    /// This writer's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Definition 5: the writer is *waiting* iff its pc is line 14 or 21.
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.pc, WPc::L1Await { .. } | WPc::L2Await { .. })
+    }
+
+    /// After the first-loop body for group `i` completes: next group or
+    /// line 18.
+    fn after_l1(&self, seq: i64, i: usize) -> WPc {
+        if i + 1 < self.shared.groups {
+            WPc::L1ReadC { seq, i: i + 1, m: self.shared.c[i + 1].read() }
+        } else {
+            WPc::RsigWait { seq }
+        }
+    }
+
+    /// After the second-loop body for group `i` completes: next group or
+    /// the CS.
+    fn after_l2(&self, seq: i64, i: usize) -> WPc {
+        if i + 1 < self.shared.groups {
+            WPc::L2ReadC { seq, i: i + 1, m: self.shared.c[i + 1].read() }
+        } else {
+            WPc::Cs { seq }
+        }
+    }
+}
+
+impl Program for AfWriterSim {
+    fn poll(&self) -> Step {
+        match &self.pc {
+            WPc::Remainder => Step::Remainder,
+            WPc::WlEnter(m) => Step::Op(sub::poll_op(m)),
+            WPc::ReadWseq => Step::Op(Op::Read(self.shared.wseq)),
+            WPc::InitWsig { seq, i } => Step::Op(Op::Write(
+                self.shared.wsig[*i],
+                AfShared::sig_value(*seq, Opcode::Bot),
+            )),
+            WPc::RsigPreentry { seq } => Step::Op(Op::Write(
+                self.shared.rsig,
+                AfShared::sig_value(*seq, Opcode::Preentry),
+            )),
+            WPc::L1ReadC { m, .. } | WPc::L2ReadC { m, .. } => Step::Op(sub::poll_op(m)),
+            WPc::L1Await { i, .. } | WPc::L2Await { i, .. } => {
+                Step::Op(Op::Read(self.shared.wsig[*i]))
+            }
+            WPc::L1WriteWsig { seq, i } => Step::Op(Op::Write(
+                self.shared.wsig[*i],
+                AfShared::sig_value(*seq, Opcode::Wait),
+            )),
+            WPc::RsigWait { seq } => Step::Op(Op::Write(
+                self.shared.rsig,
+                AfShared::sig_value(*seq, Opcode::Wait),
+            )),
+            WPc::Cs { .. } => Step::Cs,
+            WPc::IncWseq { seq } => Step::Op(Op::write(self.shared.wseq, *seq + 1)),
+            WPc::RsigNop { seq } => Step::Op(Op::Write(
+                self.shared.rsig,
+                AfShared::sig_value(*seq + 1, Opcode::Nop),
+            )),
+            WPc::WlExit(m) => Step::Op(sub::poll_op(m)),
+        }
+    }
+
+    fn resume(&mut self, response: Value) {
+        self.pc = match std::mem::replace(&mut self.pc, WPc::Remainder) {
+            WPc::Remainder => {
+                // Begin passage: line 6. An m=1 tournament is empty.
+                let enter = self.shared.wl.enter(self.id);
+                if matches!(enter.poll(), SubStep::Done(_)) {
+                    WPc::ReadWseq
+                } else {
+                    WPc::WlEnter(enter)
+                }
+            }
+            WPc::WlEnter(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => WPc::ReadWseq,
+                sub::Drive::Running => WPc::WlEnter(m),
+            },
+            WPc::ReadWseq => WPc::InitWsig { seq: response.expect_int(), i: 0 },
+            WPc::InitWsig { seq, i } => {
+                if i + 1 < self.shared.groups {
+                    WPc::InitWsig { seq, i: i + 1 }
+                } else {
+                    WPc::RsigPreentry { seq }
+                }
+            }
+            WPc::RsigPreentry { seq } => {
+                WPc::L1ReadC { seq, i: 0, m: self.shared.c[0].read() }
+            }
+            WPc::L1ReadC { seq, i, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(v) => {
+                    if v.expect_int() > 0 {
+                        WPc::L1Await { seq, i } // line 14
+                    } else {
+                        WPc::L1WriteWsig { seq, i } // line 16
+                    }
+                }
+                sub::Drive::Running => WPc::L1ReadC { seq, i, m },
+            },
+            WPc::L1Await { seq, i } => {
+                if signal_of(response) == Signal::new(seq as u64, Opcode::Proceed) {
+                    WPc::L1WriteWsig { seq, i }
+                } else {
+                    WPc::L1Await { seq, i } // keep spinning
+                }
+            }
+            WPc::L1WriteWsig { seq, i } => self.after_l1(seq, i),
+            WPc::RsigWait { seq } => {
+                WPc::L2ReadC { seq, i: 0, m: self.shared.c[0].read() }
+            }
+            WPc::L2ReadC { seq, i, mut m } => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(v) => {
+                    if v.expect_int() > 0 {
+                        WPc::L2Await { seq, i } // line 21
+                    } else {
+                        self.after_l2(seq, i)
+                    }
+                }
+                sub::Drive::Running => WPc::L2ReadC { seq, i, m },
+            },
+            WPc::L2Await { seq, i } => {
+                if signal_of(response) == Signal::new(seq as u64, Opcode::Cs) {
+                    self.after_l2(seq, i)
+                } else {
+                    WPc::L2Await { seq, i }
+                }
+            }
+            WPc::Cs { seq } => WPc::IncWseq { seq }, // begin exit (line 25)
+            WPc::IncWseq { seq } => WPc::RsigNop { seq },
+            WPc::RsigNop { .. } => {
+                let exit = self.shared.wl.exit(self.id);
+                if matches!(exit.poll(), SubStep::Done(_)) {
+                    WPc::Remainder // m = 1: empty tournament exit
+                } else {
+                    WPc::WlExit(exit)
+                }
+            }
+            WPc::WlExit(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => WPc::Remainder,
+                sub::Drive::Running => WPc::WlExit(m),
+            },
+        };
+    }
+
+    fn phase(&self) -> Phase {
+        match self.pc {
+            WPc::Remainder => Phase::Remainder,
+            WPc::Cs { .. } => Phase::Cs,
+            WPc::IncWseq { .. } | WPc::RsigNop { .. } | WPc::WlExit(_) => Phase::Exit,
+            _ => Phase::Entry,
+        }
+    }
+
+    fn role(&self) -> Role {
+        Role::Writer
+    }
+
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        self.pc.discriminant().hash(&mut h);
+        match &self.pc {
+            WPc::WlEnter(m) => m.fingerprint(h),
+            WPc::WlExit(m) => m.fingerprint(h),
+            WPc::InitWsig { seq, i }
+            | WPc::L1Await { seq, i }
+            | WPc::L1WriteWsig { seq, i }
+            | WPc::L2Await { seq, i } => {
+                seq.hash(&mut h);
+                i.hash(&mut h);
+            }
+            WPc::L1ReadC { seq, i, m } | WPc::L2ReadC { seq, i, m } => {
+                seq.hash(&mut h);
+                i.hash(&mut h);
+                m.fingerprint(h);
+            }
+            WPc::RsigPreentry { seq }
+            | WPc::RsigWait { seq }
+            | WPc::Cs { seq }
+            | WPc::IncWseq { seq }
+            | WPc::RsigNop { seq } => seq.hash(&mut h),
+            WPc::Remainder | WPc::ReadWseq => {}
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AfConfig, FPolicy};
+    use crate::world::af_world;
+    use ccsim::{run_solo, Protocol};
+
+    #[test]
+    fn writer_solo_signal_protocol() {
+        // Follow a solo writer through the exact signal sequence of
+        // Algorithm 1: WSIG[i] armed to <0,⊥>, RSIG to <0,PREENTRY>,
+        // WSIG to <0,WAIT>, RSIG to <0,WAIT>, CS, then WSEQ=1 and
+        // RSIG=<1,NOP>.
+        let cfg = AfConfig { readers: 2, writers: 1, policy: FPolicy::One };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let w = world.pids.writer(0);
+
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
+        let mem = world.sim.mem();
+        assert_eq!(world.shared.peek_rsig(mem), Signal::new(0, Opcode::Wait));
+        assert_eq!(world.shared.peek_wsig(mem, 0), Signal::new(0, Opcode::Wait));
+
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Remainder).unwrap();
+        let mem = world.sim.mem();
+        assert_eq!(world.shared.peek_rsig(mem), Signal::new(1, Opcode::Nop));
+        assert_eq!(mem.peek(world.shared.wseq), Value::Int(1));
+    }
+
+    #[test]
+    fn reader_wait_path_follows_definition4() {
+        // Writer into the CS; reader must pass through the waiting states
+        // of Definition 4 (pc in [34,36]) and park at AwaitRsig.
+        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r, w) = (world.pids.reader(0), world.pids.writer(0));
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
+
+        // The reader can never reach the CS while the writer holds it.
+        assert_eq!(
+            run_solo(&mut world.sim, r, 3_000, |s| s.phase(r) == Phase::Cs),
+            None
+        );
+        // It is waiting in the Definition-4 sense, and W[0] counts it.
+        assert_eq!(world.shared.peek_w(world.sim.mem(), 0), 1);
+        assert_eq!(world.shared.peek_c(world.sim.mem(), 0), 1);
+        // And it has already helped: WSIG[0] = <0, CS> (C == W == 1).
+        assert_eq!(
+            world.shared.peek_wsig(world.sim.mem(), 0),
+            Signal::new(0, Opcode::Cs)
+        );
+
+        // Writer finishes; reader proceeds to the CS and W drains.
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
+        assert_eq!(world.shared.peek_w(world.sim.mem(), 0), 0);
+    }
+
+    #[test]
+    fn is_waiting_matches_states() {
+        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let shared = {
+            let mut layout = ccsim::Layout::new();
+            crate::af::shared::AfShared::allocate(&mut layout, cfg)
+        };
+        let reader = AfReaderSim::new(std::sync::Arc::clone(&shared), 0);
+        assert!(!reader.is_waiting(), "fresh reader is not waiting");
+        let writer = AfWriterSim::new(shared, 0);
+        assert!(!writer.is_waiting(), "fresh writer is not waiting");
+    }
+
+    #[test]
+    fn exiting_reader_signals_preentry_writer() {
+        // Reader in CS; writer starts its passage and must block at line
+        // 14 (await PROCEED). The exiting reader then CASes
+        // WSIG[0] <0,⊥> -> <0,PROCEED> at line 45.
+        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r, w) = (world.pids.reader(0), world.pids.writer(0));
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
+        assert_eq!(
+            run_solo(&mut world.sim, w, 3_000, |s| s.phase(w) == Phase::Cs),
+            None,
+            "writer must wait for the in-CS reader"
+        );
+        assert_eq!(
+            world.shared.peek_rsig(world.sim.mem()),
+            Signal::new(0, Opcode::Preentry),
+            "writer parks in its PREENTRY loop"
+        );
+        // Reader exits: C hits 0, so it signals PROCEED (line 45)...
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Remainder).unwrap();
+        assert_eq!(
+            world.shared.peek_wsig(world.sim.mem(), 0),
+            Signal::new(0, Opcode::Proceed)
+        );
+        // ...and the writer sails into the CS.
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs)
+            .expect("writer proceeds after PROCEED signal");
+    }
+
+    #[test]
+    fn reader_ids_map_to_distinct_group_leaves() {
+        let cfg = AfConfig { readers: 6, writers: 1, policy: FPolicy::Groups(3) };
+        let mut layout = ccsim::Layout::new();
+        let shared = crate::af::shared::AfShared::allocate(&mut layout, cfg);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..6 {
+            let m = AfReaderSim::new(std::sync::Arc::clone(&shared), id);
+            assert!(seen.insert((m.slot.group, m.slot.leaf)), "slot collision");
+        }
+    }
+}

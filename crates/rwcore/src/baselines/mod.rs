@@ -1,0 +1,4 @@
+//! Baseline reader-writer locks for the comparison experiments.
+
+pub mod real;
+pub mod sim;

@@ -1,0 +1,223 @@
+//! Lock-family configuration: the `f` parameter and reader grouping.
+
+use std::fmt;
+
+/// The `f` in `A_f`: how many RMRs the writer's entry section may spend,
+/// i.e. how many reader groups the lock maintains.
+///
+/// The paper's family is parameterised on an arbitrary (non-superlinear)
+/// function `f(n)`; per Theorem 18 the resulting lock has writer passages
+/// in `Θ(f(n))` RMRs and reader passages in `Θ(log(n/f(n)))` RMRs. The
+/// variants here are the tradeoff points the experiments sweep.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FPolicy {
+    /// `f(n) = 1`: one group of all readers. Cheapest writers the family
+    /// allows while readers pay the full `Θ(log n)`.
+    One,
+    /// `f(n) = ⌈log2 n⌉`: the balanced point — both sides `Θ(log n)`
+    /// (up to a `log log` term on the reader side).
+    LogN,
+    /// `f(n) = ⌈√n⌉`: writers pay `Θ(√n)`, readers `Θ(½ log n)`.
+    SqrtN,
+    /// `f(n) = ⌈n/2⌉`: groups of two.
+    Half,
+    /// `f(n) = n`: one group per reader — constant-ish readers, linear
+    /// writers (the other end of the tradeoff frontier).
+    Linear,
+    /// An explicit group count (clamped to `1..=n`).
+    Groups(usize),
+}
+
+impl FPolicy {
+    /// The number of reader groups `f(n)` for `n` readers, clamped to
+    /// `1..=max(n, 1)`.
+    pub fn groups(self, n: usize) -> usize {
+        let raw = match self {
+            FPolicy::One => 1,
+            FPolicy::LogN => (usize::BITS - n.max(1).leading_zeros()) as usize, // ceil(log2(n))+~1
+            FPolicy::SqrtN => (n as f64).sqrt().ceil() as usize,
+            FPolicy::Half => n.div_ceil(2),
+            FPolicy::Linear => n,
+            FPolicy::Groups(g) => g,
+        };
+        raw.clamp(1, n.max(1))
+    }
+
+    /// All named policies (used by experiment sweeps).
+    pub const NAMED: [FPolicy; 5] = [
+        FPolicy::One,
+        FPolicy::LogN,
+        FPolicy::SqrtN,
+        FPolicy::Half,
+        FPolicy::Linear,
+    ];
+}
+
+impl fmt::Display for FPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FPolicy::One => write!(f, "f=1"),
+            FPolicy::LogN => write!(f, "f=log n"),
+            FPolicy::SqrtN => write!(f, "f=sqrt n"),
+            FPolicy::Half => write!(f, "f=n/2"),
+            FPolicy::Linear => write!(f, "f=n"),
+            FPolicy::Groups(g) => write!(f, "f={g}"),
+        }
+    }
+}
+
+/// Static configuration of one `A_f` lock instance: `n` readers, `m`
+/// writers, and the `f` policy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AfConfig {
+    /// Number of reader processes `n` (ids `0..n`).
+    pub readers: usize,
+    /// Number of writer processes `m` (ids `0..m`).
+    pub writers: usize,
+    /// The `f` tradeoff policy.
+    pub policy: FPolicy,
+}
+
+impl AfConfig {
+    /// A configuration with the balanced [`FPolicy::LogN`] policy.
+    pub fn new(readers: usize, writers: usize) -> Self {
+        AfConfig { readers, writers, policy: FPolicy::LogN }
+    }
+
+    /// Replace the policy (builder-style).
+    pub fn with_policy(mut self, policy: FPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics if there are zero readers or zero writers (the paper's
+    /// problem is defined for `n ≥ 1`, `m ≥ 1`; use a plain mutex or no
+    /// lock otherwise).
+    pub fn validate(&self) {
+        assert!(self.readers > 0, "A_f needs at least one reader");
+        assert!(self.writers > 0, "A_f needs at least one writer");
+    }
+
+    /// Number of reader groups, `f(n)`.
+    pub fn groups(&self) -> usize {
+        self.policy.groups(self.readers)
+    }
+
+    /// Nominal group size `K = ⌈n / f(n)⌉`.
+    pub fn group_size(&self) -> usize {
+        self.readers.div_ceil(self.groups())
+    }
+
+    /// The group a reader belongs to and its leaf index within the group's
+    /// counters (readers are statically partitioned by id).
+    ///
+    /// # Panics
+    /// Panics if `reader_id >= readers`.
+    pub fn group_of(&self, reader_id: usize) -> GroupSlot {
+        assert!(
+            reader_id < self.readers,
+            "reader id {reader_id} out of range (n = {})",
+            self.readers
+        );
+        let k = self.group_size();
+        GroupSlot { group: reader_id / k, leaf: reader_id % k }
+    }
+
+    /// The number of readers assigned to group `g` (the last group may be
+    /// smaller than `K`; middle groups never are).
+    pub fn group_population(&self, g: usize) -> usize {
+        let k = self.group_size();
+        let start = g * k;
+        debug_assert!(start < self.readers, "group {g} is empty");
+        (self.readers - start).min(k)
+    }
+
+    /// Actual number of non-empty groups (≤ [`AfConfig::groups`]; can be
+    /// smaller because `K` is rounded up).
+    pub fn occupied_groups(&self) -> usize {
+        self.readers.div_ceil(self.group_size())
+    }
+}
+
+/// A reader's position in the group structure.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroupSlot {
+    /// The reader's group index `i`.
+    pub group: usize,
+    /// The reader's leaf within the group's `K`-process counters.
+    pub leaf: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_group_counts() {
+        assert_eq!(FPolicy::One.groups(100), 1);
+        assert_eq!(FPolicy::Linear.groups(100), 100);
+        assert_eq!(FPolicy::Half.groups(100), 50);
+        assert_eq!(FPolicy::SqrtN.groups(100), 10);
+        assert_eq!(FPolicy::LogN.groups(1024), 11);
+        assert_eq!(FPolicy::Groups(7).groups(100), 7);
+    }
+
+    #[test]
+    fn policy_clamps_to_valid_range() {
+        assert_eq!(FPolicy::Groups(0).groups(10), 1);
+        assert_eq!(FPolicy::Groups(99).groups(10), 10);
+        assert_eq!(FPolicy::Linear.groups(1), 1);
+        assert_eq!(FPolicy::LogN.groups(1), 1);
+    }
+
+    #[test]
+    fn grouping_partitions_all_readers() {
+        for n in [1usize, 2, 7, 16, 100] {
+            for policy in FPolicy::NAMED {
+                let cfg = AfConfig { readers: n, writers: 1, policy };
+                let mut seen = vec![0usize; cfg.occupied_groups()];
+                for r in 0..n {
+                    let slot = cfg.group_of(r);
+                    assert!(slot.group < cfg.occupied_groups(), "{policy} n={n}");
+                    assert!(slot.leaf < cfg.group_size());
+                    assert!(slot.leaf < cfg.group_population(slot.group));
+                    seen[slot.group] += 1;
+                }
+                for (g, &count) in seen.iter().enumerate() {
+                    assert_eq!(count, cfg.group_population(g), "{policy} n={n} group {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_size_times_groups_covers_n() {
+        for n in 1..200 {
+            for policy in FPolicy::NAMED {
+                let cfg = AfConfig { readers: n, writers: 1, policy };
+                assert!(cfg.group_size() * cfg.groups() >= n, "{policy} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_of_rejects_bad_id() {
+        AfConfig::new(4, 1).group_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn validate_rejects_zero_readers() {
+        AfConfig::new(0, 1).validate();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FPolicy::LogN.to_string(), "f=log n");
+        assert_eq!(FPolicy::Groups(3).to_string(), "f=3");
+    }
+}

@@ -1,0 +1,163 @@
+//! Signal words: the `<sequence, opcode>` pairs of `RSIG` and `WSIG[i]`.
+//!
+//! Every writer passage carries a unique sequence number (`WSEQ`); readers
+//! and the writer signal each other with `(seq, opcode)` pairs so that a
+//! signal for passage `s` can never be confused with one for passage
+//! `s' ≠ s` — this is what makes the single CAS per signal ABA-safe
+//! (see the paper's Lemma 17 RMR argument).
+//!
+//! In the simulator a signal is a `Value::Pair(seq, opcode)`; in the real
+//! lock it is packed into one `AtomicU64` (61-bit seq, 3-bit opcode).
+
+use std::fmt;
+
+/// Opcodes carried by `RSIG` (writer → readers) and `WSIG[i]`
+/// (group-i readers → writer).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `RSIG`: no writer holds `WL`; readers may enter freely.
+    Nop = 0,
+    /// `WSIG[i]` initial state for the current passage (the paper's ⊥).
+    Bot = 1,
+    /// `RSIG`: the writer asks exiting readers that see `C[i] = 0` to
+    /// signal it (line 11).
+    Preentry = 2,
+    /// `RSIG`: readers must wait (line 18); `WSIG[i]`: the writer has
+    /// finished pre-entry for group i (line 16).
+    Wait = 3,
+    /// `WSIG[i]`: some group-i reader confirmed no reader of a previous
+    /// passage is still waiting (line 45).
+    Proceed = 4,
+    /// `WSIG[i]`: some group-i reader confirmed the group has cleared the
+    /// CS; the writer may enter (line 52).
+    Cs = 5,
+}
+
+impl Opcode {
+    /// Decode from the integer stored in a simulator pair / packed word.
+    ///
+    /// # Panics
+    /// Panics on an unknown code (indicates memory corruption in a test).
+    pub fn from_i64(x: i64) -> Self {
+        match x {
+            0 => Opcode::Nop,
+            1 => Opcode::Bot,
+            2 => Opcode::Preentry,
+            3 => Opcode::Wait,
+            4 => Opcode::Proceed,
+            5 => Opcode::Cs,
+            other => panic!("invalid opcode {other}"),
+        }
+    }
+
+    /// The integer representation.
+    pub fn as_i64(self) -> i64 {
+        self as i64
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Nop => "NOP",
+            Opcode::Bot => "⊥",
+            Opcode::Preentry => "PREENTRY",
+            Opcode::Wait => "WAIT",
+            Opcode::Proceed => "PROCEED",
+            Opcode::Cs => "CS",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A `(sequence, opcode)` signal value.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Signal {
+    /// The writer-passage sequence number.
+    pub seq: u64,
+    /// The command.
+    pub op: Opcode,
+}
+
+impl Signal {
+    /// Construct a signal.
+    pub fn new(seq: u64, op: Opcode) -> Self {
+        Signal { seq, op }
+    }
+
+    /// Pack into a single word: `seq` in the high 61 bits, opcode low 3.
+    ///
+    /// # Panics
+    /// Debug-panics if `seq` overflows 61 bits (2.3e18 passages).
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.seq < (1 << 61), "sequence number overflow");
+        (self.seq << 3) | self.op.as_i64() as u64
+    }
+
+    /// Unpack from a word produced by [`Signal::pack`].
+    pub fn unpack(word: u64) -> Self {
+        Signal { seq: word >> 3, op: Opcode::from_i64((word & 0b111) as i64) }
+    }
+
+    /// The simulator representation: `Value::Pair(seq, opcode)`.
+    pub fn to_pair(self) -> (i64, i64) {
+        (self.seq as i64, self.op.as_i64())
+    }
+
+    /// Decode from a simulator pair.
+    pub fn from_pair(pair: (i64, i64)) -> Self {
+        Signal { seq: pair.0 as u64, op: Opcode::from_i64(pair.1) }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.seq, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for seq in [0u64, 1, 7, 1 << 40, (1 << 61) - 1] {
+            for op in [
+                Opcode::Nop,
+                Opcode::Bot,
+                Opcode::Preentry,
+                Opcode::Wait,
+                Opcode::Proceed,
+                Opcode::Cs,
+            ] {
+                let s = Signal::new(seq, op);
+                assert_eq!(Signal::unpack(s.pack()), s);
+                assert_eq!(Signal::from_pair(s.to_pair()), s);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_signals_pack_distinctly() {
+        let a = Signal::new(3, Opcode::Wait).pack();
+        let b = Signal::new(3, Opcode::Cs).pack();
+        let c = Signal::new(4, Opcode::Wait).pack();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid opcode")]
+    fn bad_opcode_panics() {
+        Opcode::from_i64(6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Signal::new(4, Opcode::Preentry).to_string(), "<4,PREENTRY>");
+        assert_eq!(Opcode::Bot.to_string(), "⊥");
+    }
+}

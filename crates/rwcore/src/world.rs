@@ -1,0 +1,231 @@
+//! Assembling complete simulated worlds of `A_f` readers and writers.
+
+use crate::af::counters::CounterKind;
+use crate::af::shared::{AfShared, HelpOrder};
+use crate::af::sim::{AfReaderSim, AfWriterSim};
+use crate::config::AfConfig;
+use ccsim::{Layout, Memory, ProcId, Program, Protocol, Sim};
+use std::sync::Arc;
+
+/// Process-id convention for lock worlds: readers first, then writers.
+///
+/// The paper's process set is `{R_1..R_n, W_1..W_m}`; we map reader `r` to
+/// `ProcId(r)` and writer `w` to `ProcId(n + w)`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PidMap {
+    /// Number of readers `n`.
+    pub readers: usize,
+    /// Number of writers `m`.
+    pub writers: usize,
+}
+
+impl PidMap {
+    /// The process id of reader `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn reader(&self, r: usize) -> ProcId {
+        assert!(r < self.readers, "reader {r} out of range");
+        ProcId(r)
+    }
+
+    /// The process id of writer `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn writer(&self, w: usize) -> ProcId {
+        assert!(w < self.writers, "writer {w} out of range");
+        ProcId(self.readers + w)
+    }
+
+    /// All reader process ids.
+    pub fn reader_pids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.readers).map(ProcId)
+    }
+
+    /// All writer process ids.
+    pub fn writer_pids(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.writers).map(|w| ProcId(self.readers + w))
+    }
+
+    /// Total process count.
+    pub fn total(&self) -> usize {
+        self.readers + self.writers
+    }
+}
+
+impl From<AfConfig> for PidMap {
+    fn from(cfg: AfConfig) -> Self {
+        PidMap { readers: cfg.readers, writers: cfg.writers }
+    }
+}
+
+/// A fully wired simulated `A_f` world.
+#[derive(Debug)]
+pub struct AfWorld {
+    /// The simulation (readers are `ProcId(0..n)`, writers
+    /// `ProcId(n..n+m)`).
+    pub sim: Sim,
+    /// The lock instance's shared-variable descriptor.
+    pub shared: Arc<AfShared>,
+    /// The id convention.
+    pub pids: PidMap,
+}
+
+/// Build a simulated world running `A_f` under `cfg` and `protocol`.
+///
+/// # Examples
+/// ```
+/// use ccsim::{run_round_robin, Protocol, RunConfig};
+/// use rwcore::{af_world, AfConfig};
+///
+/// let mut world = af_world(AfConfig::new(4, 2), Protocol::WriteBack);
+/// let report = run_round_robin(
+///     &mut world.sim,
+///     &RunConfig { passages_per_proc: 2, ..Default::default() },
+/// )?;
+/// assert!(report.completed.iter().all(|&c| c == 2));
+/// # Ok::<(), ccsim::RunError>(())
+/// ```
+pub fn af_world(cfg: AfConfig, protocol: Protocol) -> AfWorld {
+    af_world_with_order(cfg, protocol, HelpOrder::WaitersFirst)
+}
+
+/// [`af_world`] with an explicit `HelpWCS` counter read order (see
+/// [`HelpOrder`]); used by the regression test that reproduces the
+/// paper-literal ordering's mutual-exclusion counterexample.
+pub fn af_world_with_order(cfg: AfConfig, protocol: Protocol, order: HelpOrder) -> AfWorld {
+    af_world_custom(cfg, protocol, order, CounterKind::FArray)
+}
+
+/// Fully parameterised world: `HelpWCS` read order and group-counter
+/// implementation (the E13 ablation runs `CounterKind::CasLoop`).
+pub fn af_world_custom(
+    cfg: AfConfig,
+    protocol: Protocol,
+    order: HelpOrder,
+    counters: CounterKind,
+) -> AfWorld {
+    let mut layout = Layout::new();
+    let shared = AfShared::allocate_custom(&mut layout, cfg, order, counters);
+    let pids = PidMap::from(cfg);
+    let mem = Memory::new(&layout, pids.total(), protocol);
+    let mut procs: Vec<Box<dyn Program>> = Vec::with_capacity(pids.total());
+    for r in 0..cfg.readers {
+        procs.push(Box::new(AfReaderSim::new(Arc::clone(&shared), r)));
+    }
+    for w in 0..cfg.writers {
+        procs.push(Box::new(AfWriterSim::new(Arc::clone(&shared), w)));
+    }
+    AfWorld { sim: Sim::new(mem, procs), shared, pids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FPolicy;
+    use ccsim::{run_random, run_round_robin, run_solo, Phase, RunConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_all_policies_and_protocols() {
+        for policy in FPolicy::NAMED {
+            for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+                let cfg = AfConfig { readers: 4, writers: 2, policy };
+                let mut world = af_world(cfg, protocol);
+                let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+                let report = run_round_robin(&mut world.sim, &rc)
+                    .unwrap_or_else(|e| panic!("{policy} {protocol:?}: {e}"));
+                assert!(report.completed.iter().all(|&c| c == 3), "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_schedules_many_seeds() {
+        for seed in 0..30 {
+            let cfg = AfConfig { readers: 3, writers: 2, policy: FPolicy::Groups(2) };
+            let mut world = af_world(cfg, Protocol::WriteBack);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rc = RunConfig { passages_per_proc: 4, ..Default::default() };
+            run_random(&mut world.sim, &mut rng, &rc)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn solo_reader_enters_quickly_when_quiescent() {
+        // Concurrent Entering: with all writers in the remainder section, a
+        // reader reaches the CS in a bounded number of its own steps.
+        let cfg = AfConfig { readers: 8, writers: 1, policy: FPolicy::LogN };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let r0 = world.pids.reader(0);
+        let steps = run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == Phase::Cs)
+            .expect("reader must enter CS in bounded steps");
+        // add(1) is O(log K) plus one RSIG read plus transitions.
+        assert!(steps < 60, "entry took {steps} steps");
+    }
+
+    #[test]
+    fn solo_writer_passage_completes() {
+        let cfg = AfConfig { readers: 8, writers: 2, policy: FPolicy::SqrtN };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let w0 = world.pids.writer(0);
+        run_solo(&mut world.sim, w0, 10_000, |s| s.stats(w0).passages == 1)
+            .expect("solo writer passage must complete");
+        assert!(world.sim.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn writer_blocks_while_reader_in_cs() {
+        let cfg = AfConfig::new(2, 1);
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r0, w0) = (world.pids.reader(0), world.pids.writer(0));
+        // Reader 0 enters the CS and parks there.
+        run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == Phase::Cs).unwrap();
+        // The writer runs solo for a long time and must NOT reach the CS.
+        let reached = run_solo(&mut world.sim, w0, 5_000, |s| s.phase(w0) == Phase::Cs);
+        assert_eq!(reached, None, "writer entered CS while a reader held it");
+        assert!(world.sim.check_mutual_exclusion().is_ok());
+        // Once the reader leaves, the writer gets in.
+        run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, w0, 5_000, |s| s.phase(w0) == Phase::Cs)
+            .expect("writer must enter after reader exits");
+    }
+
+    #[test]
+    fn reader_blocks_while_writer_in_cs() {
+        let cfg = AfConfig::new(2, 1);
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r1, w0) = (world.pids.reader(1), world.pids.writer(0));
+        run_solo(&mut world.sim, w0, 5_000, |s| s.phase(w0) == Phase::Cs).unwrap();
+        let reached = run_solo(&mut world.sim, r1, 5_000, |s| s.phase(r1) == Phase::Cs);
+        assert_eq!(reached, None, "reader entered CS while the writer held it");
+        // Writer leaves; the waiting reader proceeds.
+        run_solo(&mut world.sim, w0, 1_000, |s| s.phase(w0) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, r1, 5_000, |s| s.phase(r1) == Phase::Cs)
+            .expect("reader must enter after writer exits");
+    }
+
+    #[test]
+    fn readers_share_the_cs() {
+        let cfg = AfConfig { readers: 4, writers: 1, policy: FPolicy::Groups(2) };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        for r in 0..4 {
+            let pid = world.pids.reader(r);
+            run_solo(&mut world.sim, pid, 1_000, |s| s.phase(pid) == Phase::Cs).unwrap();
+        }
+        assert_eq!(world.sim.procs_in_cs().len(), 4, "all readers in CS together");
+        assert!(world.sim.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn pid_map_convention() {
+        let pids = PidMap { readers: 3, writers: 2 };
+        assert_eq!(pids.reader(2), ProcId(2));
+        assert_eq!(pids.writer(0), ProcId(3));
+        assert_eq!(pids.total(), 5);
+        assert_eq!(pids.writer_pids().count(), 2);
+    }
+}

@@ -1,0 +1,354 @@
+//! Real-atomics mutual-exclusion locks.
+//!
+//! [`TournamentLock`] is the paper's `WL` substrate: an m-process
+//! starvation-free mutex from reads and writes only, with `Θ(log m)` RMRs
+//! per passage in the CC model — a tournament tree of two-process Peterson
+//! competitions. (The paper cites Yang–Anderson \[21\]; a Peterson
+//! tournament has the same CC-model RMR complexity and the same
+//! starvation-freedom/Bounded-Exit properties, which is all `WL` must
+//! provide. Yang–Anderson additionally achieves the bound in the DSM
+//! model, which none of the paper's results measure.)
+//!
+//! [`ClhLock`] and [`TicketLock`] are practical queue locks included as
+//! baselines for the throughput benches (both rely on atomic RMW
+//! operations stronger than the read/write requirement on `WL`).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A mutual-exclusion lock shared by a fixed set of registered processes,
+/// addressed by dense ids `0..processes()`.
+///
+/// Each id must be used by at most one thread at a time; [`IdMutex::unlock`]
+/// must only be called by the id currently holding the lock.
+pub trait IdMutex: Send + Sync {
+    /// Acquire the lock on behalf of process `id` (blocking, local-spin).
+    fn lock(&self, id: usize);
+    /// Release the lock held by process `id`.
+    fn unlock(&self, id: usize);
+    /// Number of registered processes.
+    fn processes(&self) -> usize;
+    /// Short implementation name for bench tables.
+    fn name(&self) -> &'static str;
+}
+
+/// One two-process Peterson competition node.
+#[derive(Debug)]
+struct Node {
+    /// `flag[side]`: side wants (or holds) the node.
+    flag: [AtomicBool; 2],
+    /// Tie-breaker: the side that wrote `turn` last waits.
+    turn: AtomicUsize,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            flag: [AtomicBool::new(false), AtomicBool::new(false)],
+            turn: AtomicUsize::new(0),
+        }
+    }
+
+    fn acquire(&self, side: usize) {
+        self.flag[side].store(true, Ordering::SeqCst);
+        self.turn.store(side, Ordering::SeqCst);
+        while self.flag[1 - side].load(Ordering::SeqCst)
+            && self.turn.load(Ordering::SeqCst) == side
+        {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn release(&self, side: usize) {
+        self.flag[side].store(false, Ordering::SeqCst);
+    }
+}
+
+/// An m-process tournament mutex from reads and writes only: `Θ(log m)`
+/// RMRs per passage in the CC model, starvation-free, bounded exit.
+///
+/// Every process owns a leaf of a complete binary tree and acquires the
+/// lock by winning the Peterson competition at each internal node on its
+/// leaf-to-root path bottom-up; release is top-down, so a successor from
+/// the same subtree can never reach a node before its current holder has
+/// released it.
+///
+/// # Examples
+/// ```
+/// use wmutex::{IdMutex, TournamentLock};
+/// let m = TournamentLock::new(4);
+/// m.lock(2);
+/// m.unlock(2);
+/// ```
+#[derive(Debug)]
+pub struct TournamentLock {
+    m: usize,
+    width: usize,
+    /// Internal nodes, heap indices `1..width` (slot 0 unused).
+    nodes: Vec<Node>,
+}
+
+impl TournamentLock {
+    /// Create a tournament lock for `m` processes.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "a mutex needs at least one process");
+        let width = m.next_power_of_two();
+        TournamentLock {
+            m,
+            width,
+            nodes: (0..width).map(|_| Node::new()).collect(),
+        }
+    }
+
+    /// Tree depth (`⌈log2 m⌉`): the number of competitions per passage.
+    pub fn levels(&self) -> usize {
+        self.width.trailing_zeros() as usize
+    }
+
+    /// The internal node and side process `p` uses at climb level `level`
+    /// (level 0 is adjacent to the leaves).
+    fn arena(&self, p: usize, level: usize) -> (usize, usize) {
+        let leaf = self.width + p;
+        (leaf >> (level + 1), (leaf >> level) & 1)
+    }
+}
+
+impl IdMutex for TournamentLock {
+    fn lock(&self, id: usize) {
+        assert!(id < self.m, "process id {id} out of range");
+        for level in 0..self.levels() {
+            let (node, side) = self.arena(id, level);
+            self.nodes[node].acquire(side);
+        }
+    }
+
+    fn unlock(&self, id: usize) {
+        // Top-down: release each node before any node below it, so no
+        // successor from our subtree can reach a node we still hold.
+        for level in (0..self.levels()).rev() {
+            let (node, side) = self.arena(id, level);
+            self.nodes[node].release(side);
+        }
+    }
+
+    fn processes(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+/// A CLH queue lock: each process spins on its predecessor's node.
+/// `O(1)` RMRs per passage in the CC model, but requires atomic `swap`.
+#[derive(Debug)]
+pub struct ClhLock {
+    m: usize,
+    /// Index (into `flags`) of the current tail node.
+    tail: AtomicUsize,
+    /// `true` while the owning node's holder is in or awaiting the CS.
+    flags: Vec<AtomicBool>,
+    /// Per-process: the node I spun my request on (slot index).
+    mine: Vec<UnsafeCell<usize>>,
+    /// Per-process: my spare node slot for the next acquisition.
+    spare: Vec<UnsafeCell<usize>>,
+}
+
+// SAFETY: `mine`/`spare` slots are only accessed by the thread currently
+// using that process id (the `IdMutex` contract).
+unsafe impl Send for ClhLock {}
+unsafe impl Sync for ClhLock {}
+
+impl ClhLock {
+    /// Create a queue lock for `m` processes.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "a mutex needs at least one process");
+        // m + 1 node slots: one per process plus the initial (released) tail.
+        let flags: Vec<AtomicBool> = (0..m + 1).map(|_| AtomicBool::new(false)).collect();
+        ClhLock {
+            m,
+            tail: AtomicUsize::new(m), // slot m starts as the released sentinel
+            flags,
+            mine: (0..m).map(UnsafeCell::new).collect(),
+            spare: (0..m).map(UnsafeCell::new).collect(),
+        }
+    }
+}
+
+impl IdMutex for ClhLock {
+    fn lock(&self, id: usize) {
+        assert!(id < self.m, "process id {id} out of range");
+        // SAFETY: only the thread using `id` touches these cells.
+        let my_slot = unsafe { *self.spare[id].get() };
+        self.flags[my_slot].store(true, Ordering::SeqCst);
+        let pred = self.tail.swap(my_slot, Ordering::SeqCst);
+        while self.flags[pred].load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        unsafe {
+            *self.mine[id].get() = my_slot;
+            // Recycle the predecessor's node as our next spare (classic CLH).
+            *self.spare[id].get() = pred;
+        }
+    }
+
+    fn unlock(&self, id: usize) {
+        let my_slot = unsafe { *self.mine[id].get() };
+        self.flags[my_slot].store(false, Ordering::SeqCst);
+    }
+
+    fn processes(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> &'static str {
+        "clh"
+    }
+}
+
+/// A ticket lock: FAA on a ticket counter, global spin on the grant word.
+/// Simple and fair, but spins on a shared location (not RMR-optimal).
+#[derive(Debug)]
+pub struct TicketLock {
+    m: usize,
+    next: AtomicU64,
+    grant: AtomicU64,
+}
+
+impl TicketLock {
+    /// Create a ticket lock for `m` processes.
+    pub fn new(m: usize) -> Self {
+        TicketLock { m, next: AtomicU64::new(0), grant: AtomicU64::new(0) }
+    }
+}
+
+impl IdMutex for TicketLock {
+    fn lock(&self, _id: usize) {
+        let my = self.next.fetch_add(1, Ordering::SeqCst);
+        while self.grant.load(Ordering::SeqCst) != my {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self, _id: usize) {
+        self.grant.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn processes(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> &'static str {
+        "ticket"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn hammer(lock: Arc<dyn IdMutex>, threads: usize, iters: u64) {
+        struct SendCell(UnsafeCell<u64>);
+        unsafe impl Send for SendCell {}
+        unsafe impl Sync for SendCell {}
+        let counter = Arc::new(SendCell(UnsafeCell::new(0)));
+
+        let mut handles = Vec::new();
+        for id in 0..threads {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..iters {
+                    lock.lock(id);
+                    // Unsynchronized increment: only correct under mutual
+                    // exclusion, so violations surface as lost updates.
+                    unsafe {
+                        *counter.0.get() += 1;
+                    }
+                    lock.unlock(id);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            unsafe { *counter.0.get() },
+            threads as u64 * iters,
+            "{} lost updates",
+            lock.name()
+        );
+    }
+
+    #[test]
+    fn tournament_mutual_exclusion() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            hammer(Arc::new(TournamentLock::new(threads)), threads, 2_000);
+        }
+    }
+
+    #[test]
+    fn clh_mutual_exclusion() {
+        for threads in [1usize, 2, 4, 8] {
+            hammer(Arc::new(ClhLock::new(threads)), threads, 5_000);
+        }
+    }
+
+    #[test]
+    fn ticket_mutual_exclusion() {
+        hammer(Arc::new(TicketLock::new(4)), 4, 5_000);
+    }
+
+    #[test]
+    fn tournament_single_process_is_free() {
+        let m = TournamentLock::new(1);
+        assert_eq!(m.levels(), 0, "m=1: no competitions");
+        m.lock(0);
+        m.unlock(0);
+    }
+
+    #[test]
+    fn arena_assignment_pairs_siblings() {
+        let m = TournamentLock::new(4);
+        // Leaves 4..8; level 0 nodes: p0,p1 -> node 2; p2,p3 -> node 3.
+        assert_eq!(m.arena(0, 0), (2, 0));
+        assert_eq!(m.arena(1, 0), (2, 1));
+        assert_eq!(m.arena(2, 0), (3, 0));
+        assert_eq!(m.arena(3, 0), (3, 1));
+        // Level 1: everyone meets at the root.
+        assert_eq!(m.arena(0, 1).0, 1);
+        assert_eq!(m.arena(3, 1).0, 1);
+        assert_ne!(m.arena(1, 1).1, m.arena(2, 1).1, "subtrees take opposite sides");
+    }
+
+    #[test]
+    fn levels_is_ceil_log2() {
+        assert_eq!(TournamentLock::new(2).levels(), 1);
+        assert_eq!(TournamentLock::new(3).levels(), 2);
+        assert_eq!(TournamentLock::new(8).levels(), 3);
+        assert_eq!(TournamentLock::new(9).levels(), 4);
+    }
+
+    #[test]
+    fn reacquisition_by_same_process() {
+        let m = TournamentLock::new(3);
+        for _ in 0..100 {
+            m.lock(1);
+            m.unlock(1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        TournamentLock::new(2).lock(2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the mutex substrates: random schedules of the
+//! simulated tournament, and real-thread agreement between all three
+//! real locks.
+
+use ccsim::{run_random, Protocol, RunConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use wmutex::{mutex_world, ClhLock, IdMutex, TicketLock, TournamentLock};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Random schedules of the simulated tournament always complete all
+    /// passages with mutual exclusion intact (checked per step by the
+    /// runner), under all three memory models.
+    #[test]
+    fn sim_tournament_random_schedules(
+        m in 1usize..7,
+        seed in any::<u64>(),
+        protocol_idx in 0usize..3,
+    ) {
+        let protocol = [Protocol::WriteBack, Protocol::WriteThrough, Protocol::Dsm][protocol_idx];
+        let mut sim = mutex_world(m, protocol);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let report = run_random(&mut sim, &mut rng, &rc)
+            .map_err(|e| TestCaseError::fail(format!("m={m} {protocol:?} seed={seed}: {e}")))?;
+        prop_assert!(report.completed.iter().all(|&c| c == 3));
+    }
+
+    /// All real locks serialize a non-atomic counter correctly for any
+    /// (threads, iters) shape.
+    #[test]
+    fn real_locks_serialize(threads in 1usize..5, iters in 1u64..400) {
+        let locks: Vec<Arc<dyn IdMutex>> = vec![
+            Arc::new(TournamentLock::new(threads)),
+            Arc::new(ClhLock::new(threads)),
+            Arc::new(TicketLock::new(threads)),
+        ];
+        for lock in locks {
+            struct SendCell(std::cell::UnsafeCell<u64>);
+            unsafe impl Send for SendCell {}
+            unsafe impl Sync for SendCell {}
+            let counter = Arc::new(SendCell(std::cell::UnsafeCell::new(0)));
+            std::thread::scope(|s| {
+                for id in 0..threads {
+                    let lock = Arc::clone(&lock);
+                    let counter = Arc::clone(&counter);
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            lock.lock(id);
+                            unsafe { *counter.0.get() += 1 };
+                            lock.unlock(id);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(
+                unsafe { *counter.0.get() },
+                threads as u64 * iters,
+                "{} lost updates", lock.name()
+            );
+        }
+    }
+}
+
+/// The simulated and real tournament locks share the arena geometry: the
+/// sim solo entry performs the same number of competitions as
+/// `TournamentLock::levels`.
+#[test]
+fn sim_and_real_agree_on_levels() {
+    for m in [1usize, 2, 3, 4, 8, 9] {
+        let real = TournamentLock::new(m);
+        let mut layout = ccsim::Layout::new();
+        let sim = wmutex::SimTournament::allocate(&mut layout, "WL", m);
+        assert_eq!(real.levels(), sim.levels(), "m={m}");
+    }
+}

@@ -1,0 +1,97 @@
+//! A write-heavy metrics registry: many producer threads register and
+//! update metrics (writer passages); a scraper thread snapshots the whole
+//! registry (reader passages).
+//!
+//! ```sh
+//! cargo run --release --example metrics_registry
+//! ```
+//!
+//! With writes dominating, we flip the tradeoff: `FPolicy::Linear`
+//! (`f = n`, groups of one) makes reader passages nearly free while each
+//! writer pays a `Θ(n)` group scan — the right end of the frontier when
+//! writes vastly outnumber reads... except here *updates* are writer
+//! passages, so we instead choose the balanced `SqrtN` point and let the
+//! example print why: it measures both policies and reports which one
+//! sustained higher end-to-end throughput for this mix.
+
+use rwlock_repro::{AfConfig, AfRwLock, FPolicy};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn run(policy: FPolicy, updates_per_producer: u64) -> (f64, u64) {
+    use std::time::Duration;
+    let producers = 3usize; // writer processes
+    let scrapers = 2usize; // reader processes
+    let cfg = AfConfig { readers: scrapers, writers: producers, policy };
+    let lock = AfRwLock::new(cfg, BTreeMap::<String, u64>::new());
+    let snapshots = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..producers {
+            let lock = &lock;
+            scope.spawn(move || {
+                let mut handle = lock.writer(w).unwrap();
+                for i in 0..updates_per_producer {
+                    let mut registry = handle.write();
+                    *registry.entry(format!("requests_total{{worker=\"{w}\"}}")).or_insert(0) += 1;
+                    if i % 64 == 0 {
+                        registry.insert(format!("gauge_{w}_{i}"), i);
+                    }
+                }
+            });
+        }
+        for r in 0..scrapers {
+            let (lock, snapshots) = (&lock, &snapshots);
+            scope.spawn(move || {
+                let mut handle = lock.reader(r).unwrap();
+                loop {
+                    // Scrapers poll on an interval, like any metrics
+                    // collector — continuous reading would starve the
+                    // producers (the writer-fairness limitation the
+                    // paper's §6 acknowledges).
+                    std::thread::sleep(Duration::from_micros(500));
+                    let registry = handle.read();
+                    // A scrape must see a consistent registry: the
+                    // per-worker counters never exceed the quota.
+                    for (k, v) in registry.iter() {
+                        if k.starts_with("requests_total") {
+                            assert!(*v <= updates_per_producer, "impossible counter {v}");
+                        }
+                    }
+                    let done = registry
+                        .iter()
+                        .filter(|(k, v)| {
+                            k.starts_with("requests_total") && **v == updates_per_producer
+                        })
+                        .count();
+                    snapshots.fetch_add(1, Ordering::Relaxed);
+                    if done == producers {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_updates = producers as u64 * updates_per_producer;
+    (total_updates as f64 / elapsed, snapshots.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let updates = 5_000u64;
+    println!("metrics_registry: 3 producers x {updates} updates, 2 scrapers\n");
+    for policy in [FPolicy::One, FPolicy::SqrtN, FPolicy::Linear] {
+        let (updates_per_sec, snapshots) = run(policy, updates);
+        println!(
+            "  {policy:<10}  {updates_per_sec:>12.0} updates/sec   {snapshots:>6} consistent snapshots"
+        );
+    }
+    println!(
+        "\nThe f policy only moves *reader vs writer* RMR cost; writer-vs-\n\
+         writer serialization runs through the Θ(log m) tournament mutex\n\
+         either way. For this write-heavy mix the policies should land\n\
+         close together, with f = 1 avoiding needless writer group scans."
+    );
+}

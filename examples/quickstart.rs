@@ -1,0 +1,52 @@
+//! Quickstart: protect shared data with the `A_f` reader-writer lock.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The lock is configured for a *fixed* process set — `n` readers and `m`
+//! writers — because the paper's RMR bounds are functions of `n` and `m`.
+//! Each thread claims a handle for its process id, then uses RAII guards
+//! exactly like `std::sync::RwLock`.
+
+use rwlock_repro::{AfConfig, AfRwLock, FPolicy};
+use std::collections::HashMap;
+
+fn main() {
+    // 4 reader processes, 2 writer processes. The policy picks the
+    // tradeoff point: LogN balances reader and writer RMR costs.
+    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::LogN };
+    let lock = AfRwLock::new(cfg, HashMap::<String, u64>::new());
+
+    std::thread::scope(|scope| {
+        // Writers populate the map.
+        for w in 0..cfg.writers {
+            let lock = &lock;
+            scope.spawn(move || {
+                let mut handle = lock.writer(w).expect("writer id is free");
+                for i in 0..100u64 {
+                    let mut map = handle.write();
+                    map.insert(format!("key-{w}-{i}"), i * i);
+                }
+            });
+        }
+        // Readers poll for their keys; concurrent readers share the CS.
+        for r in 0..cfg.readers {
+            let lock = &lock;
+            scope.spawn(move || {
+                let mut handle = lock.reader(r).expect("reader id is free");
+                let mut seen = 0usize;
+                while seen < 200 {
+                    let map = handle.read();
+                    seen = map.len();
+                }
+            });
+        }
+    });
+
+    let map = lock.into_inner();
+    assert_eq!(map.len(), 200);
+    println!("quickstart: 2 writers filled {} entries while 4 readers polled", map.len());
+    println!("lock family: A_f with f = log n ({} groups of {} readers)",
+        cfg.groups(), cfg.group_size());
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration: the facade crate's public API exercised end
+//! to end — real lock under threads, simulated lock under the adversary
+//! and the model checker, and agreement between the two forms.
+
+use rwlock_repro::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn real_lock_full_stack_stress() {
+    // Readers observe a monotone pair (x, y) with x == y at all times;
+    // writers bump both. Any torn read or MX failure breaks the
+    // invariant.
+    #[derive(Default)]
+    struct Pair {
+        x: u64,
+        y: u64,
+    }
+    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::SqrtN };
+    let lock = Arc::new(AfRwLock::new(cfg, Pair::default()));
+    std::thread::scope(|s| {
+        for w in 0..2 {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                let mut h = lock.writer(w).unwrap();
+                for _ in 0..2_000 {
+                    let mut p = h.write();
+                    p.x += 1;
+                    p.y += 1;
+                }
+            });
+        }
+        for r in 0..4 {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                let mut h = lock.reader(r).unwrap();
+                let mut last = 0;
+                for _ in 0..2_000 {
+                    let p = h.read();
+                    assert_eq!(p.x, p.y, "torn read under the writer");
+                    assert!(p.x >= last, "time went backwards");
+                    last = p.x;
+                }
+            });
+        }
+    });
+    let p = Arc::try_unwrap(lock).ok().unwrap().into_inner();
+    assert_eq!(p.x, 4_000);
+}
+
+#[test]
+fn simulated_and_real_locks_share_grouping() {
+    // The sim and real implementations must partition readers identically
+    // (same config type drives both).
+    let cfg = AfConfig { readers: 10, writers: 1, policy: FPolicy::SqrtN };
+    let real = RawAfLock::new(cfg);
+    let world = af_world(cfg, Protocol::WriteBack);
+    assert_eq!(real.groups(), world.shared.groups);
+    assert_eq!(real.config().group_size(), world.shared.cfg.group_size());
+}
+
+#[test]
+fn adversary_through_facade() {
+    let cfg = AfConfig { readers: 16, writers: 1, policy: FPolicy::One };
+    let mut world = af_world(cfg, Protocol::WriteBack);
+    let setup = AdversarySetup::new(
+        world.pids.reader_pids().collect(),
+        world.pids.writer(0),
+    );
+    let report = run_lower_bound(&mut world.sim, &setup).unwrap();
+    assert!(report.writer_aware_of_all);
+    assert!(report.iterations >= 2, "r must be ≥ log3(16) - slack");
+    assert!(report.lemma2_bound_held);
+}
+
+#[test]
+fn model_checker_through_facade() {
+    let report = explore(
+        || af_world(AfConfig::new(2, 1), Protocol::WriteBack).sim,
+        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+    )
+    .unwrap();
+    assert!(report.complete);
+}
+
+#[test]
+fn counter_and_mutex_substrates_compose() {
+    // Use the substrates directly, the way A_f composes them: a counter
+    // guarded by nothing (wait-free) plus a mutex-protected section.
+    let counter = Arc::new(FArray::new(4));
+    let mutex = Arc::new(TournamentLock::new(4));
+    let in_mutex = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for id in 0..4 {
+            let counter = Arc::clone(&counter);
+            let mutex = Arc::clone(&mutex);
+            let in_mutex = Arc::clone(&in_mutex);
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    counter.add(id, 1);
+                    mutex.lock(id);
+                    let v = in_mutex.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(v, 0, "two processes inside the mutex");
+                    in_mutex.fetch_sub(1, Ordering::SeqCst);
+                    mutex.unlock(id);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.read(), 4_000);
+}
+
+#[test]
+fn rmr_complexity_shapes_hold_through_facade() {
+    // The headline tradeoff, measured through the public API alone.
+    fn solo_rmrs(cfg: AfConfig, reader: bool) -> u64 {
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let pid = if reader { world.pids.reader(0) } else { world.pids.writer(0) };
+        run_solo(&mut world.sim, pid, 1_000_000, |s| s.stats(pid).passages == 1).unwrap();
+        world.sim.stats(pid).rmrs()
+    }
+    let n = 256;
+    let f1 = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
+    let fn_ = AfConfig { readers: n, writers: 1, policy: FPolicy::Linear };
+    // Writers: Θ(f).
+    assert!(solo_rmrs(fn_, false) > 10 * solo_rmrs(f1, false));
+    // Readers: Θ(log(n/f)).
+    assert!(solo_rmrs(f1, true) > 3 * solo_rmrs(fn_, true));
+}
+
+#[test]
+fn trace_analysis_detects_information_flow_in_af() {
+    // Record a real simulated interaction and confirm awareness flows
+    // from a reader to the writer through the lock's variables.
+    let cfg = AfConfig::new(2, 1);
+    let mut world = af_world(cfg, Protocol::WriteBack);
+    world.sim.set_tracing(true);
+    let r0 = world.pids.reader(0);
+    let w0 = world.pids.writer(0);
+    // Reader completes a passage; then the writer completes one.
+    run_solo(&mut world.sim, r0, 100_000, |s| s.stats(r0).passages == 1).unwrap();
+    run_solo(&mut world.sim, w0, 100_000, |s| s.stats(w0).passages == 1).unwrap();
+    let trace = world.sim.take_trace().unwrap();
+    let tracker = analyze_trace(&trace, world.sim.n_procs());
+    assert!(
+        tracker.awareness(w0).contains(r0),
+        "the writer must have become aware of the reader (Lemma 4 flavour)"
+    );
+}
+
+#[test]
+fn handles_are_safe_across_threads() {
+    // Claims protect against double-use; releasing by drop allows reuse
+    // from another thread.
+    let lock = Arc::new(AfRwLock::new(AfConfig::new(2, 1), 0u8));
+    let l2 = Arc::clone(&lock);
+    let t = std::thread::spawn(move || {
+        let mut h = l2.reader(0).unwrap();
+        let _g = h.read();
+    });
+    t.join().unwrap();
+    // After the thread exits (handle dropped), id 0 is claimable again.
+    lock.reader(0).unwrap();
+}
