@@ -6,49 +6,44 @@
 //! faster uncontended but the CAS loop degrades adversarially. Run with
 //! `cargo bench -p bench --bench counter`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::stopwatch::{bench_loop, bench_workload};
 use fcounter::{CasCounter, FArray, FaaCounter, SharedCounter};
 
-fn bench_add(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counter_add");
+fn bench_add() {
+    println!("== counter_add ==");
     for k in [8usize, 64, 512] {
         let fa = FArray::new(k);
-        group.bench_with_input(BenchmarkId::new("f-array", k), &k, |b, _| {
-            b.iter(|| SharedCounter::add(&fa, 0, 1));
-        });
+        bench_loop(&format!("f-array/{k}"), || SharedCounter::add(&fa, 0, 1));
     }
     let cas = CasCounter::new();
-    group.bench_function("cas-loop", |b| b.iter(|| cas.add(0, 1)));
+    bench_loop("cas-loop", || cas.add(0, 1));
     let faa = FaaCounter::new();
-    group.bench_function("fetch-add", |b| b.iter(|| faa.add(0, 1)));
-    group.finish();
+    bench_loop("fetch-add", || faa.add(0, 1));
 }
 
-fn bench_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counter_read");
+fn bench_read() {
+    println!("== counter_read ==");
     for k in [8usize, 512] {
         let fa = FArray::new(k);
         fa.add(0, 3);
-        group.bench_with_input(BenchmarkId::new("f-array", k), &k, |b, _| {
-            b.iter(|| std::hint::black_box(SharedCounter::read(&fa)));
+        bench_loop(&format!("f-array/{k}"), || {
+            std::hint::black_box(SharedCounter::read(&fa));
         });
     }
     let faa = FaaCounter::new();
-    group.bench_function("fetch-add", |b| {
-        b.iter(|| std::hint::black_box(faa.read()))
+    bench_loop("fetch-add", || {
+        std::hint::black_box(faa.read());
     });
-    group.finish();
 }
 
-fn bench_contended_adds(c: &mut Criterion) {
+fn bench_contended_adds() {
     use std::sync::Arc;
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .clamp(2, 8);
     let per_thread = 2_000u64;
-    let mut group = c.benchmark_group(format!("counter_contended/{threads}threads"));
-    group.sample_size(10);
+    println!("== counter_contended/{threads}threads ==");
 
     let counters: Vec<Arc<dyn SharedCounter>> = vec![
         Arc::new(FArray::new(threads)),
@@ -57,25 +52,25 @@ fn bench_contended_adds(c: &mut Criterion) {
     ];
     for counter in counters {
         let label = counter.name().to_string();
-        group.bench_function(&label, |b| {
-            b.iter(|| {
-                let mut handles = Vec::new();
-                for id in 0..threads {
-                    let counter = Arc::clone(&counter);
-                    handles.push(std::thread::spawn(move || {
-                        for _ in 0..per_thread {
-                            counter.add(id, 1);
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
+        bench_workload(&label, 5, || {
+            let mut handles = Vec::new();
+            for id in 0..threads {
+                let counter = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.add(id, 1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_add, bench_read, bench_contended_adds);
-criterion_main!(benches);
+fn main() {
+    bench_add();
+    bench_read();
+    bench_contended_adds();
+}

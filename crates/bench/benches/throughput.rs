@@ -1,12 +1,12 @@
-//! E8 — real-hardware throughput: `A_f` vs baselines vs `std`/`parking_lot`.
+//! E8 — real-hardware throughput: `A_f` vs baselines vs `std::RwLock`.
 //!
 //! Each sample runs a complete multi-threaded workload (threads spawned
-//! per iteration, synchronized on a barrier) and reports time per total
+//! per run, synchronized on a barrier) and reports time per total
 //! workload; divide by `Workload::total_passages()` for per-passage cost.
 //! Run with `cargo bench -p bench --bench throughput`.
 
+use bench::stopwatch::bench_workload;
 use bench::throughput::{contenders, run_throughput, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn thread_budget() -> usize {
     std::thread::available_parallelism()
@@ -15,7 +15,7 @@ fn thread_budget() -> usize {
         .clamp(2, 8)
 }
 
-fn bench_read_heavy(c: &mut Criterion) {
+fn bench_read_heavy() {
     let threads = thread_budget();
     let workload = Workload {
         readers: threads.saturating_sub(1).max(1),
@@ -23,18 +23,16 @@ fn bench_read_heavy(c: &mut Criterion) {
         reads_per_reader: 2_000,
         writes_per_writer: 200,
     };
-    let mut group = c.benchmark_group(format!("read_heavy/{threads}threads"));
-    group.sample_size(10);
+    println!("== read_heavy/{threads}threads ==");
     for lock in contenders(workload.readers, workload.writers) {
         let label = lock.label();
-        group.bench_function(&label, |b| {
-            b.iter(|| run_throughput(lock.clone(), workload));
+        bench_workload(&label, 5, || {
+            run_throughput(lock.clone(), workload);
         });
     }
-    group.finish();
 }
 
-fn bench_mixed(c: &mut Criterion) {
+fn bench_mixed() {
     let threads = thread_budget();
     let workload = Workload {
         readers: (threads / 2).max(1),
@@ -42,16 +40,16 @@ fn bench_mixed(c: &mut Criterion) {
         reads_per_reader: 1_000,
         writes_per_writer: 1_000,
     };
-    let mut group = c.benchmark_group(format!("mixed/{threads}threads"));
-    group.sample_size(10);
+    println!("== mixed/{threads}threads ==");
     for lock in contenders(workload.readers, workload.writers) {
         let label = lock.label();
-        group.bench_function(&label, |b| {
-            b.iter(|| run_throughput(lock.clone(), workload));
+        bench_workload(&label, 5, || {
+            run_throughput(lock.clone(), workload);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_read_heavy, bench_mixed);
-criterion_main!(benches);
+fn main() {
+    bench_read_heavy();
+    bench_mixed();
+}

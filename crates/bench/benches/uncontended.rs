@@ -4,17 +4,20 @@
 //! moves that cost between the two rows. Run with
 //! `cargo bench -p bench --bench uncontended`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::stopwatch::bench_loop;
 use rwcore::{
-    AfConfig, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock, MutexRwLock, RawAfLock,
-    RawRwLock,
+    AfConfig, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock, MutexRwLock, RawAfLock, RawRwLock,
 };
 
 fn locks(n: usize) -> Vec<(String, Box<dyn RawRwLock>)> {
     vec![
         (
             "a_f(f=1)".into(),
-            Box::new(RawAfLock::new(AfConfig { readers: n, writers: 2, policy: FPolicy::One })),
+            Box::new(RawAfLock::new(AfConfig {
+                readers: n,
+                writers: 2,
+                policy: FPolicy::One,
+            })),
         ),
         (
             "a_f(f=sqrt)".into(),
@@ -46,33 +49,29 @@ fn locks(n: usize) -> Vec<(String, Box<dyn RawRwLock>)> {
     ]
 }
 
-fn bench_reader_passage(c: &mut Criterion) {
+fn bench_reader_passage() {
     let n = 64;
-    let mut group = c.benchmark_group("uncontended_reader_passage");
+    println!("== uncontended_reader_passage ==");
     for (name, lock) in locks(n) {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                lock.reader_lock(0);
-                lock.reader_unlock(0);
-            });
+        bench_loop(&name, || {
+            lock.reader_lock(0);
+            lock.reader_unlock(0);
         });
     }
-    group.finish();
 }
 
-fn bench_writer_passage(c: &mut Criterion) {
+fn bench_writer_passage() {
     let n = 64;
-    let mut group = c.benchmark_group("uncontended_writer_passage");
+    println!("== uncontended_writer_passage ==");
     for (name, lock) in locks(n) {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                lock.writer_lock(0);
-                lock.writer_unlock(0);
-            });
+        bench_loop(&name, || {
+            lock.writer_lock(0);
+            lock.writer_unlock(0);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_reader_passage, bench_writer_passage);
-criterion_main!(benches);
+fn main() {
+    bench_reader_passage();
+    bench_writer_passage();
+}

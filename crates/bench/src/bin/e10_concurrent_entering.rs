@@ -11,7 +11,11 @@ fn main() {
     let mut table = Table::new(["n", "f policy", "K=n/f", "max entry steps b", "b/log2K"]);
     for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
         for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear] {
-            let cfg = AfConfig { readers: n, writers: 1, policy };
+            let cfg = AfConfig {
+                readers: n,
+                writers: 1,
+                policy,
+            };
             let b = measure_concurrent_entering(cfg, Protocol::WriteBack);
             let k = cfg.group_size();
             table.row([

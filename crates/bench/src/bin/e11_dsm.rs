@@ -15,7 +15,10 @@ use rwcore::{af_world, AfConfig, FPolicy};
 
 fn contended_mutex_rmrs(m: usize, protocol: Protocol) -> u64 {
     let mut sim = wmutex::mutex_world(m, protocol);
-    let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+    let rc = RunConfig {
+        passages_per_proc: 3,
+        ..Default::default()
+    };
     run_round_robin(&mut sim, &rc).expect("mutex run");
     (0..m)
         .map(|i| {
@@ -27,9 +30,16 @@ fn contended_mutex_rmrs(m: usize, protocol: Protocol) -> u64 {
 }
 
 fn contended_reader_rmrs(n: usize, protocol: Protocol) -> u64 {
-    let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let mut world = af_world(cfg, protocol);
-    let rc = RunConfig { passages_per_proc: 2, ..Default::default() };
+    let rc = RunConfig {
+        passages_per_proc: 2,
+        ..Default::default()
+    };
     run_round_robin(&mut world.sim, &rc).expect("af run");
     (0..n)
         .map(|r| {

@@ -10,9 +10,7 @@
 //! centralized CAS lock needs the whole word to hit 0 and starves worst.
 
 use bench::Table;
-use ccsim::{Phase, ProcId, Protocol, Sim, Step};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccsim::{Phase, Prng, ProcId, Protocol, Sim, Step};
 use rwcore::{af_world, centralized_world, faa_world, AfConfig, FPolicy, PidMap};
 
 /// Steps until the writer enters the CS while `active` readers churn.
@@ -24,16 +22,19 @@ fn writer_latency(
     seed: u64,
     budget: u64,
 ) -> Option<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let readers: Vec<ProcId> = pids.reader_pids().take(active).collect();
     let writer = pids.writer(0);
-    let participants: Vec<ProcId> =
-        readers.iter().copied().chain(std::iter::once(writer)).collect();
+    let participants: Vec<ProcId> = readers
+        .iter()
+        .copied()
+        .chain(std::iter::once(writer))
+        .collect();
     for t in 0..budget {
         if sim.phase(writer) == Phase::Cs {
             return Some(t);
         }
-        let p = participants[rng.gen_range(0..participants.len())];
+        let p = participants[rng.below(participants.len())];
         // Readers cycle forever; the writer keeps trying its one passage.
         match sim.poll(p) {
             Step::Remainder if p == writer && sim.stats(writer).passages > 0 => continue,
@@ -63,7 +64,11 @@ fn main() {
     for active in [0usize, 1, 2, 4, 8, 16] {
         let samples: Vec<Option<u64>> = (0..seeds)
             .map(|seed| {
-                let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
+                let cfg = AfConfig {
+                    readers: n,
+                    writers: 1,
+                    policy: FPolicy::One,
+                };
                 let mut world = af_world(cfg, Protocol::WriteBack);
                 writer_latency(&mut world.sim, &world.pids, active, seed, budget)
             })
@@ -76,7 +81,11 @@ fn main() {
                 writer_latency(&mut world.sim, &world.pids, active, seed, budget)
             })
             .collect();
-        table.row(["faa-indicator".to_string(), active.to_string(), median(samples)]);
+        table.row([
+            "faa-indicator".to_string(),
+            active.to_string(),
+            median(samples),
+        ]);
 
         let samples: Vec<Option<u64>> = (0..seeds)
             .map(|seed| {
@@ -84,7 +93,11 @@ fn main() {
                 writer_latency(&mut world.sim, &world.pids, active, seed, budget)
             })
             .collect();
-        table.row(["centralized-cas".to_string(), active.to_string(), median(samples)]);
+        table.row([
+            "centralized-cas".to_string(),
+            active.to_string(),
+            median(samples),
+        ]);
     }
 
     println!("E12 — writer time-to-CS under reader churn (n = {n}, budget {budget})\n");

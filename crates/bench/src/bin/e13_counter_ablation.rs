@@ -13,17 +13,13 @@ use knowledge::{run_lower_bound, AdversarySetup};
 use rwcore::{af_world_custom, AfConfig, CounterKind, FPolicy, HelpOrder};
 
 fn adversary_exit_cost(n: usize, counters: CounterKind) -> (u64, u64) {
-    let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
-    let mut world = af_world_custom(
-        cfg,
-        Protocol::WriteBack,
-        HelpOrder::WaitersFirst,
-        counters,
-    );
-    let setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
+    let mut world = af_world_custom(cfg, Protocol::WriteBack, HelpOrder::WaitersFirst, counters);
+    let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     let report = run_lower_bound(&mut world.sim, &setup).expect("construction completes");
     assert!(report.writer_aware_of_all);
     (report.iterations, report.max_reader_exit_rmrs)

@@ -9,9 +9,7 @@
 //! back-to-back writers).
 
 use bench::Table;
-use ccsim::{Phase, ProcId, Protocol, Sim, Step};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccsim::{Phase, Prng, ProcId, Protocol, Sim, Step};
 use rwcore::{af_world, gated_af_world, AfConfig, FPolicy, PidMap};
 
 fn writer_latency(
@@ -21,16 +19,19 @@ fn writer_latency(
     seed: u64,
     budget: u64,
 ) -> Option<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let readers: Vec<ProcId> = pids.reader_pids().take(active).collect();
     let writer = pids.writer(0);
-    let participants: Vec<ProcId> =
-        readers.iter().copied().chain(std::iter::once(writer)).collect();
+    let participants: Vec<ProcId> = readers
+        .iter()
+        .copied()
+        .chain(std::iter::once(writer))
+        .collect();
     for t in 0..budget {
         if sim.phase(writer) == Phase::Cs {
             return Some(t);
         }
-        let p = participants[rng.gen_range(0..participants.len())];
+        let p = participants[rng.below(participants.len())];
         match sim.poll(p) {
             Step::Remainder if p == writer && sim.stats(writer).passages > 0 => continue,
             _ => {
@@ -59,7 +60,11 @@ fn main() {
     let n = 16usize;
     let budget = 2_000_000u64;
     let seeds = 11u64;
-    let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let mut table = Table::new([
         "active readers",
         "A_f median",

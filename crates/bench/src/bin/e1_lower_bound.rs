@@ -27,12 +27,14 @@ fn main() {
 
     for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
         for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN] {
-            let cfg = AfConfig { readers: n, writers: 1, policy };
+            let cfg = AfConfig {
+                readers: n,
+                writers: 1,
+                policy,
+            };
             let mut world = af_world(cfg, Protocol::WriteBack);
-            let setup = AdversarySetup::new(
-                world.pids.reader_pids().collect(),
-                world.pids.writer(0),
-            );
+            let setup =
+                AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
             let report = run_lower_bound(&mut world.sim, &setup)
                 .unwrap_or_else(|e| panic!("n={n} {policy}: {e}"));
             let predicted = log3(n as f64 / cfg.occupied_groups() as f64);
@@ -45,8 +47,18 @@ fn main() {
                 report.max_reader_expanding.to_string(),
                 report.max_reader_exit_rmrs.to_string(),
                 report.writer_entry_rmrs.to_string(),
-                if report.lemma2_bound_held { "ok" } else { "VIOLATED" }.to_string(),
-                if report.writer_aware_of_all { "ok" } else { "VIOLATED" }.to_string(),
+                if report.lemma2_bound_held {
+                    "ok"
+                } else {
+                    "VIOLATED"
+                }
+                .to_string(),
+                if report.writer_aware_of_all {
+                    "ok"
+                } else {
+                    "VIOLATED"
+                }
+                .to_string(),
             ]);
         }
     }

@@ -4,12 +4,42 @@
 //! protocols: solo from cold caches, and after all `n` readers have
 //! passed (counters resident in reader caches). The `RMR / f` column
 //! should stay near a constant per policy as `n` grows.
+//!
+//! Each `(n, policy, protocol)` config is an independent simulation, so
+//! the sweep fans out across cores via [`bench::par::par_map`]; the table
+//! is printed from in-order results and is byte-identical to a
+//! sequential run.
 
-use bench::{measure_af, Table};
+use bench::par::par_map;
+use bench::{measure_af, standard_sweep, Table};
 use ccsim::Protocol;
-use rwcore::{AfConfig, FPolicy};
+use rwcore::AfConfig;
 
 fn main() {
+    // CI smoke mode: one small config per protocol instead of the full
+    // sweep, so the workflow exercises the whole measurement path in
+    // seconds.
+    let sweep = if std::env::var_os("BENCH_E2_SMOKE").is_some() {
+        vec![(16usize, rwcore::FPolicy::One)]
+    } else {
+        standard_sweep()
+    };
+    let configs: Vec<(Protocol, usize, rwcore::FPolicy)> =
+        [Protocol::WriteBack, Protocol::WriteThrough]
+            .into_iter()
+            .flat_map(|protocol| sweep.iter().map(move |&(n, policy)| (protocol, n, policy)))
+            .collect();
+    let samples = par_map(&configs, |&(protocol, n, policy)| {
+        measure_af(
+            AfConfig {
+                readers: n,
+                writers: 1,
+                policy,
+            },
+            protocol,
+        )
+    });
+
     for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
         let mut table = Table::new([
             "n",
@@ -20,20 +50,19 @@ fn main() {
             "writer post-readers RMR",
             "post/f",
         ]);
-        for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
-            for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear] {
-                let cfg = AfConfig { readers: n, writers: 1, policy };
-                let s = measure_af(cfg, protocol);
-                table.row([
-                    n.to_string(),
-                    policy.to_string(),
-                    s.groups.to_string(),
-                    s.writer_solo_rmrs.to_string(),
-                    format!("{:.1}", s.writer_solo_rmrs as f64 / s.groups as f64),
-                    s.writer_post_reader_rmrs.to_string(),
-                    format!("{:.1}", s.writer_post_reader_rmrs as f64 / s.groups as f64),
-                ]);
+        for ((p, n, policy), s) in configs.iter().zip(&samples) {
+            if *p != protocol {
+                continue;
             }
+            table.row([
+                n.to_string(),
+                policy.to_string(),
+                s.groups.to_string(),
+                s.writer_solo_rmrs.to_string(),
+                format!("{:.1}", s.writer_solo_rmrs as f64 / s.groups as f64),
+                s.writer_post_reader_rmrs.to_string(),
+                format!("{:.1}", s.writer_post_reader_rmrs as f64 / s.groups as f64),
+            ]);
         }
         println!("E2 — writer passage RMRs, {protocol:?} protocol\n");
         table.print();

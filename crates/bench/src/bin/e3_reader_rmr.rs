@@ -6,12 +6,37 @@
 //! writer holds the CS). The `RMR / log2(K)` column should stay near a
 //! constant as `n` grows (K = n/f is the group size; the passage cost is
 //! dominated by the f-array adds).
+//!
+//! The `(n, policy, protocol)` sweep fans out across cores via
+//! [`bench::par::par_map`]; output order (and bytes) match a sequential
+//! run.
 
-use bench::{log2, measure_af, Table};
+use bench::par::par_map;
+use bench::{log2, measure_af, standard_sweep, Table};
 use ccsim::Protocol;
-use rwcore::{AfConfig, FPolicy};
+use rwcore::AfConfig;
 
 fn main() {
+    let configs: Vec<(Protocol, usize, rwcore::FPolicy)> =
+        [Protocol::WriteBack, Protocol::WriteThrough]
+            .into_iter()
+            .flat_map(|protocol| {
+                standard_sweep()
+                    .into_iter()
+                    .map(move |(n, policy)| (protocol, n, policy))
+            })
+            .collect();
+    let samples = par_map(&configs, |&(protocol, n, policy)| {
+        measure_af(
+            AfConfig {
+                readers: n,
+                writers: 1,
+                policy,
+            },
+            protocol,
+        )
+    });
+
     for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
         let mut table = Table::new([
             "n",
@@ -22,21 +47,20 @@ fn main() {
             "concurrent max RMR",
             "wait-path RMR",
         ]);
-        for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
-            for policy in [FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear] {
-                let cfg = AfConfig { readers: n, writers: 1, policy };
-                let s = measure_af(cfg, protocol);
-                let logk = log2(s.group_size.max(2) as f64);
-                table.row([
-                    n.to_string(),
-                    policy.to_string(),
-                    s.group_size.to_string(),
-                    s.reader_solo_rmrs.to_string(),
-                    format!("{:.1}", s.reader_solo_rmrs as f64 / logk),
-                    s.reader_concurrent_max_rmrs.to_string(),
-                    s.reader_wait_path_rmrs.to_string(),
-                ]);
+        for ((p, n, policy), s) in configs.iter().zip(&samples) {
+            if *p != protocol {
+                continue;
             }
+            let logk = log2(s.group_size.max(2) as f64);
+            table.row([
+                n.to_string(),
+                policy.to_string(),
+                s.group_size.to_string(),
+                s.reader_solo_rmrs.to_string(),
+                format!("{:.1}", s.reader_solo_rmrs as f64 / logk),
+                s.reader_concurrent_max_rmrs.to_string(),
+                s.reader_wait_path_rmrs.to_string(),
+            ]);
         }
         println!("E3 — reader passage RMRs, {protocol:?} protocol\n");
         table.print();

@@ -5,13 +5,34 @@
 //! product-shape check: writer ≈ c1·f while reader ≈ c2·log(n/f), so as f
 //! doubles, writer RMRs roughly double and reader RMRs drop by about one
 //! tree level.
+//!
+//! Each `f` point is an independent simulation; the sweep fans out via
+//! [`bench::par::par_map`] with in-order (byte-identical) output.
 
+use bench::par::par_map;
 use bench::{log2, measure_af, Table};
 use ccsim::Protocol;
 use rwcore::{AfConfig, FPolicy};
 
 fn main() {
     let n = 1024usize;
+    let mut fs = Vec::new();
+    let mut f = 1usize;
+    while f <= n {
+        fs.push(f);
+        f *= 2;
+    }
+    let samples = par_map(&fs, |&f| {
+        measure_af(
+            AfConfig {
+                readers: n,
+                writers: 1,
+                policy: FPolicy::Groups(f),
+            },
+            Protocol::WriteBack,
+        )
+    });
+
     let mut table = Table::new([
         "f (groups)",
         "K=n/f",
@@ -21,10 +42,7 @@ fn main() {
         "reader concurrent RMR",
         "log2(K)",
     ]);
-    let mut f = 1usize;
-    while f <= n {
-        let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::Groups(f) };
-        let s = measure_af(cfg, Protocol::WriteBack);
+    for s in &samples {
         table.row([
             s.groups.to_string(),
             s.group_size.to_string(),
@@ -34,7 +52,6 @@ fn main() {
             s.reader_concurrent_max_rmrs.to_string(),
             format!("{:.1}", log2(s.group_size.max(1) as f64)),
         ]);
-        f *= 2;
     }
     println!("E4 — tradeoff frontier at n = {n} (write-back CC)\n");
     table.print();

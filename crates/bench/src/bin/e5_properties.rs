@@ -7,10 +7,8 @@
 //! starvation signals would surface as stalls).
 
 use bench::Table;
-use ccsim::{run_random, Protocol, RunConfig};
+use ccsim::{run_random, Prng, Protocol, RunConfig};
 use modelcheck::{explore, CheckConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rwcore::{af_world, af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
 fn main() {
@@ -25,16 +23,29 @@ fn main() {
         (3, 1, 1, FPolicy::Groups(2)),
         (2, 1, 2, FPolicy::One),
     ] {
-        let cfg = AfConfig { readers: n, writers: m, policy };
+        let cfg = AfConfig {
+            readers: n,
+            writers: m,
+            policy,
+        };
         let t0 = std::time::Instant::now();
         match explore(
             || af_world(cfg, Protocol::WriteBack).sim,
-            &CheckConfig { passages_per_proc: q, max_states: 200_000_000, ..Default::default() },
+            &CheckConfig {
+                passages_per_proc: q,
+                max_states: 200_000_000,
+                ..Default::default()
+            },
         ) {
             Ok(r) => table.row([
                 "exhaustive MX".to_string(),
                 format!("n={n} m={m} q={q} {policy}"),
-                if r.complete { "SAFE (complete)" } else { "SAFE (capped)" }.to_string(),
+                if r.complete {
+                    "SAFE (complete)"
+                } else {
+                    "SAFE (capped)"
+                }
+                .to_string(),
                 format!("{} states in {:?}", r.states_explored, t0.elapsed()),
             ]),
             Err(e) => table.row([
@@ -47,17 +58,29 @@ fn main() {
     }
 
     // The reproduction finding: the paper-literal HelpWCS order violates MX.
-    let cfg = AfConfig { readers: 3, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: 3,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let t0 = std::time::Instant::now();
     match explore(
         || af_world_with_order(cfg, Protocol::WriteBack, HelpOrder::PaperLiteral).sim,
-        &CheckConfig { passages_per_proc: 1, max_states: 200_000_000, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            max_states: 200_000_000,
+            ..Default::default()
+        },
     ) {
         Err(e) => table.row([
             "paper-literal HelpWCS".to_string(),
             "n=3 m=1 q=1 f=1".to_string(),
             "VIOLATION FOUND (expected)".to_string(),
-            format!("schedule length {} in {:?}", e.schedule().len(), t0.elapsed()),
+            format!(
+                "schedule length {} in {:?}",
+                e.schedule().len(),
+                t0.elapsed()
+            ),
         ]),
         Ok(r) => table.row([
             "paper-literal HelpWCS".to_string(),
@@ -73,13 +96,20 @@ fn main() {
         (16, 4, FPolicy::SqrtN),
         (32, 2, FPolicy::One),
     ] {
-        let cfg = AfConfig { readers: n, writers: m, policy };
+        let cfg = AfConfig {
+            readers: n,
+            writers: m,
+            policy,
+        };
         let mut failures = 0;
         let seeds = 50;
         for seed in 0..seeds {
             let mut world = af_world(cfg, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let rc = RunConfig { passages_per_proc: 5, ..Default::default() };
+            let mut rng = Prng::new(seed);
+            let rc = RunConfig {
+                passages_per_proc: 5,
+                ..Default::default()
+            };
             if run_random(&mut world.sim, &mut rng, &rc).is_err() {
                 failures += 1;
             }
@@ -87,7 +117,12 @@ fn main() {
         table.row([
             "random stress".to_string(),
             format!("n={n} m={m} {policy}"),
-            if failures == 0 { "SAFE + LIVE" } else { "FAILURES" }.to_string(),
+            if failures == 0 {
+                "SAFE + LIVE"
+            } else {
+                "FAILURES"
+            }
+            .to_string(),
             format!("{seeds} seeds x 5 passages/proc, {failures} failures"),
         ]);
     }

@@ -1,8 +1,9 @@
 //! # bench — the experiment harness
 //!
 //! One binary per paper claim (see `src/bin/`, DESIGN.md's per-experiment
-//! index, and EXPERIMENTS.md for recorded results), plus criterion
-//! micro-benchmarks under `benches/`.
+//! index, and EXPERIMENTS.md for recorded results), plus dependency-free
+//! micro-benchmarks under `benches/` (plain `harness = false` mains timed
+//! with [`stopwatch`]).
 //!
 //! | binary | claim |
 //! |---|---|
@@ -15,13 +16,21 @@
 //! | `e7_baselines` | §6: centralized CAS vs `A_f` vs FAA under the adversary |
 //! | `e9_counter` | f-array: `add` `Θ(log K)` steps, `read` `O(1)` |
 //! | `e10_concurrent_entering` | Concurrent Entering constant `b` |
+//! | `perf_smoke` | simulator steps/sec: directory core vs reference core |
 //!
-//! (`e8` is the criterion throughput suite: `cargo bench -p bench`.)
+//! (`e8` is the throughput bench suite: `cargo bench -p bench`.)
+//!
+//! Sweep-shaped experiments (`e2`, `e3`, `e4`, `e7`) fan their
+//! independent configs across cores with [`par::par_map`]; results come
+//! back in input order, so the printed tables are byte-identical to a
+//! sequential run (`BENCH_THREADS=1` forces one).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod par;
 mod rmr;
+pub mod stopwatch;
 mod table;
 pub mod throughput;
 

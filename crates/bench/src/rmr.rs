@@ -70,24 +70,41 @@ pub fn measure_af(cfg: AfConfig, protocol: Protocol) -> AfRmrSample {
     let mut world = af_world(cfg, protocol);
     for r in 0..cfg.readers {
         let pid = world.pids.reader(r);
-        run_solo(&mut world.sim, pid, 10_000_000, |s| s.stats(pid).passages >= 1)
-            .expect("reader warmup");
+        run_solo(&mut world.sim, pid, 10_000_000, |s| {
+            s.stats(pid).passages >= 1
+        })
+        .expect("reader warmup");
     }
     let w0 = world.pids.writer(0);
     let writer_post_reader_rmrs = solo_passage(&mut world.sim, w0);
 
-    // Scenario 4: all readers pass concurrently; take the worst mean.
+    // Scenario 4: all processes pass concurrently; take the worst
+    // per-reader mean. The round-robin runner schedules *every* process
+    // to its quota, writers included — the writers' passages perturb the
+    // schedule (readers may take the wait path) but RMR stats are
+    // per-process, so the reader rows count only reader RMRs. This makes
+    // the scenario the "realistic mix" number rather than a reader-only
+    // ideal; the reader-only cost is scenario 2 (solo).
     let mut world = af_world(cfg, protocol);
     world.sim.reset_stats();
-    let rc = RunConfig { passages_per_proc: 2, ..Default::default() };
-    // Only readers participate: writers have quota too under the runner,
-    // so use a reader-only sub-run by letting writers idle (they complete
-    // their quota as well; their RMRs don't affect reader stats).
-    run_round_robin(&mut world.sim, &rc).expect("concurrent readers");
+    let rc = RunConfig {
+        passages_per_proc: 2,
+        ..Default::default()
+    };
+    run_round_robin(&mut world.sim, &rc).expect("concurrent passages");
     let reader_concurrent_max_rmrs = (0..cfg.readers)
         .map(|r| {
             let pid = world.pids.reader(r);
-            passage_rmrs(&world.sim, pid) / world.sim.stats(pid).passages.max(1)
+            let passages = world.sim.stats(pid).passages;
+            // The divisor below is only meaningful if the run really
+            // completed the reader's quota (the runner errors on stalls,
+            // so anything else is a harness bug).
+            assert_eq!(
+                passages, rc.passages_per_proc,
+                "reader {r} finished {passages} of {} passages",
+                rc.passages_per_proc
+            );
+            passage_rmrs(&world.sim, pid) / passages
         })
         .max()
         .unwrap_or(0);
@@ -107,8 +124,10 @@ pub fn measure_af(cfg: AfConfig, protocol: Protocol) -> AfRmrSample {
         s.phase(w0) == Phase::Remainder
     })
     .expect("writer completes");
-    run_solo(&mut world.sim, r0, 10_000_000, |s| s.stats(r0).passages >= 1)
-        .expect("waiting reader completes after writer");
+    run_solo(&mut world.sim, r0, 10_000_000, |s| {
+        s.stats(r0).passages >= 1
+    })
+    .expect("waiting reader completes after writer");
     let reader_wait_path_rmrs = passage_rmrs(&world.sim, r0);
 
     AfRmrSample {
@@ -144,7 +163,10 @@ pub fn measure_mutex(m: usize, protocol: Protocol) -> MutexRmrSample {
     let solo_rmrs = solo_passage(&mut sim, p0);
 
     let mut sim = wmutex::mutex_world(m, protocol);
-    let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+    let rc = RunConfig {
+        passages_per_proc: 3,
+        ..Default::default()
+    };
     run_round_robin(&mut sim, &rc).expect("contended mutex run");
     let contended_max_rmrs = (0..m)
         .map(|i| {
@@ -175,7 +197,10 @@ pub fn measure_concurrent_entering(cfg: AfConfig, protocol: Protocol) -> u64 {
     let mut guard = 0u64;
     while !remaining.is_empty() {
         guard += 1;
-        assert!(guard < 10_000_000, "Concurrent Entering violated (no bound)");
+        assert!(
+            guard < 10_000_000,
+            "Concurrent Entering violated (no bound)"
+        );
         remaining.retain(|&r| {
             if world.sim.phase(r) == Phase::Cs {
                 return false;
@@ -185,8 +210,9 @@ pub fn measure_concurrent_entering(cfg: AfConfig, protocol: Protocol) -> u64 {
         });
     }
     for &r in &reader_pids {
-        max_entry_steps = max_entry_steps
-            .max(world.sim.stats(r).ops_in(Phase::Entry) + 1 /* begin-passage step */);
+        max_entry_steps = max_entry_steps.max(
+            world.sim.stats(r).ops_in(Phase::Entry) + 1, /* begin-passage step */
+        );
     }
     max_entry_steps
 }
@@ -208,7 +234,11 @@ mod tests {
 
     #[test]
     fn af_sample_shapes() {
-        let cfg = AfConfig { readers: 16, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 16,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let s = measure_af(cfg, Protocol::WriteBack);
         assert_eq!(s.groups, 1);
         assert!(s.writer_solo_rmrs > 0);
@@ -219,11 +249,19 @@ mod tests {
     #[test]
     fn writer_rmrs_grow_with_f() {
         let base = measure_af(
-            AfConfig { readers: 64, writers: 1, policy: FPolicy::One },
+            AfConfig {
+                readers: 64,
+                writers: 1,
+                policy: FPolicy::One,
+            },
             Protocol::WriteBack,
         );
         let lin = measure_af(
-            AfConfig { readers: 64, writers: 1, policy: FPolicy::Linear },
+            AfConfig {
+                readers: 64,
+                writers: 1,
+                policy: FPolicy::Linear,
+            },
             Protocol::WriteBack,
         );
         assert!(
@@ -250,11 +288,19 @@ mod tests {
     #[test]
     fn concurrent_entering_bound_is_logarithmic() {
         let b16 = measure_concurrent_entering(
-            AfConfig { readers: 16, writers: 1, policy: FPolicy::One },
+            AfConfig {
+                readers: 16,
+                writers: 1,
+                policy: FPolicy::One,
+            },
             Protocol::WriteBack,
         );
         let b256 = measure_concurrent_entering(
-            AfConfig { readers: 256, writers: 1, policy: FPolicy::One },
+            AfConfig {
+                readers: 256,
+                writers: 1,
+                policy: FPolicy::One,
+            },
             Protocol::WriteBack,
         );
         assert!(b16 > 0 && b256 > 0);

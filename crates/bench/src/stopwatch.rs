@@ -1,0 +1,78 @@
+//! Dependency-free micro-benchmark timing (replaces criterion).
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! `benches/` entry points are plain `harness = false` mains timed with
+//! [`std::time::Instant`]. Two shapes:
+//!
+//! * [`bench_loop`] — nanoseconds per call of a cheap operation, with
+//!   automatic calibration of the inner iteration count;
+//! * [`bench_workload`] — seconds per run of a heavyweight closure (a
+//!   full multi-threaded workload), best of a few samples.
+
+use std::time::{Duration, Instant};
+
+/// Samples taken per measurement; the minimum is reported (least noise).
+const SAMPLES: usize = 5;
+
+/// Calibration target per sample: long enough to swamp timer overhead.
+const TARGET: Duration = Duration::from_millis(20);
+
+/// Time a cheap operation and print `label  ns/iter`.
+///
+/// Calibrates the inner loop until one sample takes at least 20 ms, then
+/// takes five samples and reports the fastest (the usual floor-seeking
+/// estimator for micro-benchmarks).
+pub fn bench_loop(label: &str, mut f: impl FnMut()) {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if start.elapsed() >= TARGET || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!(
+        "{label:<44} {:>12.1} ns/iter   ({iters} iters/sample)",
+        best * 1e9
+    );
+}
+
+/// Time a heavyweight closure (one full workload per call) and print
+/// `label  seconds/run`, best of `samples` runs. Returns the best time.
+pub fn bench_workload(label: &str, samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    println!(
+        "{label:<44} {:>12.3} ms/run    (best of {samples})",
+        best.as_secs_f64() * 1e3
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_timer_returns_elapsed() {
+        let d = bench_workload("noop", 2, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(d < Duration::from_secs(1));
+    }
+}

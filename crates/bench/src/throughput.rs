@@ -2,7 +2,10 @@
 //!
 //! Measures wall-clock passages/second of the real-atomics locks under
 //! mixed read/write workloads, with per-thread roles fixed up front (the
-//! `A_f` model has distinct reader and writer processes).
+//! `A_f` model has distinct reader and writer processes). The external
+//! baseline is `std::sync::RwLock` only: the workspace builds offline
+//! with zero external dependencies, so the `parking_lot` contender was
+//! dropped.
 
 use rwcore::{AfConfig, CentralizedRwLock, FaaRwLock, MutexRwLock, RawAfLock, RawRwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +33,10 @@ pub struct RawAdapter<L> {
 impl<L: RawRwLock> RawAdapter<L> {
     /// Wrap a raw lock.
     pub fn new(lock: L) -> Self {
-        RawAdapter { lock, shared: AtomicU64::new(0) }
+        RawAdapter {
+            lock,
+            shared: AtomicU64::new(0),
+        }
     }
 }
 
@@ -66,24 +72,6 @@ impl BenchLock for StdAdapter {
     }
     fn label(&self) -> String {
         "std::RwLock".into()
-    }
-}
-
-/// `parking_lot::RwLock` adapter.
-#[derive(Debug, Default)]
-pub struct ParkingLotAdapter {
-    lock: parking_lot::RwLock<u64>,
-}
-
-impl BenchLock for ParkingLotAdapter {
-    fn read_pass(&self, _id: usize) {
-        std::hint::black_box(*self.lock.read());
-    }
-    fn write_pass(&self, _id: usize) {
-        *self.lock.write() += 1;
-    }
-    fn label(&self) -> String {
-        "parking_lot".into()
     }
 }
 
@@ -126,8 +114,7 @@ impl Workload {
 
     /// Total passages.
     pub fn total_passages(&self) -> u64 {
-        self.readers as u64 * self.reads_per_reader
-            + self.writers as u64 * self.writes_per_writer
+        self.readers as u64 * self.reads_per_reader + self.writers as u64 * self.writes_per_writer
     }
 }
 
@@ -187,12 +174,13 @@ pub fn run_throughput(lock: Arc<dyn BenchLock>, workload: Workload) -> Throughpu
 /// The standard contender set for a given `(readers, writers)` shape.
 pub fn contenders(readers: usize, writers: usize) -> Vec<Arc<dyn BenchLock>> {
     vec![
-        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(readers, writers)))),
+        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(
+            readers, writers,
+        )))),
         Arc::new(RawAdapter::new(CentralizedRwLock::new())),
         Arc::new(RawAdapter::new(FaaRwLock::new(writers))),
         Arc::new(RawAdapter::new(MutexRwLock::new(readers, writers))),
         Arc::new(StdAdapter::default()),
-        Arc::new(ParkingLotAdapter::default()),
     ]
 }
 

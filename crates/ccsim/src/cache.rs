@@ -45,6 +45,11 @@ pub enum Mode {
 /// consistent, so the authoritative value always lives in
 /// [`crate::Memory`]; the cache only tracks *which* variables are locally
 /// readable/writable, which is all that RMR accounting needs.
+///
+/// [`crate::Memory`] itself now stores this information in a flat
+/// per-variable directory (see [`crate::CacheView`]); this map-based
+/// representation survives as the state of the [`crate::reference`]
+/// oracle the directory rewrite is differentially tested against.
 #[derive(Clone, Debug, Default)]
 pub struct Cache {
     lines: HashMap<VarId, Mode>,

@@ -60,7 +60,9 @@ impl Layout {
     /// Allocate `len` variables named `name[0]..name[len-1]`, all with the
     /// same initial value.
     pub fn array(&mut self, name: &str, len: usize, init: Value) -> Vec<VarId> {
-        (0..len).map(|i| self.var(format!("{name}[{i}]"), init)).collect()
+        (0..len)
+            .map(|i| self.var(format!("{name}[{i}]"), init))
+            .collect()
     }
 
     /// Number of variables allocated so far.

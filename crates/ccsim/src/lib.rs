@@ -36,10 +36,13 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod directory;
 mod layout;
 mod memory;
 mod op;
 mod program;
+pub mod reference;
+mod rng;
 mod sched;
 mod sim;
 mod trace;
@@ -47,9 +50,10 @@ mod value;
 
 pub use cache::{Cache, Mode, Protocol};
 pub use layout::Layout;
-pub use memory::{Memory, StepOutcome};
+pub use memory::{CacheView, Memory, StepOutcome};
 pub use op::{Op, OpKind};
 pub use program::{sub, Phase, Program, Role, Step, SubMachine, SubStep};
+pub use rng::Prng;
 pub use sched::{run_random, run_round_robin, run_solo, RunConfig, RunError, RunReport};
 pub use sim::{MutualExclusionViolation, ProcStats, Sim};
 pub use trace::{StepKind, StepRecord, Trace, TraceSummary};

@@ -1,6 +1,7 @@
 //! Sequentially-consistent shared memory with exact RMR accounting.
 
-use crate::cache::{Cache, Mode, Protocol};
+use crate::cache::{Mode, Protocol};
+use crate::directory::Directory;
 use crate::layout::Layout;
 use crate::op::Op;
 use crate::value::{ProcId, Value, VarId};
@@ -25,9 +26,9 @@ pub struct StepOutcome {
     pub new: Value,
 }
 
-/// Simulated shared memory: authoritative variable values plus one [`Cache`]
-/// per process, implementing the write-through or write-back CC protocol as
-/// quoted in §2 of the paper.
+/// Simulated shared memory: authoritative variable values plus a flat
+/// per-variable coherence [`Directory`], implementing the write-through
+/// or write-back CC protocol as quoted in §2 of the paper.
 ///
 /// The memory is sequentially consistent: steps are applied one at a time in
 /// the order the scheduler chooses, and reads always return the latest
@@ -44,11 +45,19 @@ pub struct StepOutcome {
 /// A CAS is treated as a *write* by the coherence protocol regardless of
 /// whether it succeeds (real hardware issues a read-for-ownership), and as
 /// both a reading and a writing step by the knowledge formalism.
+///
+/// Cache state is stored directory-style — per variable, a holders bitset
+/// and an exclusive-owner slot — so `holds`/`holds_exclusive` queries are
+/// O(1) bit tests and invalidating all other copies is an O(n_procs/64)
+/// word-wise clear, never an O(n_procs) sweep over per-process maps. The
+/// per-process view is still available through [`Memory::cache`]. The
+/// pre-rewrite map-based core is preserved in [`crate::reference`] and a
+/// randomized differential test asserts step-for-step equivalence.
 #[derive(Clone, Debug)]
 pub struct Memory {
     protocol: Protocol,
     values: Vec<Value>,
-    caches: Vec<Cache>,
+    dir: Directory,
     /// DSM home segments (unused by the CC protocols).
     homes: Vec<Option<usize>>,
 }
@@ -57,10 +66,11 @@ impl Memory {
     /// Create a memory with the variables of `layout` (at their initial
     /// values) and `n_procs` cold caches.
     pub fn new(layout: &Layout, n_procs: usize, protocol: Protocol) -> Self {
+        let values = layout.initial_values();
         Memory {
             protocol,
-            values: layout.initial_values(),
-            caches: (0..n_procs).map(|_| Cache::new()).collect(),
+            dir: Directory::new(values.len(), n_procs),
+            values,
             homes: layout.home_assignments(),
         }
     }
@@ -72,7 +82,7 @@ impl Memory {
 
     /// Number of processes (caches).
     pub fn n_procs(&self) -> usize {
-        self.caches.len()
+        self.dir.n_procs()
     }
 
     /// Number of shared variables.
@@ -86,37 +96,47 @@ impl Memory {
         self.values[v.0]
     }
 
-    /// The cache of process `p` (for tests and metrics).
-    pub fn cache(&self, p: ProcId) -> &Cache {
-        &self.caches[p.0]
+    /// A read-only view of process `p`'s cache (for tests and metrics):
+    /// which variables it holds, and in which mode.
+    pub fn cache(&self, p: ProcId) -> CacheView<'_> {
+        CacheView {
+            dir: &self.dir,
+            p: p.0,
+        }
+    }
+
+    /// Number of processes currently holding a cached copy of `v` (always
+    /// 0 under [`Protocol::Dsm`]). A popcount over the directory's holder
+    /// bitset; useful for sharing metrics in experiments.
+    pub fn holder_count(&self, v: VarId) -> usize {
+        self.dir.holder_count(v.0)
     }
 
     /// Would `p` incur an RMR if it executed `op` now? Pure query used by
     /// adversarial schedulers; does not mutate anything.
     pub fn would_rmr(&self, p: ProcId, op: &Op) -> bool {
-        let v = op.var();
-        let cache = &self.caches[p.0];
+        let v = op.var().0;
         match (self.protocol, op) {
-            (Protocol::WriteThrough, Op::Read(_)) => !cache.holds(v),
+            (Protocol::WriteThrough, Op::Read(_)) => !self.dir.holds(p.0, v),
             // Write-through writes (and CAS, which needs ownership) always
             // go to main memory.
             (Protocol::WriteThrough, _) => true,
-            (Protocol::WriteBack, Op::Read(_)) => !cache.holds(v),
-            (Protocol::WriteBack, _) => !cache.holds_exclusive(v),
+            (Protocol::WriteBack, Op::Read(_)) => !self.dir.holds(p.0, v),
+            (Protocol::WriteBack, _) => !self.dir.holds_exclusive(p.0, v),
             // DSM: locality is static — an access is remote unless the
             // variable is homed at the accessing process.
-            (Protocol::Dsm, _) => self.homes[v.0] != Some(p.0),
+            (Protocol::Dsm, _) => self.homes[v] != Some(p.0),
         }
     }
 
-    /// Apply one operation by process `p`, updating values, caches and
-    /// returning the full outcome.
+    /// Apply one operation by process `p`, updating values, the directory
+    /// and returning the full outcome.
     ///
     /// # Panics
     /// Panics if `p` or the accessed variable is out of range.
     pub fn apply(&mut self, p: ProcId, op: &Op) -> StepOutcome {
         let v = op.var();
-        assert!(p.0 < self.caches.len(), "process {p} out of range");
+        assert!(p.0 < self.dir.n_procs(), "process {p} out of range");
         assert!(v.0 < self.values.len(), "variable {v} out of range");
         let old = self.values[v.0];
         let rmr = self.would_rmr(p, op);
@@ -137,32 +157,36 @@ impl Memory {
 
         // Coherence bookkeeping (no caches in the DSM model).
         if self.protocol == Protocol::Dsm {
-            return StepOutcome { response, rmr, trivial: old == new, old, new };
+            return StepOutcome {
+                response,
+                rmr,
+                trivial: old == new,
+                old,
+                new,
+            };
         }
         match (self.protocol, op.is_writing()) {
             (Protocol::WriteThrough, false) => {
-                self.caches[p.0].insert(v, Mode::Shared);
+                self.dir.set_shared(p.0, v.0);
             }
             (Protocol::WriteThrough, true) => {
-                self.invalidate_others(p, v);
-                self.caches[p.0].insert(v, Mode::Shared);
+                self.dir.invalidate_others(p.0, v.0);
+                self.dir.set_shared(p.0, v.0);
             }
             (Protocol::WriteBack, false) => {
-                if !self.caches[p.0].holds(v) {
-                    // Miss: downgrade any exclusive holder, install Shared.
-                    for (i, c) in self.caches.iter_mut().enumerate() {
-                        if i != p.0 {
-                            c.downgrade(v);
-                        }
-                    }
-                    self.caches[p.0].insert(v, Mode::Shared);
+                if !self.dir.holds(p.0, v.0) {
+                    // Miss: downgrade the exclusive holder (if any) to
+                    // Shared — O(1), the directory just clears the owner
+                    // slot — and install a Shared copy.
+                    self.dir.downgrade_owner(v.0);
+                    self.dir.set_shared(p.0, v.0);
                 }
             }
             (Protocol::WriteBack, true) => {
-                if !self.caches[p.0].holds_exclusive(v) {
-                    self.invalidate_others(p, v);
+                if !self.dir.holds_exclusive(p.0, v.0) {
+                    self.dir.invalidate_others(p.0, v.0);
                 }
-                self.caches[p.0].insert(v, Mode::Exclusive);
+                self.dir.set_exclusive(p.0, v.0);
             }
             (Protocol::Dsm, _) => unreachable!("handled by the early return above"),
         }
@@ -173,14 +197,6 @@ impl Memory {
             trivial: old == new,
             old,
             new,
-        }
-    }
-
-    fn invalidate_others(&mut self, p: ProcId, v: VarId) {
-        for (i, c) in self.caches.iter_mut().enumerate() {
-            if i != p.0 {
-                c.invalidate(v);
-            }
         }
     }
 
@@ -195,6 +211,48 @@ impl Memory {
     /// A snapshot of all variable values, in variable order.
     pub fn snapshot(&self) -> Vec<Value> {
         self.values.clone()
+    }
+}
+
+/// A read-only, per-process view into the coherence [`Directory`],
+/// answering the same queries the old per-process `Cache` struct did.
+/// Obtained from [`Memory::cache`]; used by tests and metrics.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheView<'a> {
+    dir: &'a Directory,
+    p: usize,
+}
+
+impl CacheView<'_> {
+    /// The mode in which the variable is cached by this process, if at all.
+    pub fn mode(&self, v: VarId) -> Option<Mode> {
+        if self.dir.holds_exclusive(self.p, v.0) {
+            Some(Mode::Exclusive)
+        } else if self.dir.holds(self.p, v.0) {
+            Some(Mode::Shared)
+        } else {
+            None
+        }
+    }
+
+    /// True if this process holds any copy of `v`.
+    pub fn holds(&self, v: VarId) -> bool {
+        self.dir.holds(self.p, v.0)
+    }
+
+    /// True if this process holds `v` in [`Mode::Exclusive`].
+    pub fn holds_exclusive(&self, v: VarId) -> bool {
+        self.dir.holds_exclusive(self.p, v.0)
+    }
+
+    /// Number of lines currently held (O(n_vars) scan; test-facing only).
+    pub fn len(&self) -> usize {
+        self.dir.lines_held_by(self.p)
+    }
+
+    /// True if this process's cache is cold.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -246,13 +304,19 @@ mod tests {
         assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr, "warm read hits");
         // Another process writing invalidates our copy.
         m.apply(ProcId(1), &Op::write(x, 3));
-        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr, "invalidated read misses");
+        assert!(
+            m.apply(ProcId(0), &Op::Read(x)).rmr,
+            "invalidated read misses"
+        );
     }
 
     #[test]
     fn write_back_exclusive_write_is_local() {
         let (mut m, x, _) = setup(Protocol::WriteBack);
-        assert!(m.apply(ProcId(0), &Op::write(x, 1)).rmr, "first write misses");
+        assert!(
+            m.apply(ProcId(0), &Op::write(x, 1)).rmr,
+            "first write misses"
+        );
         assert!(
             !m.apply(ProcId(0), &Op::write(x, 2)).rmr,
             "write on an Exclusive line hits"
@@ -281,7 +345,10 @@ mod tests {
     fn write_through_every_write_rmrs() {
         let (mut m, x, _) = setup(Protocol::WriteThrough);
         assert!(m.apply(ProcId(0), &Op::write(x, 1)).rmr);
-        assert!(m.apply(ProcId(0), &Op::write(x, 2)).rmr, "WT writes always RMR");
+        assert!(
+            m.apply(ProcId(0), &Op::write(x, 2)).rmr,
+            "WT writes always RMR"
+        );
         // But the writer keeps a valid copy for subsequent reads.
         assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr);
     }
@@ -292,7 +359,10 @@ mod tests {
         assert!(m.apply(ProcId(0), &Op::Read(x)).rmr);
         assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr);
         m.apply(ProcId(1), &Op::write(x, 1));
-        assert!(m.apply(ProcId(0), &Op::Read(x)).rmr, "invalidated by writer");
+        assert!(
+            m.apply(ProcId(0), &Op::Read(x)).rmr,
+            "invalidated by writer"
+        );
     }
 
     #[test]
@@ -331,12 +401,21 @@ mod tests {
         let y = l.var("y", Value::Int(0)); // no home: remote to all
         let mut m = Memory::new(&l, 2, Protocol::Dsm);
         assert!(!m.apply(ProcId(0), &Op::Read(x)).rmr, "home read is local");
-        assert!(!m.apply(ProcId(0), &Op::write(x, 1)).rmr, "home write is local");
-        assert!(m.apply(ProcId(1), &Op::Read(x)).rmr, "remote read is an RMR");
+        assert!(
+            !m.apply(ProcId(0), &Op::write(x, 1)).rmr,
+            "home write is local"
+        );
+        assert!(
+            m.apply(ProcId(1), &Op::Read(x)).rmr,
+            "remote read is an RMR"
+        );
         // Spinning on a remote variable costs an RMR per read: no caching.
         assert!(m.apply(ProcId(1), &Op::Read(x)).rmr);
         assert!(m.apply(ProcId(1), &Op::Read(x)).rmr);
-        assert!(m.apply(ProcId(0), &Op::Read(y)).rmr, "homeless vars are remote");
+        assert!(
+            m.apply(ProcId(0), &Op::Read(y)).rmr,
+            "homeless vars are remote"
+        );
         assert!(m.apply(ProcId(1), &Op::Read(y)).rmr);
     }
 
@@ -379,5 +458,37 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap[x.0], m.peek(x));
         assert_eq!(snap[y.0], Value::Nil);
+    }
+
+    #[test]
+    fn cache_view_len_and_modes() {
+        let (mut m, x, y) = setup(Protocol::WriteBack);
+        assert!(m.cache(ProcId(0)).is_empty());
+        m.apply(ProcId(0), &Op::Read(x));
+        m.apply(ProcId(0), &Op::write(y, 1));
+        let view = m.cache(ProcId(0));
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.mode(x), Some(Mode::Shared));
+        assert_eq!(view.mode(y), Some(Mode::Exclusive));
+        assert_eq!(m.cache(ProcId(1)).mode(y), None);
+    }
+
+    #[test]
+    fn coherence_with_many_procs_across_word_boundaries() {
+        // 130 processes exercises multi-word holder bitsets.
+        let mut l = Layout::new();
+        let x = l.var("x", Value::Int(0));
+        let mut m = Memory::new(&l, 130, Protocol::WriteBack);
+        for p in 0..130 {
+            m.apply(ProcId(p), &Op::Read(x));
+        }
+        assert_eq!(m.cache(ProcId(129)).mode(x), Some(Mode::Shared));
+        // One write invalidates all 129 other copies.
+        m.apply(ProcId(64), &Op::write(x, 1));
+        for p in 0..130 {
+            let holds = m.cache(ProcId(p)).holds(x);
+            assert_eq!(holds, p == 64, "p{p}");
+        }
+        assert!(m.cache(ProcId(64)).holds_exclusive(x));
     }
 }

@@ -229,7 +229,11 @@ mod tests {
 
     #[test]
     fn drive_reports_completion() {
-        let mut m = ReadLoop { var: VarId(0), remaining: 2, last: Value::Nil };
+        let mut m = ReadLoop {
+            var: VarId(0),
+            remaining: 2,
+            last: Value::Nil,
+        };
         assert_eq!(sub::poll_op(&m), Op::Read(VarId(0)));
         assert_eq!(sub::drive(&mut m, Value::Int(1)), sub::Drive::Running);
         assert_eq!(
@@ -241,7 +245,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "polled while Done")]
     fn poll_op_panics_when_done() {
-        let m = ReadLoop { var: VarId(0), remaining: 0, last: Value::Nil };
+        let m = ReadLoop {
+            var: VarId(0),
+            remaining: 0,
+            last: Value::Nil,
+        };
         sub::poll_op(&m);
     }
 

@@ -6,9 +6,9 @@
 //! adversarial lower-bound scheduler lives in the `knowledge` crate.
 
 use crate::program::Step;
+use crate::rng::Prng;
 use crate::sim::{MutualExclusionViolation, Sim};
 use crate::value::ProcId;
-use rand::Rng;
 use std::error::Error;
 use std::fmt;
 
@@ -59,7 +59,10 @@ impl fmt::Display for RunError {
                 write!(f, "run stalled: no passage completed near step {steps}")
             }
             RunError::StepBudgetExhausted { completed } => {
-                write!(f, "step budget exhausted; completed passages: {completed:?}")
+                write!(
+                    f,
+                    "step budget exhausted; completed passages: {completed:?}"
+                )
             }
         }
     }
@@ -103,7 +106,7 @@ fn eligible(sim: &Sim, p: ProcId, done: &[u64], quota: u64) -> bool {
 /// See [`RunError`].
 pub fn run_round_robin(sim: &mut Sim, cfg: &RunConfig) -> Result<RunReport, RunError> {
     run_with(sim, cfg, |_, eligible_procs, turn| {
-        eligible_procs[(turn as usize) % eligible_procs.len()]
+        (turn as usize) % eligible_procs.len()
     })
 }
 
@@ -112,21 +115,24 @@ pub fn run_round_robin(sim: &mut Sim, cfg: &RunConfig) -> Result<RunReport, RunE
 ///
 /// # Errors
 /// See [`RunError`].
-pub fn run_random<R: Rng>(
-    sim: &mut Sim,
-    rng: &mut R,
-    cfg: &RunConfig,
-) -> Result<RunReport, RunError> {
-    run_with(sim, cfg, |rng_slot, eligible_procs, _| {
-        let _ = rng_slot;
-        eligible_procs[rng.gen_range(0..eligible_procs.len())]
+pub fn run_random(sim: &mut Sim, rng: &mut Prng, cfg: &RunConfig) -> Result<RunReport, RunError> {
+    run_with(sim, cfg, |_, eligible_procs, _| {
+        rng.below(eligible_procs.len())
     })
 }
 
+/// The shared runner loop. `pick` returns an *index* into the eligible
+/// slice (kept sorted by process id).
+///
+/// The eligible set and the per-process completion counts are maintained
+/// incrementally: stepping process `p` can only change `p`'s own poll
+/// state and passage count, so each iteration updates one entry instead
+/// of rebuilding an `eligible` vector and recomputing every `done[i]`
+/// from the stats — the runners allocate nothing per step.
 fn run_with(
     sim: &mut Sim,
     cfg: &RunConfig,
-    mut pick: impl FnMut(&Sim, &[ProcId], u64) -> ProcId,
+    mut pick: impl FnMut(&Sim, &[ProcId], u64) -> usize,
 ) -> Result<RunReport, RunError> {
     let n = sim.n_procs();
     let base: Vec<u64> = (0..n).map(|i| sim.stats(ProcId(i)).passages).collect();
@@ -134,17 +140,20 @@ fn run_with(
     let mut steps = 0u64;
     let mut since_progress = 0u64;
     let mut turn = 0u64;
+    // Eligibility is absorbing within a run: a process leaves the set only
+    // by reaching its remainder section with its quota met, and the runner
+    // never steps it again after that.
+    let mut eligible_procs: Vec<ProcId> = (0..n)
+        .map(ProcId)
+        .filter(|&p| eligible(sim, p, &done, cfg.passages_per_proc))
+        .collect();
 
     loop {
-        for i in 0..n {
-            done[i] = sim.stats(ProcId(i)).passages - base[i];
-        }
-        let eligible_procs: Vec<ProcId> = (0..n)
-            .map(ProcId)
-            .filter(|&p| eligible(sim, p, &done, cfg.passages_per_proc))
-            .collect();
         if eligible_procs.is_empty() {
-            return Ok(RunReport { steps, completed: done });
+            return Ok(RunReport {
+                steps,
+                completed: done,
+            });
         }
         if steps >= cfg.max_steps {
             return Err(RunError::StepBudgetExhausted { completed: done });
@@ -153,16 +162,22 @@ fn run_with(
             return Err(RunError::Stalled { steps });
         }
 
-        let p = pick(sim, &eligible_procs, turn);
+        let idx = pick(sim, &eligible_procs, turn);
+        let p = eligible_procs[idx];
         turn += 1;
         let before = sim.stats(p).passages;
         sim.step(p);
         steps += 1;
         sim.check_mutual_exclusion()?;
-        if sim.stats(p).passages > before {
+        let after = sim.stats(p).passages;
+        if after > before {
             since_progress = 0;
+            done[p.0] = after - base[p.0];
         } else {
             since_progress += 1;
+        }
+        if !eligible(sim, p, &done, cfg.passages_per_proc) {
+            eligible_procs.remove(idx);
         }
     }
 }
@@ -193,14 +208,12 @@ pub fn run_solo(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::Protocol;
     use crate::layout::Layout;
     use crate::memory::Memory;
-    use crate::cache::Protocol;
     use crate::op::Op;
     use crate::program::{Phase, Program, Role};
     use crate::value::{Value, VarId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::hash::Hasher;
 
     /// A client that performs one read in entry and one in exit.
@@ -232,9 +245,9 @@ mod tests {
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.pc);
         }
-    fn clone_box(&self) -> Box<dyn Program> {
-        Box::new(self.clone())
-    }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
     }
 
     /// A client that spins forever in its entry section (never enters CS).
@@ -256,7 +269,11 @@ mod tests {
             self.started = true;
         }
         fn phase(&self) -> Phase {
-            if self.started { Phase::Entry } else { Phase::Remainder }
+            if self.started {
+                Phase::Entry
+            } else {
+                Phase::Remainder
+            }
         }
         fn role(&self) -> Role {
             Role::Reader
@@ -264,9 +281,9 @@ mod tests {
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.started as u8);
         }
-    fn clone_box(&self) -> Box<dyn Program> {
-        Box::new(self.clone())
-    }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
     }
 
     fn read_world(n: usize) -> Sim {
@@ -282,7 +299,10 @@ mod tests {
     #[test]
     fn round_robin_completes_quotas() {
         let mut sim = read_world(3);
-        let cfg = RunConfig { passages_per_proc: 5, ..Default::default() };
+        let cfg = RunConfig {
+            passages_per_proc: 5,
+            ..Default::default()
+        };
         let report = run_round_robin(&mut sim, &cfg).unwrap();
         assert_eq!(report.completed, vec![5, 5, 5]);
     }
@@ -290,8 +310,11 @@ mod tests {
     #[test]
     fn random_completes_quotas() {
         let mut sim = read_world(4);
-        let mut rng = StdRng::seed_from_u64(42);
-        let cfg = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let mut rng = Prng::new(42);
+        let cfg = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
         let report = run_random(&mut sim, &mut rng, &cfg).unwrap();
         assert_eq!(report.completed, vec![3, 3, 3, 3]);
     }
@@ -302,7 +325,11 @@ mod tests {
         let v = l.var("x", Value::Int(0));
         let mem = Memory::new(&l, 1, Protocol::WriteBack);
         let mut sim = Sim::new(mem, vec![Box::new(Spinner { v, started: false })]);
-        let cfg = RunConfig { passages_per_proc: 1, max_steps: 10_000, stall_after: 100 };
+        let cfg = RunConfig {
+            passages_per_proc: 1,
+            max_steps: 10_000,
+            stall_after: 100,
+        };
         match run_round_robin(&mut sim, &cfg) {
             Err(RunError::Stalled { .. }) => {}
             other => panic!("expected stall, got {other:?}"),
@@ -312,8 +339,10 @@ mod tests {
     #[test]
     fn run_solo_reaches_predicate() {
         let mut sim = read_world(2);
-        let steps =
-            run_solo(&mut sim, ProcId(0), 100, |s| s.phase(ProcId(0)) == Phase::Cs).unwrap();
+        let steps = run_solo(&mut sim, ProcId(0), 100, |s| {
+            s.phase(ProcId(0)) == Phase::Cs
+        })
+        .unwrap();
         assert_eq!(steps, 2, "begin passage + one entry read");
         assert_eq!(sim.phase(ProcId(1)), Phase::Remainder, "others untouched");
     }
@@ -327,7 +356,10 @@ mod tests {
     #[test]
     fn second_run_quota_is_relative() {
         let mut sim = read_world(1);
-        let cfg = RunConfig { passages_per_proc: 2, ..Default::default() };
+        let cfg = RunConfig {
+            passages_per_proc: 2,
+            ..Default::default()
+        };
         run_round_robin(&mut sim, &cfg).unwrap();
         let report = run_round_robin(&mut sim, &cfg).unwrap();
         assert_eq!(report.completed, vec![2], "quota counts from run start");

@@ -331,10 +331,7 @@ impl fmt::Debug for Sim {
             .field("steps", &self.steps)
             .field(
                 "phases",
-                &self
-                    .proc_ids()
-                    .map(|p| self.phase(p))
-                    .collect::<Vec<_>>(),
+                &self.proc_ids().map(|p| self.phase(p)).collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -343,9 +340,9 @@ impl fmt::Debug for Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::Protocol;
     use crate::layout::Layout;
     use crate::memory::Memory;
-    use crate::cache::Protocol;
     use crate::value::VarId;
 
     /// A trivial test lock client: entry = write flag, CS, exit = clear flag.
@@ -385,9 +382,9 @@ mod tests {
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.pc);
         }
-    fn clone_box(&self) -> Box<dyn Program> {
-        Box::new(self.clone())
-    }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
     }
 
     fn world(roles: &[Role]) -> Sim {
@@ -398,7 +395,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &role)| {
-                Box::new(FlagClient { flag, me: ProcId(i), role, pc: 0 }) as Box<dyn Program>
+                Box::new(FlagClient {
+                    flag,
+                    me: ProcId(i),
+                    role,
+                    pc: 0,
+                }) as Box<dyn Program>
             })
             .collect();
         Sim::new(mem, procs)
@@ -464,7 +466,10 @@ mod tests {
         let t = sim.take_trace().unwrap();
         assert_eq!(t.len(), 2);
         assert!(matches!(t.records()[0].kind, StepKind::BeginPassage));
-        assert!(sim.trace().unwrap().is_empty(), "take_trace leaves a fresh trace");
+        assert!(
+            sim.trace().unwrap().is_empty(),
+            "take_trace leaves a fresh trace"
+        );
     }
 
     #[test]

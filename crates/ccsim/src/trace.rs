@@ -67,7 +67,13 @@ impl StepRecord {
 impl fmt::Display for StepRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            StepKind::Op { op, response, rmr, trivial, .. } => write!(
+            StepKind::Op {
+                op,
+                response,
+                rmr,
+                trivial,
+                ..
+            } => write!(
                 f,
                 "#{:<5} {} [{}/{}] {} -> {}{}{}",
                 self.index,
@@ -80,10 +86,18 @@ impl fmt::Display for StepRecord {
                 if *trivial { " (trivial)" } else { "" },
             ),
             StepKind::BeginPassage => {
-                write!(f, "#{:<5} {} [{}] begins passage", self.index, self.proc, self.role)
+                write!(
+                    f,
+                    "#{:<5} {} [{}] begins passage",
+                    self.index, self.proc, self.role
+                )
             }
             StepKind::BeginExit => {
-                write!(f, "#{:<5} {} [{}] leaves CS, begins exit", self.index, self.proc, self.role)
+                write!(
+                    f,
+                    "#{:<5} {} [{}] leaves CS, begins exit",
+                    self.index, self.proc, self.role
+                )
             }
         }
     }
@@ -160,13 +174,11 @@ pub struct TraceSummary {
 impl Trace {
     /// Aggregate the trace into per-process and total counts.
     pub fn summary(&self) -> TraceSummary {
-        let max_proc = self
-            .records
-            .iter()
-            .map(|r| r.proc.0 + 1)
-            .max()
-            .unwrap_or(0);
-        let mut s = TraceSummary { per_proc: vec![(0, 0); max_proc], ..Default::default() };
+        let max_proc = self.records.iter().map(|r| r.proc.0 + 1).max().unwrap_or(0);
+        let mut s = TraceSummary {
+            per_proc: vec![(0, 0); max_proc],
+            ..Default::default()
+        };
         for r in &self.records {
             if let StepKind::Op { rmr, trivial, .. } = r.kind {
                 s.steps += 1;
@@ -187,7 +199,12 @@ impl Trace {
     /// original global indices).
     pub fn of_proc(&self, p: ProcId) -> Trace {
         Trace {
-            records: self.records.iter().filter(|r| r.proc == p).copied().collect(),
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.proc == p)
+                .copied()
+                .collect(),
         }
     }
 
@@ -216,7 +233,9 @@ impl Extend<StepRecord> for Trace {
 
 impl FromIterator<StepRecord> for Trace {
     fn from_iter<T: IntoIterator<Item = StepRecord>>(iter: T) -> Self {
-        Trace { records: iter.into_iter().collect() }
+        Trace {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -178,10 +178,7 @@ mod tests {
         assert_eq!(Value::from(7i64).expect_int(), 7);
         assert_eq!(Value::from((1, 2)).expect_pair(), (1, 2));
         assert!(Value::from(true).expect_bool());
-        assert_eq!(
-            Value::from(ProcId(3)).expect_proc_opt(),
-            Some(ProcId(3))
-        );
+        assert_eq!(Value::from(ProcId(3)).expect_proc_opt(), Some(ProcId(3)));
         assert_eq!(Value::Nil.expect_proc_opt(), None);
     }
 

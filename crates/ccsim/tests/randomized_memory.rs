@@ -1,0 +1,166 @@
+//! Randomized tests on the memory model: protocol-independence of values,
+//! RMR accounting consistency, and coherence invariants.
+//!
+//! These are the former proptest suites ported to plain `#[test]`s driven
+//! by the in-tree [`Prng`] over fixed seeds, so the workspace tests run
+//! with zero external dependencies.
+
+use ccsim::{Layout, Memory, Op, Prng, ProcId, Protocol, Value, VarId};
+
+/// A random `(process, operation)` over `n_procs` processes and `n_vars`
+/// variables — the same distribution the proptest strategy generated.
+fn random_op(rng: &mut Prng, n_procs: usize, n_vars: usize) -> (ProcId, Op) {
+    let p = ProcId(rng.below(n_procs));
+    let var = VarId(rng.below(n_vars));
+    let val = rng.int_in(-3, 4);
+    let op = match rng.below(4) {
+        0 => Op::Read(var),
+        1 => Op::write(var, val),
+        2 => Op::cas(var, val, val + 1),
+        _ => Op::Faa { var, delta: val },
+    };
+    (p, op)
+}
+
+fn world(protocol: Protocol, n_procs: usize, n_vars: usize) -> Memory {
+    let mut layout = Layout::new();
+    for i in 0..n_vars {
+        // Give half the variables DSM homes so the DSM runs are varied.
+        if i % 2 == 0 {
+            layout.var_at(format!("v{i}"), Value::Int(0), i % n_procs);
+        } else {
+            layout.var(format!("v{i}"), Value::Int(0));
+        }
+    }
+    Memory::new(&layout, n_procs, protocol)
+}
+
+/// The protocol affects RMR accounting only: responses, values and
+/// triviality are identical across WT, WB and DSM for any schedule.
+#[test]
+fn protocols_agree_on_values() {
+    for seed in 0..128 {
+        let mut rng = Prng::new(seed);
+        let mut wt = world(Protocol::WriteThrough, 3, 4);
+        let mut wb = world(Protocol::WriteBack, 3, 4);
+        let mut dsm = world(Protocol::Dsm, 3, 4);
+        for _ in 0..120 {
+            let (p, op) = random_op(&mut rng, 3, 4);
+            let a = wt.apply(p, &op);
+            let b = wb.apply(p, &op);
+            let c = dsm.apply(p, &op);
+            assert_eq!(a.response, b.response, "seed {seed} op {op}");
+            assert_eq!(b.response, c.response, "seed {seed} op {op}");
+            assert_eq!(a.new, b.new);
+            assert_eq!(b.new, c.new);
+            assert_eq!(a.trivial, b.trivial);
+            assert_eq!(b.trivial, c.trivial);
+        }
+        assert_eq!(wt.snapshot(), wb.snapshot());
+        assert_eq!(wb.snapshot(), dsm.snapshot());
+    }
+}
+
+/// `would_rmr` always predicts `apply`'s RMR outcome exactly, under
+/// every protocol.
+#[test]
+fn would_rmr_is_exact() {
+    for seed in 0..128 {
+        let mut rng = Prng::new(seed);
+        let protocol = [Protocol::WriteThrough, Protocol::WriteBack, Protocol::Dsm][rng.below(3)];
+        let mut mem = world(protocol, 3, 4);
+        for _ in 0..120 {
+            let (p, op) = random_op(&mut rng, 3, 4);
+            let predicted = mem.would_rmr(p, &op);
+            let actual = mem.apply(p, &op).rmr;
+            assert_eq!(predicted, actual, "seed {seed} {protocol:?} {op:?}");
+        }
+    }
+}
+
+/// Write-back coherence: immediately after any step, re-reading the
+/// same variable by the same process is free, and at most one process
+/// holds a variable exclusively.
+#[test]
+fn write_back_coherence_invariants() {
+    for seed in 0..128 {
+        let mut rng = Prng::new(seed);
+        let mut mem = world(Protocol::WriteBack, 4, 3);
+        for _ in 0..150 {
+            let (p, op) = random_op(&mut rng, 4, 3);
+            let v = op.var();
+            mem.apply(p, &op);
+            // Re-read is always a hit right after any access.
+            assert!(
+                !mem.would_rmr(p, &Op::Read(v)),
+                "re-read after access must hit"
+            );
+            // Single-writer invariant across caches.
+            for var_idx in 0..mem.n_vars() {
+                let var = VarId(var_idx);
+                let exclusive_holders = (0..mem.n_procs())
+                    .filter(|&q| mem.cache(ProcId(q)).holds_exclusive(var))
+                    .count();
+                assert!(exclusive_holders <= 1, "two exclusive holders of {var}");
+                if exclusive_holders == 1 {
+                    let shared_elsewhere = (0..mem.n_procs()).any(|q| {
+                        let c = mem.cache(ProcId(q));
+                        c.holds(var) && !c.holds_exclusive(var)
+                    });
+                    assert!(!shared_elsewhere, "exclusive + shared copies of {var}");
+                }
+            }
+        }
+    }
+}
+
+/// DSM RMR accounting is schedule-independent: whether an access is
+/// remote depends only on (process, variable).
+#[test]
+fn dsm_rmr_is_static() {
+    for seed in 0..128 {
+        let mut rng = Prng::new(seed);
+        let mut mem = world(Protocol::Dsm, 3, 4);
+        // Record the locality of the first access per (proc, var) pair
+        // and demand every later access agrees.
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..100 {
+            let (p, op) = random_op(&mut rng, 3, 4);
+            let rmr = mem.apply(p, &op).rmr;
+            let key = (p, op.var());
+            if let Some(prev) = seen.insert(key, rmr) {
+                assert_eq!(prev, rmr, "DSM locality changed for {key:?}");
+            }
+        }
+    }
+}
+
+/// Sequential consistency sanity: a read always returns the value of
+/// the latest preceding write/CAS/FAA to that variable.
+#[test]
+fn reads_return_latest_value() {
+    for seed in 0..128 {
+        let mut rng = Prng::new(seed);
+        let mut mem = world(Protocol::WriteBack, 3, 2);
+        let mut shadow = [Value::Int(0); 2];
+        for _ in 0..150 {
+            let (p, op) = random_op(&mut rng, 3, 2);
+            let out = mem.apply(p, &op);
+            let v = op.var().0;
+            match op {
+                Op::Read(_) => assert_eq!(out.response, shadow[v]),
+                Op::Write(_, val) => shadow[v] = val,
+                Op::Cas { expected, new, .. } => {
+                    assert_eq!(out.response, shadow[v]);
+                    if shadow[v] == expected {
+                        shadow[v] = new;
+                    }
+                }
+                Op::Faa { delta, .. } => {
+                    assert_eq!(out.response, shadow[v]);
+                    shadow[v] = Value::Int(shadow[v].expect_int() + delta);
+                }
+            }
+        }
+    }
+}

@@ -152,7 +152,11 @@ mod tests {
     #[test]
     fn cas_counter_reports_attempts() {
         let c = CasCounter::new();
-        assert_eq!(c.add_counting_attempts(1), 1, "uncontended add takes one attempt");
+        assert_eq!(
+            c.add_counting_attempts(1),
+            1,
+            "uncontended add takes one attempt"
+        );
         assert_eq!(c.read(), 1);
     }
 

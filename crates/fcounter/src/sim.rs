@@ -60,12 +60,19 @@ impl SimCounter {
     /// Panics if `leaf >= processes()`.
     pub fn handle(&self, leaf: usize) -> SimCounterHandle {
         assert!(leaf < self.shape.leaves(), "leaf {leaf} out of range");
-        SimCounterHandle { counter: self.clone(), leaf, mirror: 0 }
+        SimCounterHandle {
+            counter: self.clone(),
+            leaf,
+            mirror: 0,
+        }
     }
 
     /// Start a `read` operation (any process may read).
     pub fn read(&self) -> ReadMachine {
-        ReadMachine { root: self.nodes[self.shape.root()], done: None }
+        ReadMachine {
+            root: self.nodes[self.shape.root()],
+            done: None,
+        }
     }
 
     /// Inspect the counter's current value without simulating steps
@@ -120,10 +127,27 @@ impl SimCounterHandle {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum AddPc {
     WriteLeaf,
-    ReadNode { path_pos: usize, round: u8 },
-    ReadLeft { path_pos: usize, round: u8, node_old: Value },
-    ReadRight { path_pos: usize, round: u8, node_old: Value, left_sum: i64 },
-    Cas { path_pos: usize, round: u8, expected: Value, new: Value },
+    ReadNode {
+        path_pos: usize,
+        round: u8,
+    },
+    ReadLeft {
+        path_pos: usize,
+        round: u8,
+        node_old: Value,
+    },
+    ReadRight {
+        path_pos: usize,
+        round: u8,
+        node_old: Value,
+        left_sum: i64,
+    },
+    Cas {
+        path_pos: usize,
+        round: u8,
+        expected: Value,
+        new: Value,
+    },
     Done,
 }
 
@@ -168,7 +192,12 @@ impl SubMachine for AddMachine {
                 let (_, r) = shape.children(self.path[*path_pos]);
                 SubStep::Op(Op::Read(self.counter.var(r)))
             }
-            AddPc::Cas { path_pos, expected, new, .. } => SubStep::Op(Op::Cas {
+            AddPc::Cas {
+                path_pos,
+                expected,
+                new,
+                ..
+            } => SubStep::Op(Op::Cas {
                 var: self.counter.var(self.path[*path_pos]),
                 expected: *expected,
                 new: *new,
@@ -180,16 +209,27 @@ impl SubMachine for AddMachine {
     fn resume(&mut self, response: Value) {
         self.pc = match self.pc.clone() {
             AddPc::WriteLeaf => self.refresh_start(0, 0),
-            AddPc::ReadNode { path_pos, round } => {
-                AddPc::ReadLeft { path_pos, round, node_old: response }
-            }
-            AddPc::ReadLeft { path_pos, round, node_old } => AddPc::ReadRight {
+            AddPc::ReadNode { path_pos, round } => AddPc::ReadLeft {
+                path_pos,
+                round,
+                node_old: response,
+            },
+            AddPc::ReadLeft {
+                path_pos,
+                round,
+                node_old,
+            } => AddPc::ReadRight {
                 path_pos,
                 round,
                 node_old,
                 left_sum: sum_of(response),
             },
-            AddPc::ReadRight { path_pos, round, node_old, left_sum } => {
+            AddPc::ReadRight {
+                path_pos,
+                round,
+                node_old,
+                left_sum,
+            } => {
                 let (ver, _) = match node_old {
                     Value::Pair(v, s) => (v, s),
                     other => panic!("internal node held {other:?}"),
@@ -202,7 +242,12 @@ impl SubMachine for AddMachine {
                     new: Value::Pair(ver.wrapping_add(1), sum),
                 }
             }
-            AddPc::Cas { path_pos, round, expected, .. } => {
+            AddPc::Cas {
+                path_pos,
+                round,
+                expected,
+                ..
+            } => {
                 let succeeded = response == expected;
                 if !succeeded && round == 0 {
                     // Second refresh attempt on the same node.

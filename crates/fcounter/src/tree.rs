@@ -17,7 +17,10 @@ impl TreeShape {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "a counter needs at least one process");
-        TreeShape { k, width: k.next_power_of_two() }
+        TreeShape {
+            k,
+            width: k.next_power_of_two(),
+        }
     }
 
     /// Number of real leaves (processes).
@@ -120,7 +123,11 @@ mod tests {
     #[test]
     fn path_is_bottom_up_to_root() {
         let t = TreeShape::new(4);
-        assert_eq!(t.path_to_root(3), vec![3, 1], "leaf 3 = node 7; parents 3, 1");
+        assert_eq!(
+            t.path_to_root(3),
+            vec![3, 1],
+            "leaf 3 = node 7; parents 3, 1"
+        );
         assert_eq!(t.path_to_root(0), vec![2, 1]);
     }
 

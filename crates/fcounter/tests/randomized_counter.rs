@@ -1,11 +1,10 @@
-//! Property tests: the f-array is exact and wait-free-bounded under
-//! arbitrary interleavings, in both its simulated and real forms.
+//! Randomized tests: the f-array is exact and wait-free-bounded under
+//! arbitrary interleavings, in both its simulated and real forms. These
+//! are the former proptest suites ported to plain `#[test]`s driven by
+//! the in-tree `ccsim::Prng`.
 
-use ccsim::{Layout, Memory, ProcId, Protocol, SubMachine, SubStep};
+use ccsim::{Layout, Memory, Prng, ProcId, Protocol, SubMachine, SubStep};
 use fcounter::{FArray, SimCounter, SimCounterHandle, TreeShape};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Drive a batch of per-process operation lists to completion under a
 /// seeded random interleaving; return the final counter value and the
@@ -22,7 +21,7 @@ fn run_sim_batch(k: usize, deltas_per_proc: &[Vec<i64>], seed: u64) -> (i64, u64
     let mut current: Vec<Option<fcounter::AddMachine>> = (0..k).map(|_| None).collect();
     let mut op_steps: Vec<u64> = vec![0; k];
     let mut max_op_steps = 0u64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
 
     loop {
         // Processes with work: either a live machine or a queued delta.
@@ -32,7 +31,7 @@ fn run_sim_batch(k: usize, deltas_per_proc: &[Vec<i64>], seed: u64) -> (i64, u64
         if live.is_empty() {
             break;
         }
-        let i = live[rng.gen_range(0..live.len())];
+        let i = live[rng.below(live.len())];
         if current[i].is_none() {
             let delta = queues[i].pop_front().unwrap();
             current[i] = Some(handles[i].add(delta));
@@ -54,40 +53,46 @@ fn run_sim_batch(k: usize, deltas_per_proc: &[Vec<i64>], seed: u64) -> (i64, u64
     (counter.peek(&mem), max_op_steps)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Random per-process delta lists: up to `max_lists` lists of up to
+/// `max_len` deltas each, every delta in `[-5, 5]`.
+fn random_deltas(rng: &mut Prng, k: usize, max_len: usize) -> Vec<Vec<i64>> {
+    (0..k)
+        .map(|_| {
+            (0..rng.below(max_len + 1))
+                .map(|_| rng.int_in(-5, 6))
+                .collect()
+        })
+        .collect()
+}
 
-    /// Any interleaving of any batch of adds yields the exact sum, and no
-    /// single add ever exceeds the wait-free bound 1 + 8 * depth steps.
-    #[test]
-    fn sim_adds_exact_and_bounded(
-        k in 1usize..7,
-        seed in any::<u64>(),
-        raw in proptest::collection::vec(proptest::collection::vec(-5i64..6, 0..5), 1..7),
-    ) {
-        let deltas: Vec<Vec<i64>> = (0..k)
-            .map(|i| raw.get(i).cloned().unwrap_or_default())
-            .collect();
+/// Any interleaving of any batch of adds yields the exact sum, and no
+/// single add ever exceeds the wait-free bound 1 + 8 * depth steps.
+#[test]
+fn sim_adds_exact_and_bounded() {
+    let mut gen = Prng::new(0xfa44a7);
+    for case in 0..64 {
+        let k = 1 + gen.below(6);
+        let seed = gen.next_u64();
+        let deltas = random_deltas(&mut gen, k, 4);
         let expected: i64 = deltas.iter().flatten().sum();
         let (got, max_steps) = run_sim_batch(k, &deltas, seed);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: k={k} seed={seed}");
         let bound = 1 + 8 * TreeShape::new(k).depth() as u64;
-        prop_assert!(
+        assert!(
             max_steps <= bound,
-            "an add took {max_steps} steps, wait-free bound is {bound} (k={k})"
+            "case {case}: an add took {max_steps} steps, wait-free bound is {bound} (k={k})"
         );
     }
+}
 
-    /// The real f-array agrees with a sequential shadow under per-thread
-    /// operation lists (run on real threads).
-    #[test]
-    fn real_adds_exact(
-        k in 1usize..5,
-        raw in proptest::collection::vec(proptest::collection::vec(-4i64..5, 0..30), 1..5),
-    ) {
-        let deltas: Vec<Vec<i64>> = (0..k)
-            .map(|i| raw.get(i).cloned().unwrap_or_default())
-            .collect();
+/// The real f-array agrees with a sequential shadow under per-thread
+/// operation lists (run on real threads).
+#[test]
+fn real_adds_exact() {
+    let mut gen = Prng::new(0x4ea1_add5);
+    for case in 0..16 {
+        let k = 1 + gen.below(4);
+        let deltas = random_deltas(&mut gen, k, 29);
         let expected: i64 = deltas.iter().flatten().sum();
         let counter = FArray::new(k);
         std::thread::scope(|s| {
@@ -100,12 +105,16 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(counter.read(), expected);
+        assert_eq!(counter.read(), expected, "case {case}: k={k}");
     }
+}
 
-    /// Reads during quiescent moments between batches are exact.
-    #[test]
-    fn sim_sequential_batches(seq in proptest::collection::vec(-3i64..4, 1..20)) {
+/// Reads during quiescent moments between batches are exact.
+#[test]
+fn sim_sequential_batches() {
+    let mut gen = Prng::new(0x5e9_ba7c);
+    for _case in 0..32 {
+        let seq: Vec<i64> = (0..1 + gen.below(19)).map(|_| gen.int_in(-3, 4)).collect();
         let mut layout = Layout::new();
         let counter = SimCounter::allocate(&mut layout, "C", 2);
         let mut mem = Memory::new(&layout, 2, Protocol::WriteBack);
@@ -118,7 +127,7 @@ proptest! {
                 m.resume(out.response);
             }
             running += d;
-            prop_assert_eq!(counter.peek(&mem), running);
+            assert_eq!(counter.peek(&mem), running);
         }
     }
 }

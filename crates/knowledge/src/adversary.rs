@@ -41,7 +41,12 @@ pub struct AdversarySetup {
 impl AdversarySetup {
     /// A setup with default budgets.
     pub fn new(readers: Vec<ProcId>, writer: ProcId) -> Self {
-        AdversarySetup { readers, writer, solo_budget: 2_000_000, max_iterations: 10_000 }
+        AdversarySetup {
+            readers,
+            writer,
+            solo_budget: 2_000_000,
+            max_iterations: 10_000,
+        }
     }
 }
 
@@ -74,7 +79,10 @@ impl fmt::Display for AdversaryError {
                 write!(f, "reader {reader} could not enter the CS solo (E1)")
             }
             AdversaryError::TailStall { proc } => {
-                write!(f, "process {proc} ran non-expanding steps without bound (E2)")
+                write!(
+                    f,
+                    "process {proc} ran non-expanding steps without bound (E2)"
+                )
             }
             AdversaryError::WriterStuck => {
                 write!(f, "writer could not enter the CS from quiescence (E3)")
@@ -187,10 +195,12 @@ pub fn run_lower_bound(
     // RMR metrics.
     sim.reset_stats();
     let mut tracker = KnowledgeTracker::new(sim.n_procs());
-    let mut state: BTreeMap<ProcId, ReaderState> =
-        setup.readers.iter().map(|&r| (r, ReaderState::Active)).collect();
-    let mut expanding_by: BTreeMap<ProcId, u64> =
-        setup.readers.iter().map(|&r| (r, 0)).collect();
+    let mut state: BTreeMap<ProcId, ReaderState> = setup
+        .readers
+        .iter()
+        .map(|&r| (r, ReaderState::Active))
+        .collect();
+    let mut expanding_by: BTreeMap<ProcId, u64> = setup.readers.iter().map(|&r| (r, 0)).collect();
 
     // σ0: run everyone until parked or done.
     for &r in &setup.readers {
@@ -221,7 +231,11 @@ pub fn run_lower_bound(
         let pending: Vec<(ProcId, ccsim::Op)> = parked
             .iter()
             .map(|&r| {
-                (r, sim.pending_op(r).expect("parked process must be pending an op"))
+                (
+                    r,
+                    sim.pending_op(r)
+                        .expect("parked process must be pending an op"),
+                )
             })
             .collect();
         let batch = order_batch(&pending);
@@ -313,8 +327,16 @@ impl fmt::Display for LowerBoundReport {
         write!(
             f,
             "  Lemma 2 (M_j <= 3^j): {}; Lemma 4 (writer aware of all): {}",
-            if self.lemma2_bound_held { "held" } else { "VIOLATED" },
-            if self.writer_aware_of_all { "held" } else { "VIOLATED" }
+            if self.lemma2_bound_held {
+                "held"
+            } else {
+                "VIOLATED"
+            },
+            if self.writer_aware_of_all {
+                "held"
+            } else {
+                "VIOLATED"
+            }
         )
     }
 }
@@ -345,12 +367,16 @@ mod tests {
 
     #[test]
     fn error_displays_name_their_phase() {
-        assert!(AdversaryError::EntryStuck { reader: ccsim::ProcId(3) }
-            .to_string()
-            .contains("E1"));
-        assert!(AdversaryError::TailStall { proc: ccsim::ProcId(1) }
-            .to_string()
-            .contains("E2"));
+        assert!(AdversaryError::EntryStuck {
+            reader: ccsim::ProcId(3)
+        }
+        .to_string()
+        .contains("E1"));
+        assert!(AdversaryError::TailStall {
+            proc: ccsim::ProcId(1)
+        }
+        .to_string()
+        .contains("E2"));
         assert!(AdversaryError::WriterStuck.to_string().contains("E3"));
     }
 

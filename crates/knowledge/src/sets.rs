@@ -16,7 +16,9 @@ pub struct ProcSet {
 impl ProcSet {
     /// An empty set with room for processes `0..capacity`.
     pub fn empty(capacity: usize) -> Self {
-        ProcSet { words: vec![0; capacity.div_ceil(64)] }
+        ProcSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
     }
 
     /// The singleton `{p}` (Definition 2's base case `AW(p) = {p}`).
@@ -58,7 +60,10 @@ impl ProcSet {
 
     /// Is `self ⊆ other`?
     pub fn is_subset_of(&self, other: &ProcSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Number of processes in the set.

@@ -32,7 +32,9 @@ impl KnowledgeTracker {
     pub fn new(n_procs: usize) -> Self {
         KnowledgeTracker {
             n_procs,
-            aw: (0..n_procs).map(|p| ProcSet::singleton(n_procs, ProcId(p))).collect(),
+            aw: (0..n_procs)
+                .map(|p| ProcSet::singleton(n_procs, ProcId(p)))
+                .collect(),
             fam: HashMap::new(),
             steps: 0,
             expanding_steps: 0,
@@ -47,7 +49,10 @@ impl KnowledgeTracker {
     /// The familiarity set of `v` after the fragment so far (∅ if no
     /// non-trivial step has touched `v`).
     pub fn familiarity(&self, v: VarId) -> ProcSet {
-        self.fam.get(&v).cloned().unwrap_or_else(|| ProcSet::empty(self.n_procs))
+        self.fam
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| ProcSet::empty(self.n_procs))
     }
 
     /// `M(C↪E)`: the largest awareness or familiarity set size — the
@@ -184,10 +189,13 @@ mod tests {
     fn cas_extends_familiarity() {
         let mut t = KnowledgeTracker::new(3);
         t.record(P0, &Op::write(X, 1), false); // F(x) = {p0}
-        // p2 successful CAS: F(x) = {p0} ∪ {p2}; AW(p2) gains p0.
+                                               // p2 successful CAS: F(x) = {p0} ∪ {p2}; AW(p2) gains p0.
         t.record(P2, &Op::cas(X, 1, 5), false);
         let f = t.familiarity(X);
-        assert!(f.contains(P0) && f.contains(P2), "CAS *extends* familiarity (Def 1.2)");
+        assert!(
+            f.contains(P0) && f.contains(P2),
+            "CAS *extends* familiarity (Def 1.2)"
+        );
         assert!(t.awareness(P2).contains(P0), "CAS is also a reading step");
     }
 
@@ -206,7 +214,10 @@ mod tests {
         let mut t = KnowledgeTracker::new(3);
         t.record(P0, &Op::write(X, 1), false);
         t.record(P1, &Op::write(X, 1), true); // writes current value
-        assert!(t.familiarity(X).contains(P0), "trivial steps don't redefine F");
+        assert!(
+            t.familiarity(X).contains(P0),
+            "trivial steps don't redefine F"
+        );
         assert!(!t.familiarity(X).contains(P1));
     }
 
@@ -225,7 +236,10 @@ mod tests {
     fn writes_never_expand() {
         let mut t = KnowledgeTracker::new(2);
         t.record(P0, &Op::write(X, 1), false);
-        assert!(!t.would_expand(P1, &Op::write(X, 2)), "only reading steps expand");
+        assert!(
+            !t.would_expand(P1, &Op::write(X, 2)),
+            "only reading steps expand"
+        );
     }
 
     #[test]

@@ -5,12 +5,13 @@ use knowledge::{run_lower_bound, AdversarySetup};
 use rwcore::{af_world, centralized_world, faa_world, AfConfig, FPolicy};
 
 fn af_report(n: usize, policy: FPolicy) -> knowledge::LowerBoundReport {
-    let cfg = AfConfig { readers: n, writers: 1, policy };
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy,
+    };
     let mut world = af_world(cfg, Protocol::WriteBack);
-    let setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     run_lower_bound(&mut world.sim, &setup).expect("construction must complete")
 }
 
@@ -34,7 +35,10 @@ fn af_f1_iterations_grow_logarithmically() {
         );
         last = report.iterations;
     }
-    assert!(last >= 3, "r should reach log-ish values by n=64, got {last}");
+    assert!(
+        last >= 3,
+        "r should reach log-ish values by n=64, got {last}"
+    );
 }
 
 #[test]
@@ -78,17 +82,11 @@ fn centralized_lock_exit_degrades_linearly() {
     // The centralized CAS lock has no Bounded Exit: under the adversary,
     // its iteration count grows linearly with n, not logarithmically.
     let mut world8 = centralized_world(8, 1, Protocol::WriteBack);
-    let setup8 = AdversarySetup::new(
-        world8.pids.reader_pids().collect(),
-        world8.pids.writer(0),
-    );
+    let setup8 = AdversarySetup::new(world8.pids.reader_pids().collect(), world8.pids.writer(0));
     let r8 = run_lower_bound(&mut world8.sim, &setup8).unwrap();
 
     let mut world32 = centralized_world(32, 1, Protocol::WriteBack);
-    let setup32 = AdversarySetup::new(
-        world32.pids.reader_pids().collect(),
-        world32.pids.writer(0),
-    );
+    let setup32 = AdversarySetup::new(world32.pids.reader_pids().collect(), world32.pids.writer(0));
     let r32 = run_lower_bound(&mut world32.sim, &setup32).unwrap();
 
     assert!(r8.writer_aware_of_all);
@@ -124,10 +122,7 @@ fn faa_lock_escapes_the_bound() {
     // matter what the adversary does, because FAA is outside the model.
     for n in [8usize, 64] {
         let mut world = faa_world(n, 1, Protocol::WriteBack);
-        let setup = AdversarySetup::new(
-            world.pids.reader_pids().collect(),
-            world.pids.writer(0),
-        );
+        let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
         let report = run_lower_bound(&mut world.sim, &setup).unwrap();
         assert!(
             report.max_reader_exit_rmrs <= 1,
@@ -140,12 +135,13 @@ fn faa_lock_escapes_the_bound() {
 
 #[test]
 fn write_through_protocol_gives_same_shape() {
-    let cfg = AfConfig { readers: 16, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: 16,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let mut world = af_world(cfg, Protocol::WriteThrough);
-    let setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     let report = run_lower_bound(&mut world.sim, &setup).unwrap();
     assert!(report.writer_aware_of_all);
     assert!(report.lemma2_bound_held);
@@ -159,10 +155,7 @@ fn adversary_detects_missing_concurrent_entering() {
     // reports EntryStuck — the adversary doubles as a Concurrent-Entering
     // detector.
     let mut world = rwcore::mutex_rw_world(3, 1, Protocol::WriteBack);
-    let mut setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let mut setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     setup.solo_budget = 20_000; // small budget: the second reader spins forever
     let err = run_lower_bound(&mut world.sim, &setup)
         .expect_err("mutex-as-rwlock must fail Concurrent Entering");

@@ -90,11 +90,18 @@ impl CheckError {
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckError::MutualExclusion { schedule, violation } => {
+            CheckError::MutualExclusion {
+                schedule,
+                violation,
+            } => {
                 write!(f, "{violation} (schedule length {})", schedule.len())
             }
             CheckError::Invariant { schedule, message } => {
-                write!(f, "invariant failed: {message} (schedule length {})", schedule.len())
+                write!(
+                    f,
+                    "invariant failed: {message} (schedule length {})",
+                    schedule.len()
+                )
             }
         }
     }
@@ -146,10 +153,7 @@ fn state_key(sim: &Sim, quota: u64) -> u64 {
 /// # Errors
 /// Returns the violating schedule if any reachable configuration breaks
 /// Mutual Exclusion.
-pub fn explore(
-    factory: impl Fn() -> Sim,
-    cfg: &CheckConfig,
-) -> Result<CheckReport, CheckError> {
+pub fn explore(factory: impl Fn() -> Sim, cfg: &CheckConfig) -> Result<CheckReport, CheckError> {
     explore_with(factory, cfg, |_| Ok(()))
 }
 
@@ -199,7 +203,12 @@ pub fn explore_with(
         report.terminal_states = 1;
         return Ok(report);
     }
-    let mut stack = vec![Frame { sim: root, enabled: root_enabled, next: 0, chosen: None }];
+    let mut stack = vec![Frame {
+        sim: root,
+        enabled: root_enabled,
+        next: 0,
+        chosen: None,
+    }];
 
     while let Some(top) = stack.last_mut() {
         if top.next >= top.enabled.len() {
@@ -220,7 +229,10 @@ pub fn explore_with(
             });
         }
         if let Err(message) = invariant(&child) {
-            return Err(CheckError::Invariant { schedule: schedule_of(&stack, p), message });
+            return Err(CheckError::Invariant {
+                schedule: schedule_of(&stack, p),
+                message,
+            });
         }
 
         if !visited.insert(state_key(&child, quota)) {
@@ -239,7 +251,12 @@ pub fn explore_with(
             report.terminal_states += 1;
             continue;
         }
-        stack.push(Frame { sim: child, enabled: child_enabled, next: 0, chosen: Some(p) });
+        stack.push(Frame {
+            sim: child,
+            enabled: child_enabled,
+            next: 0,
+            chosen: Some(p),
+        });
     }
 
     Ok(report)
@@ -303,8 +320,16 @@ mod tests {
         Sim::new(
             mem,
             vec![
-                Box::new(NoLock { v, role: Role::Writer, pc: 0 }),
-                Box::new(NoLock { v, role: Role::Reader, pc: 0 }),
+                Box::new(NoLock {
+                    v,
+                    role: Role::Writer,
+                    pc: 0,
+                }),
+                Box::new(NoLock {
+                    v,
+                    role: Role::Reader,
+                    pc: 0,
+                }),
             ],
         )
     }
@@ -313,7 +338,10 @@ mod tests {
     fn finds_mutual_exclusion_violation_in_broken_lock() {
         let err = explore(broken_world, &CheckConfig::default()).unwrap_err();
         match &err {
-            CheckError::MutualExclusion { schedule, violation } => {
+            CheckError::MutualExclusion {
+                schedule,
+                violation,
+            } => {
                 assert_eq!(violation.occupants.len(), 2);
                 // The schedule must actually reproduce the violation.
                 let sim = replay(broken_world, schedule);
@@ -328,7 +356,10 @@ mod tests {
         for m in [2usize, 3] {
             let report = explore(
                 || wmutex::mutex_world(m, Protocol::WriteBack),
-                &CheckConfig { passages_per_proc: 1, ..Default::default() },
+                &CheckConfig {
+                    passages_per_proc: 1,
+                    ..Default::default()
+                },
             )
             .unwrap_or_else(|e| panic!("m={m}: {e}"));
             assert!(report.complete, "m={m}");
@@ -340,7 +371,10 @@ mod tests {
     fn tournament_mutex_two_passages() {
         let report = explore(
             || wmutex::mutex_world(2, Protocol::WriteBack),
-            &CheckConfig { passages_per_proc: 2, ..Default::default() },
+            &CheckConfig {
+                passages_per_proc: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(report.complete);
@@ -370,7 +404,11 @@ mod tests {
     fn caps_mark_report_incomplete() {
         let report = explore(
             || wmutex::mutex_world(3, Protocol::WriteBack),
-            &CheckConfig { passages_per_proc: 2, max_states: 50, ..Default::default() },
+            &CheckConfig {
+                passages_per_proc: 2,
+                max_states: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!report.complete);
@@ -381,13 +419,20 @@ mod tests {
     fn terminal_states_are_quiescent() {
         let report = explore(
             || wmutex::mutex_world(2, Protocol::WriteBack),
-            &CheckConfig { passages_per_proc: 1, ..Default::default() },
+            &CheckConfig {
+                passages_per_proc: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Terminal configurations exist and are few: the memory residue
         // (e.g. the last `turn` writer) may differ across schedules, but
         // every process is quiescent in each of them.
         assert!(report.terminal_states >= 1);
-        assert!(report.terminal_states <= 8, "got {}", report.terminal_states);
+        assert!(
+            report.terminal_states <= 8,
+            "got {}",
+            report.terminal_states
+        );
     }
 }

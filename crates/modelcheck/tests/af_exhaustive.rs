@@ -9,15 +9,14 @@ use ccsim::Protocol;
 use modelcheck::{explore, replay, CheckConfig, CheckError};
 use rwcore::{af_world, af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
-fn af_factory(
-    n: usize,
-    m: usize,
-    policy: FPolicy,
-    order: HelpOrder,
-) -> impl Fn() -> ccsim::Sim {
+fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn() -> ccsim::Sim {
     move || {
         af_world_with_order(
-            AfConfig { readers: n, writers: m, policy },
+            AfConfig {
+                readers: n,
+                writers: m,
+                policy,
+            },
             Protocol::WriteBack,
             order,
         )
@@ -29,7 +28,10 @@ fn af_factory(
 fn af_2readers_1writer_exhaustively_safe() {
     let report = explore(
         af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .expect("A_f n=2 m=1 must be safe");
     assert!(report.complete, "state space must be exhausted");
@@ -44,7 +46,10 @@ fn af_2readers_1writer_exhaustively_safe() {
 fn af_2readers_2writers_exhaustively_safe() {
     let report = explore(
         af_factory(2, 2, FPolicy::One, HelpOrder::WaitersFirst),
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .expect("A_f n=2 m=2 must be safe");
     assert!(report.complete);
@@ -54,7 +59,10 @@ fn af_2readers_2writers_exhaustively_safe() {
 fn af_groups_of_one_exhaustively_safe() {
     let report = explore(
         af_factory(2, 1, FPolicy::Linear, HelpOrder::WaitersFirst),
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .expect("A_f f=n must be safe");
     assert!(report.complete);
@@ -63,10 +71,11 @@ fn af_groups_of_one_exhaustively_safe() {
 #[test]
 fn af_write_through_exhaustively_safe() {
     let report = explore(
-        || {
-            af_world(AfConfig::new(2, 1), Protocol::WriteThrough).sim
+        || af_world(AfConfig::new(2, 1), Protocol::WriteThrough).sim,
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
         },
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
     )
     .expect("A_f under write-through must be safe");
     assert!(report.complete);
@@ -83,11 +92,18 @@ fn paper_literal_help_order_violates_mutual_exclusion() {
     let factory = af_factory(3, 1, FPolicy::One, HelpOrder::PaperLiteral);
     let err = explore(
         &factory,
-        &CheckConfig { passages_per_proc: 1, max_states: 50_000_000, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            max_states: 50_000_000,
+            ..Default::default()
+        },
     )
     .expect_err("the literal read order must violate mutual exclusion");
     match &err {
-        CheckError::MutualExclusion { schedule, violation } => {
+        CheckError::MutualExclusion {
+            schedule,
+            violation,
+        } => {
             // A writer shares the CS with a reader.
             assert!(violation
                 .occupants
@@ -113,14 +129,21 @@ fn cas_loop_counter_variant_is_safe() {
     let report = explore(
         || {
             rwcore::af_world_custom(
-                AfConfig { readers: 2, writers: 1, policy: FPolicy::One },
+                AfConfig {
+                    readers: 2,
+                    writers: 1,
+                    policy: FPolicy::One,
+                },
                 Protocol::WriteBack,
                 HelpOrder::WaitersFirst,
                 rwcore::CounterKind::CasLoop,
             )
             .sim
         },
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .expect("the ablated lock must still be safe");
     assert!(report.complete);
@@ -153,12 +176,19 @@ fn gated_variant_is_safe() {
         let report = explore(
             || {
                 rwcore::gated_af_world(
-                    AfConfig { readers: n, writers: m, policy: FPolicy::One },
+                    AfConfig {
+                        readers: n,
+                        writers: m,
+                        policy: FPolicy::One,
+                    },
                     Protocol::WriteBack,
                 )
                 .sim
             },
-            &CheckConfig { passages_per_proc: 1, ..Default::default() },
+            &CheckConfig {
+                passages_per_proc: 1,
+                ..Default::default()
+            },
         )
         .unwrap_or_else(|e| panic!("gated n={n} m={m}: {e}"));
         assert!(report.complete, "n={n} m={m}");

@@ -36,9 +36,7 @@ impl GroupCounter {
     /// Allocate a counter of `kind` for `k` processes.
     pub fn allocate(layout: &mut Layout, name: &str, k: usize, kind: CounterKind) -> Self {
         match kind {
-            CounterKind::FArray => {
-                GroupCounter::FArray(SimCounter::allocate(layout, name, k))
-            }
+            CounterKind::FArray => GroupCounter::FArray(SimCounter::allocate(layout, name, k)),
             CounterKind::CasLoop => {
                 GroupCounter::CasLoop(layout.var(name.to_string(), Value::Int(0)))
             }
@@ -66,7 +64,10 @@ impl GroupCounter {
     pub fn read(&self) -> GroupReadMachine {
         match self {
             GroupCounter::FArray(c) => GroupReadMachine::FArray(c.read()),
-            GroupCounter::CasLoop(v) => GroupReadMachine::CasLoop { var: *v, done: None },
+            GroupCounter::CasLoop(v) => GroupReadMachine::CasLoop {
+                var: *v,
+                done: None,
+            },
         }
     }
 
@@ -93,9 +94,11 @@ impl GroupHandle {
     pub fn add(&mut self, delta: i64) -> GroupAddMachine {
         match self {
             GroupHandle::FArray(h) => GroupAddMachine::FArray(h.add(delta)),
-            GroupHandle::CasLoop(v) => {
-                GroupAddMachine::CasLoop { var: *v, delta, pc: CasAddPc::Read }
-            }
+            GroupHandle::CasLoop(v) => GroupAddMachine::CasLoop {
+                var: *v,
+                delta,
+                pc: CasAddPc::Read,
+            },
         }
     }
 
@@ -115,7 +118,9 @@ pub enum CasAddPc {
     /// Read the current value.
     Read,
     /// CAS `seen -> seen + delta`; on failure, back to `Read`.
-    Cas { seen: i64 },
+    Cas {
+        seen: i64,
+    },
     Done,
 }
 
@@ -141,9 +146,7 @@ impl SubMachine for GroupAddMachine {
             GroupAddMachine::FArray(m) => m.poll(),
             GroupAddMachine::CasLoop { var, delta, pc } => match pc {
                 CasAddPc::Read => SubStep::Op(Op::Read(*var)),
-                CasAddPc::Cas { seen } => {
-                    SubStep::Op(Op::cas(*var, *seen, *seen + *delta))
-                }
+                CasAddPc::Cas { seen } => SubStep::Op(Op::cas(*var, *seen, *seen + *delta)),
                 CasAddPc::Done => SubStep::Done(Value::Nil),
             },
         }
@@ -154,7 +157,9 @@ impl SubMachine for GroupAddMachine {
             GroupAddMachine::FArray(m) => m.resume(response),
             GroupAddMachine::CasLoop { pc, .. } => {
                 *pc = match *pc {
-                    CasAddPc::Read => CasAddPc::Cas { seen: response.expect_int() },
+                    CasAddPc::Read => CasAddPc::Cas {
+                        seen: response.expect_int(),
+                    },
                     CasAddPc::Cas { seen } => {
                         if response.expect_int() == seen {
                             CasAddPc::Done

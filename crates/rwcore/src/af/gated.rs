@@ -45,7 +45,10 @@ impl GatedAfLock {
     /// # Panics
     /// Panics if the configuration has zero readers or writers.
     pub fn new(cfg: AfConfig) -> Self {
-        GatedAfLock { inner: RawAfLock::new(cfg), gate: AtomicU64::new(0) }
+        GatedAfLock {
+            inner: RawAfLock::new(cfg),
+            gate: AtomicU64::new(0),
+        }
     }
 
     /// The lock's configuration.
@@ -117,7 +120,11 @@ pub struct GatedReaderSim {
 impl GatedReaderSim {
     /// Build the machine for reader `id`.
     pub fn new(gate: VarId, shared: Arc<AfShared>, id: usize) -> Self {
-        GatedReaderSim { gate, at_gate: false, inner: AfReaderSim::new(shared, id) }
+        GatedReaderSim {
+            gate,
+            at_gate: false,
+            inner: AfReaderSim::new(shared, id),
+        }
     }
 }
 
@@ -191,7 +198,11 @@ enum GatePc {
 impl GatedWriterSim {
     /// Build the machine for writer `id`.
     pub fn new(gate: VarId, shared: Arc<AfShared>, id: usize) -> Self {
-        GatedWriterSim { gate, pc: GatePc::Inner, inner: AfWriterSim::new(shared, id) }
+        GatedWriterSim {
+            gate,
+            pc: GatePc::Inner,
+            inner: AfWriterSim::new(shared, id),
+        }
     }
 }
 
@@ -277,22 +288,32 @@ pub fn gated_af_world(cfg: AfConfig, protocol: Protocol) -> GatedWorld {
     for w in 0..cfg.writers {
         procs.push(Box::new(GatedWriterSim::new(gate, Arc::clone(&shared), w)));
     }
-    GatedWorld { sim: Sim::new(mem, procs), shared, gate, pids }
+    GatedWorld {
+        sim: Sim::new(mem, procs),
+        shared,
+        gate,
+        pids,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FPolicy;
-    use ccsim::{run_random, run_round_robin, run_solo, RunConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ccsim::{run_random, run_round_robin, run_solo, Prng, RunConfig};
 
     #[test]
     fn round_robin_completes() {
-        let cfg = AfConfig { readers: 3, writers: 2, policy: FPolicy::Groups(2) };
+        let cfg = AfConfig {
+            readers: 3,
+            writers: 2,
+            policy: FPolicy::Groups(2),
+        };
         let mut world = gated_af_world(cfg, Protocol::WriteBack);
-        let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let rc = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
         let report = run_round_robin(&mut world.sim, &rc).unwrap();
         assert!(report.completed.iter().all(|&c| c == 3));
     }
@@ -300,10 +321,17 @@ mod tests {
     #[test]
     fn random_schedules_safe() {
         for seed in 0..20 {
-            let cfg = AfConfig { readers: 3, writers: 1, policy: FPolicy::One };
+            let cfg = AfConfig {
+                readers: 3,
+                writers: 1,
+                policy: FPolicy::One,
+            };
             let mut world = gated_af_world(cfg, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+            let mut rng = Prng::new(seed);
+            let rc = RunConfig {
+                passages_per_proc: 3,
+                ..Default::default()
+            };
             run_random(&mut world.sim, &mut rng, &rc)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
@@ -311,7 +339,11 @@ mod tests {
 
     #[test]
     fn gate_blocks_new_readers_during_writer_passage() {
-        let cfg = AfConfig { readers: 2, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 2,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let mut world = gated_af_world(cfg, Protocol::WriteBack);
         let (r0, w0) = (world.pids.reader(0), world.pids.writer(0));
         // Writer raises the gate and enters.
@@ -328,7 +360,10 @@ mod tests {
             "gated reader must not have entered the A_f protocol"
         );
         // Writer leaves; the gate opens; the reader proceeds.
-        run_solo(&mut world.sim, w0, 10_000, |s| s.phase(w0) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, w0, 10_000, |s| {
+            s.phase(w0) == Phase::Remainder
+        })
+        .unwrap();
         assert_eq!(world.sim.mem().peek(world.gate), Value::Int(0));
         run_solo(&mut world.sim, r0, 10_000, |s| s.phase(r0) == Phase::Cs).unwrap();
     }
@@ -336,7 +371,11 @@ mod tests {
     #[test]
     fn real_gated_lock_stress() {
         use crate::baselines::real::RawRwLock;
-        let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::LogN };
+        let cfg = AfConfig {
+            readers: 4,
+            writers: 2,
+            policy: FPolicy::LogN,
+        };
         let lock = std::sync::Arc::new(GatedAfLock::new(cfg));
         let occ = std::sync::Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
@@ -371,11 +410,15 @@ mod tests {
     fn concurrent_entering_still_holds_when_writers_quiet() {
         // All writers in remainder => gate is 0 => readers enter in
         // bounded steps (the +1 is the gate read).
-        let cfg = AfConfig { readers: 4, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 4,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let mut world = gated_af_world(cfg, Protocol::WriteBack);
         let r0 = world.pids.reader(0);
-        let steps = run_solo(&mut world.sim, r0, 100, |s| s.phase(r0) == Phase::Cs)
-            .expect("bounded entry");
+        let steps =
+            run_solo(&mut world.sim, r0, 100, |s| s.phase(r0) == Phase::Cs).expect("bounded entry");
         assert!(steps < 40, "{steps} steps");
     }
 }

@@ -56,8 +56,12 @@ impl RawAfLock {
         RawAfLock {
             cfg,
             groups,
-            c: (0..groups).map(|g| FArray::new(cfg.group_population(g))).collect(),
-            w: (0..groups).map(|g| FArray::new(cfg.group_population(g))).collect(),
+            c: (0..groups)
+                .map(|g| FArray::new(cfg.group_population(g)))
+                .collect(),
+            w: (0..groups)
+                .map(|g| FArray::new(cfg.group_population(g)))
+                .collect(),
             wl: TournamentLock::new(cfg.writers),
             wseq: AtomicU64::new(0),
             wsig: (0..groups)
@@ -171,7 +175,8 @@ impl RawAfLock {
             self.wsig[i].store(Signal::new(seq, Opcode::Bot).pack(), Ordering::SeqCst);
         }
         // Line 11: ask exiting readers to report empty groups.
-        self.rsig.store(Signal::new(seq, Opcode::Preentry).pack(), Ordering::SeqCst);
+        self.rsig
+            .store(Signal::new(seq, Opcode::Preentry).pack(), Ordering::SeqCst);
         // Lines 12–17: verify no readers are still waiting on a previous
         // passage, group by group.
         for i in 0..self.groups {
@@ -186,7 +191,8 @@ impl RawAfLock {
             self.wsig[i].store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
         }
         // Line 18: from now on, arriving readers wait for us.
-        self.rsig.store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
+        self.rsig
+            .store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
         // Lines 19–23: wait for in-flight readers to clear the CS.
         for i in 0..self.groups {
             if self.c[i].read() > 0 {
@@ -206,8 +212,9 @@ impl RawAfLock {
     pub fn writer_unlock(&self, writer_id: usize) {
         let seq = self.wseq.load(Ordering::SeqCst);
         self.wseq.store(seq + 1, Ordering::SeqCst); // line 25
-        // Line 26: release waiting readers and reset for the next passage.
-        self.rsig.store(Signal::new(seq + 1, Opcode::Nop).pack(), Ordering::SeqCst);
+                                                    // Line 26: release waiting readers and reset for the next passage.
+        self.rsig
+            .store(Signal::new(seq + 1, Opcode::Nop).pack(), Ordering::SeqCst);
         self.wl.unlock(writer_id); // line 27
     }
 }
@@ -285,23 +292,51 @@ mod tests {
     #[test]
     fn many_readers_one_writer_all_policies() {
         for policy in FPolicy::NAMED {
-            stress(AfConfig { readers: 6, writers: 1, policy }, 500);
+            stress(
+                AfConfig {
+                    readers: 6,
+                    writers: 1,
+                    policy,
+                },
+                500,
+            );
         }
     }
 
     #[test]
     fn many_readers_many_writers() {
-        stress(AfConfig { readers: 6, writers: 3, policy: FPolicy::LogN }, 500);
+        stress(
+            AfConfig {
+                readers: 6,
+                writers: 3,
+                policy: FPolicy::LogN,
+            },
+            500,
+        );
     }
 
     #[test]
     fn groups_of_one() {
-        stress(AfConfig { readers: 4, writers: 2, policy: FPolicy::Linear }, 500);
+        stress(
+            AfConfig {
+                readers: 4,
+                writers: 2,
+                policy: FPolicy::Linear,
+            },
+            500,
+        );
     }
 
     #[test]
     fn single_group() {
-        stress(AfConfig { readers: 5, writers: 2, policy: FPolicy::One }, 500);
+        stress(
+            AfConfig {
+                readers: 5,
+                writers: 2,
+                policy: FPolicy::One,
+            },
+            500,
+        );
     }
 
     #[test]
@@ -343,7 +378,10 @@ mod tests {
         let w2 = Arc::clone(&waited);
         let t = std::thread::spawn(move || {
             l2.writer_lock(0);
-            assert!(w2.load(Ordering::SeqCst), "writer entered before reader left");
+            assert!(
+                w2.load(Ordering::SeqCst),
+                "writer entered before reader left"
+            );
             l2.writer_unlock(0);
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -361,7 +399,10 @@ mod tests {
         let r2 = Arc::clone(&released);
         let t = std::thread::spawn(move || {
             l2.reader_lock(1);
-            assert!(r2.load(Ordering::SeqCst), "reader entered before writer left");
+            assert!(
+                r2.load(Ordering::SeqCst),
+                "reader entered before writer left"
+            );
             l2.reader_unlock(1);
         });
         std::thread::sleep(std::time::Duration::from_millis(50));

@@ -121,7 +121,17 @@ impl AfShared {
             let init = Signal::new(0, Opcode::Nop).to_pair();
             layout.var("RSIG", Value::Pair(init.0, init.1))
         };
-        Arc::new(AfShared { cfg, groups, c, w, wl, wseq, wsig, rsig, help_order })
+        Arc::new(AfShared {
+            cfg,
+            groups,
+            c,
+            w,
+            wl,
+            wseq,
+            wsig,
+            rsig,
+            help_order,
+        })
     }
 
     /// The signal currently stored in `RSIG` (harness inspection only).
@@ -158,7 +168,11 @@ mod tests {
     #[test]
     fn allocation_shapes_follow_config() {
         let mut layout = Layout::new();
-        let cfg = AfConfig { readers: 10, writers: 3, policy: crate::FPolicy::SqrtN };
+        let cfg = AfConfig {
+            readers: 10,
+            writers: 3,
+            policy: crate::FPolicy::SqrtN,
+        };
         let shared = AfShared::allocate(&mut layout, cfg);
         // sqrt(10) -> 4 groups of K=3: ceil(10/4)=3 -> occupied = ceil(10/3) = 4.
         assert_eq!(shared.groups, 4);

@@ -30,9 +30,15 @@ pub struct HelpWcsMachine {
 enum HelpPc {
     /// Reading the first counter; the second counter's read machine is
     /// held ready.
-    First { m: GroupReadMachine, second: GroupReadMachine },
+    First {
+        m: GroupReadMachine,
+        second: GroupReadMachine,
+    },
     /// Reading the second counter.
-    Second { first_val: i64, m: GroupReadMachine },
+    Second {
+        first_val: i64,
+        m: GroupReadMachine,
+    },
     Cas,
     Done,
 }
@@ -69,9 +75,10 @@ impl SubMachine for HelpWcsMachine {
     fn resume(&mut self, response: Value) {
         self.pc = match std::mem::replace(&mut self.pc, HelpPc::Done) {
             HelpPc::First { mut m, second } => match sub::drive(&mut m, response) {
-                sub::Drive::Finished(v) => {
-                    HelpPc::Second { first_val: v.expect_int(), m: second }
-                }
+                sub::Drive::Finished(v) => HelpPc::Second {
+                    first_val: v.expect_int(),
+                    m: second,
+                },
                 sub::Drive::Running => HelpPc::First { m, second },
             },
             HelpPc::Second { first_val, mut m } => match sub::drive(&mut m, response) {
@@ -179,7 +186,14 @@ impl AfReaderSim {
         let slot = shared.cfg.group_of(id);
         let c_handle = shared.c[slot.group].handle(slot.leaf);
         let w_handle = shared.w[slot.group].handle(slot.leaf);
-        AfReaderSim { shared, id, slot, c_handle, w_handle, pc: RPc::Remainder }
+        AfReaderSim {
+            shared,
+            id,
+            slot,
+            c_handle,
+            w_handle,
+            pc: RPc::Remainder,
+        }
     }
 
     /// This reader's id.
@@ -189,7 +203,10 @@ impl AfReaderSim {
 
     /// Definition 4: the reader is *waiting* iff its pc is in [34, 36].
     pub fn is_waiting(&self) -> bool {
-        matches!(self.pc, RPc::AddW { .. } | RPc::Help1 { .. } | RPc::AwaitRsig { .. })
+        matches!(
+            self.pc,
+            RPc::AddW { .. } | RPc::Help1 { .. } | RPc::AwaitRsig { .. }
+        )
     }
 
     fn help(&self, seq: i64) -> HelpWcsMachine {
@@ -228,13 +245,19 @@ impl Program for AfReaderSim {
             RPc::ReadRsig => {
                 let sig = signal_of(response); // line 32
                 if sig.op == Opcode::Wait {
-                    RPc::AddW { seq: sig.seq as i64, m: self.w_handle.add(1) } // line 34
+                    RPc::AddW {
+                        seq: sig.seq as i64,
+                        m: self.w_handle.add(1),
+                    } // line 34
                 } else {
                     RPc::Cs // line 33: op ≠ WAIT — enter freely
                 }
             }
             RPc::AddW { seq, mut m } => match sub::drive(&mut m, response) {
-                sub::Drive::Finished(_) => RPc::Help1 { seq, m: self.help(seq) },
+                sub::Drive::Finished(_) => RPc::Help1 {
+                    seq,
+                    m: self.help(seq),
+                },
                 sub::Drive::Running => RPc::AddW { seq, m },
             },
             RPc::Help1 { seq, mut m } => match sub::drive(&mut m, response) {
@@ -264,7 +287,9 @@ impl Program for AfReaderSim {
                         seq: sig.seq as i64,
                         m: self.shared.c[self.slot.group].read(), // line 43
                     },
-                    Opcode::Wait => RPc::Help2 { m: self.help(sig.seq as i64) }, // line 48
+                    Opcode::Wait => RPc::Help2 {
+                        m: self.help(sig.seq as i64),
+                    }, // line 48
                     _ => RPc::Remainder, // passage complete
                 }
             }
@@ -308,7 +333,6 @@ impl Program for AfReaderSim {
         Role::Reader
     }
 
-
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -348,27 +372,57 @@ enum WPc {
     /// Read `WSEQ` into the local `seq` (implicit in lines 7–11).
     ReadWseq,
     /// Lines 7–9: `WSIG[i] := <seq, ⊥>`.
-    InitWsig { seq: i64, i: usize },
+    InitWsig {
+        seq: i64,
+        i: usize,
+    },
     /// Line 11: `RSIG := <seq, PREENTRY>`.
-    RsigPreentry { seq: i64 },
+    RsigPreentry {
+        seq: i64,
+    },
     /// Line 13: read `C[i]`.
-    L1ReadC { seq: i64, i: usize, m: GroupReadMachine },
+    L1ReadC {
+        seq: i64,
+        i: usize,
+        m: GroupReadMachine,
+    },
     /// Line 14: await `WSIG[i] = <seq, PROCEED>`.
-    L1Await { seq: i64, i: usize },
+    L1Await {
+        seq: i64,
+        i: usize,
+    },
     /// Line 16: `WSIG[i] := <seq, WAIT>`.
-    L1WriteWsig { seq: i64, i: usize },
+    L1WriteWsig {
+        seq: i64,
+        i: usize,
+    },
     /// Line 18: `RSIG := <seq, WAIT>`.
-    RsigWait { seq: i64 },
+    RsigWait {
+        seq: i64,
+    },
     /// Line 20: read `C[i]`.
-    L2ReadC { seq: i64, i: usize, m: GroupReadMachine },
+    L2ReadC {
+        seq: i64,
+        i: usize,
+        m: GroupReadMachine,
+    },
     /// Line 21: await `WSIG[i] = <seq, CS>`.
-    L2Await { seq: i64, i: usize },
+    L2Await {
+        seq: i64,
+        i: usize,
+    },
     /// Line 24: critical section.
-    Cs { seq: i64 },
+    Cs {
+        seq: i64,
+    },
     /// Line 25: `WSEQ := seq + 1`.
-    IncWseq { seq: i64 },
+    IncWseq {
+        seq: i64,
+    },
     /// Line 26: `RSIG := <seq + 1, NOP>`.
-    RsigNop { seq: i64 },
+    RsigNop {
+        seq: i64,
+    },
     /// Line 27: `WL.Exit()`.
     WlExit(wmutex::ExitMachine),
 }
@@ -410,7 +464,11 @@ impl AfWriterSim {
     /// Panics if `id` is out of range.
     pub fn new(shared: Arc<AfShared>, id: usize) -> Self {
         assert!(id < shared.cfg.writers, "writer id {id} out of range");
-        AfWriterSim { shared, id, pc: WPc::Remainder }
+        AfWriterSim {
+            shared,
+            id,
+            pc: WPc::Remainder,
+        }
     }
 
     /// This writer's id.
@@ -427,7 +485,11 @@ impl AfWriterSim {
     /// line 18.
     fn after_l1(&self, seq: i64, i: usize) -> WPc {
         if i + 1 < self.shared.groups {
-            WPc::L1ReadC { seq, i: i + 1, m: self.shared.c[i + 1].read() }
+            WPc::L1ReadC {
+                seq,
+                i: i + 1,
+                m: self.shared.c[i + 1].read(),
+            }
         } else {
             WPc::RsigWait { seq }
         }
@@ -437,7 +499,11 @@ impl AfWriterSim {
     /// the CS.
     fn after_l2(&self, seq: i64, i: usize) -> WPc {
         if i + 1 < self.shared.groups {
-            WPc::L2ReadC { seq, i: i + 1, m: self.shared.c[i + 1].read() }
+            WPc::L2ReadC {
+                seq,
+                i: i + 1,
+                m: self.shared.c[i + 1].read(),
+            }
         } else {
             WPc::Cs { seq }
         }
@@ -495,7 +561,10 @@ impl Program for AfWriterSim {
                 sub::Drive::Finished(_) => WPc::ReadWseq,
                 sub::Drive::Running => WPc::WlEnter(m),
             },
-            WPc::ReadWseq => WPc::InitWsig { seq: response.expect_int(), i: 0 },
+            WPc::ReadWseq => WPc::InitWsig {
+                seq: response.expect_int(),
+                i: 0,
+            },
             WPc::InitWsig { seq, i } => {
                 if i + 1 < self.shared.groups {
                     WPc::InitWsig { seq, i: i + 1 }
@@ -503,9 +572,11 @@ impl Program for AfWriterSim {
                     WPc::RsigPreentry { seq }
                 }
             }
-            WPc::RsigPreentry { seq } => {
-                WPc::L1ReadC { seq, i: 0, m: self.shared.c[0].read() }
-            }
+            WPc::RsigPreentry { seq } => WPc::L1ReadC {
+                seq,
+                i: 0,
+                m: self.shared.c[0].read(),
+            },
             WPc::L1ReadC { seq, i, mut m } => match sub::drive(&mut m, response) {
                 sub::Drive::Finished(v) => {
                     if v.expect_int() > 0 {
@@ -524,9 +595,11 @@ impl Program for AfWriterSim {
                 }
             }
             WPc::L1WriteWsig { seq, i } => self.after_l1(seq, i),
-            WPc::RsigWait { seq } => {
-                WPc::L2ReadC { seq, i: 0, m: self.shared.c[0].read() }
-            }
+            WPc::RsigWait { seq } => WPc::L2ReadC {
+                seq,
+                i: 0,
+                m: self.shared.c[0].read(),
+            },
             WPc::L2ReadC { seq, i, mut m } => match sub::drive(&mut m, response) {
                 sub::Drive::Finished(v) => {
                     if v.expect_int() > 0 {
@@ -574,7 +647,6 @@ impl Program for AfWriterSim {
         Role::Writer
     }
 
-
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -606,7 +678,6 @@ impl Program for AfWriterSim {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,7 +691,11 @@ mod tests {
         // Algorithm 1: WSIG[i] armed to <0,⊥>, RSIG to <0,PREENTRY>,
         // WSIG to <0,WAIT>, RSIG to <0,WAIT>, CS, then WSEQ=1 and
         // RSIG=<1,NOP>.
-        let cfg = AfConfig { readers: 2, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 2,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let w = world.pids.writer(0);
 
@@ -639,7 +714,11 @@ mod tests {
     fn reader_wait_path_follows_definition4() {
         // Writer into the CS; reader must pass through the waiting states
         // of Definition 4 (pc in [34,36]) and park at AwaitRsig.
-        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let (r, w) = (world.pids.reader(0), world.pids.writer(0));
         run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
@@ -666,7 +745,11 @@ mod tests {
 
     #[test]
     fn is_waiting_matches_states() {
-        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let shared = {
             let mut layout = ccsim::Layout::new();
             crate::af::shared::AfShared::allocate(&mut layout, cfg)
@@ -682,7 +765,11 @@ mod tests {
         // Reader in CS; writer starts its passage and must block at line
         // 14 (await PROCEED). The exiting reader then CASes
         // WSIG[0] <0,⊥> -> <0,PROCEED> at line 45.
-        let cfg = AfConfig { readers: 1, writers: 1, policy: FPolicy::One };
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let (r, w) = (world.pids.reader(0), world.pids.writer(0));
         run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
@@ -709,7 +796,11 @@ mod tests {
 
     #[test]
     fn reader_ids_map_to_distinct_group_leaves() {
-        let cfg = AfConfig { readers: 6, writers: 1, policy: FPolicy::Groups(3) };
+        let cfg = AfConfig {
+            readers: 6,
+            writers: 1,
+            policy: FPolicy::Groups(3),
+        };
         let mut layout = ccsim::Layout::new();
         let shared = crate::af::shared::AfShared::allocate(&mut layout, cfg);
         let mut seen = std::collections::HashSet::new();

@@ -80,7 +80,11 @@ impl<T> AfRwLock<T> {
         let claims = (0..cfg.readers + cfg.writers)
             .map(|_| AtomicBool::new(false))
             .collect();
-        AfRwLock { raw, claims, data: UnsafeCell::new(value) }
+        AfRwLock {
+            raw,
+            claims,
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// The lock's configuration.
@@ -162,7 +166,10 @@ impl<'a, T> ReaderHandle<'a, T> {
     /// Execute the reader entry section and return a shared guard.
     pub fn read(&mut self) -> ReadGuard<'_, T> {
         self.lock.raw.reader_lock(self.id);
-        ReadGuard { lock: self.lock, id: self.id }
+        ReadGuard {
+            lock: self.lock,
+            id: self.id,
+        }
     }
 
     /// This handle's reader process id.
@@ -188,7 +195,10 @@ impl<'a, T> WriterHandle<'a, T> {
     /// Execute the writer entry section and return an exclusive guard.
     pub fn write(&mut self) -> WriteGuard<'_, T> {
         self.lock.raw.writer_lock(self.id);
-        WriteGuard { lock: self.lock, id: self.id }
+        WriteGuard {
+            lock: self.lock,
+            id: self.id,
+        }
     }
 
     /// This handle's writer process id.
@@ -307,7 +317,11 @@ mod tests {
 
     #[test]
     fn concurrent_threads_via_scoped_handles() {
-        let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::SqrtN };
+        let cfg = AfConfig {
+            readers: 4,
+            writers: 2,
+            policy: FPolicy::SqrtN,
+        };
         let lock = AfRwLock::new(cfg, 0u64);
         std::thread::scope(|s| {
             for w in 0..2 {
@@ -344,9 +358,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(HandleError::AlreadyClaimed { id: 3 }.to_string().contains("3"));
-        assert!(
-            HandleError::OutOfRange { id: 9, limit: 4 }.to_string().contains("limit 4")
-        );
+        assert!(HandleError::AlreadyClaimed { id: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(HandleError::OutOfRange { id: 9, limit: 4 }
+            .to_string()
+            .contains("limit 4"));
     }
 }

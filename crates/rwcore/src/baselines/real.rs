@@ -200,7 +200,10 @@ pub struct MutexRwLock {
 impl MutexRwLock {
     /// A lock for `n` readers and `m` writers (mutex over `n + m` ids).
     pub fn new(readers: usize, writers: usize) -> Self {
-        MutexRwLock { readers, mutex: TournamentLock::new(readers + writers) }
+        MutexRwLock {
+            readers,
+            mutex: TournamentLock::new(readers + writers),
+        }
     }
 }
 

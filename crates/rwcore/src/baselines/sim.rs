@@ -9,8 +9,8 @@
 
 use crate::world::PidMap;
 use ccsim::{
-    sub, Layout, Memory, Op, Phase, Program, Protocol, Role, Sim, Step, SubMachine, SubStep,
-    Value, VarId,
+    sub, Layout, Memory, Op, Phase, Program, Protocol, Role, Sim, Step, SubMachine, SubStep, Value,
+    VarId,
 };
 use std::hash::{Hash, Hasher};
 use wmutex::SimTournament;
@@ -37,12 +37,16 @@ enum CrPc {
     /// Spin: read the state word until no writer bit.
     ReadEntry,
     /// CAS `state: seen -> seen + 1`.
-    CasInc { seen: i64 },
+    CasInc {
+        seen: i64,
+    },
     Cs,
     /// Read the state word before decrementing.
     ReadExit,
     /// CAS `state: seen -> seen - 1`.
-    CasDec { seen: i64 },
+    CasDec {
+        seen: i64,
+    },
 }
 
 /// A reader of the centralized CAS lock.
@@ -55,7 +59,10 @@ pub struct CentralReaderSim {
 impl CentralReaderSim {
     /// Build a reader over the shared state word.
     pub fn new(state: VarId) -> Self {
-        CentralReaderSim { state, pc: CrPc::Remainder }
+        CentralReaderSim {
+            state,
+            pc: CrPc::Remainder,
+        }
     }
 }
 
@@ -89,7 +96,9 @@ impl Program for CentralReaderSim {
                 }
             }
             CrPc::Cs => CrPc::ReadExit,
-            CrPc::ReadExit => CrPc::CasDec { seen: response.expect_int() },
+            CrPc::ReadExit => CrPc::CasDec {
+                seen: response.expect_int(),
+            },
             CrPc::CasDec { seen } => {
                 if response.expect_int() == seen {
                     CrPc::Remainder
@@ -112,7 +121,6 @@ impl Program for CentralReaderSim {
     fn role(&self) -> Role {
         Role::Reader
     }
-
 
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
@@ -156,7 +164,10 @@ pub struct CentralWriterSim {
 impl CentralWriterSim {
     /// Build a writer over the shared state word.
     pub fn new(state: VarId) -> Self {
-        CentralWriterSim { state, pc: CwPc::Remainder }
+        CentralWriterSim {
+            state,
+            pc: CwPc::Remainder,
+        }
     }
 }
 
@@ -198,7 +209,6 @@ impl Program for CentralWriterSim {
         Role::Writer
     }
 
-
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -221,7 +231,11 @@ pub fn centralized_world(readers: usize, writers: usize, protocol: Protocol) -> 
     for _ in 0..writers {
         procs.push(Box::new(CentralWriterSim::new(state)));
     }
-    BaselineWorld { sim: Sim::new(mem, procs), pids, state: Some(state) }
+    BaselineWorld {
+        sim: Sim::new(mem, procs),
+        pids,
+        state: Some(state),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -252,7 +266,11 @@ pub struct FaaReaderSim {
 impl FaaReaderSim {
     /// Build a reader over the indicator and flag variables.
     pub fn new(readers: VarId, wflag: VarId) -> Self {
-        FaaReaderSim { readers, wflag, pc: FrPc::Remainder }
+        FaaReaderSim {
+            readers,
+            wflag,
+            pc: FrPc::Remainder,
+        }
     }
 }
 
@@ -260,9 +278,15 @@ impl Program for FaaReaderSim {
     fn poll(&self) -> Step {
         match self.pc {
             FrPc::Remainder => Step::Remainder,
-            FrPc::Inc => Step::Op(Op::Faa { var: self.readers, delta: 1 }),
+            FrPc::Inc => Step::Op(Op::Faa {
+                var: self.readers,
+                delta: 1,
+            }),
             FrPc::CheckFlag | FrPc::SpinFlag => Step::Op(Op::Read(self.wflag)),
-            FrPc::Retreat | FrPc::Dec => Step::Op(Op::Faa { var: self.readers, delta: -1 }),
+            FrPc::Retreat | FrPc::Dec => Step::Op(Op::Faa {
+                var: self.readers,
+                delta: -1,
+            }),
             FrPc::Cs => Step::Cs,
         }
     }
@@ -303,7 +327,6 @@ impl Program for FaaReaderSim {
     fn role(&self) -> Role {
         Role::Reader
     }
-
 
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
@@ -350,7 +373,13 @@ pub struct FaaWriterSim {
 impl FaaWriterSim {
     /// Build writer `id` over the shared variables and writer mutex.
     pub fn new(readers: VarId, wflag: VarId, wl: SimTournament, id: usize) -> Self {
-        FaaWriterSim { readers, wflag, wl, id, pc: FwPc::Remainder }
+        FaaWriterSim {
+            readers,
+            wflag,
+            wl,
+            id,
+            pc: FwPc::Remainder,
+        }
     }
 }
 
@@ -418,7 +447,6 @@ impl Program for FaaWriterSim {
         Role::Writer
     }
 
-
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -466,7 +494,11 @@ pub fn mutex_rw_world(readers: usize, writers: usize, protocol: Protocol) -> Bas
             Role::Writer,
         )));
     }
-    BaselineWorld { sim: Sim::new(mem, procs), pids, state: None }
+    BaselineWorld {
+        sim: Sim::new(mem, procs),
+        pids,
+        state: None,
+    }
 }
 
 /// Build a simulated world of the FAA read-indicator lock.
@@ -484,20 +516,25 @@ pub fn faa_world(readers: usize, writers: usize, protocol: Protocol) -> Baseline
     for w in 0..writers {
         procs.push(Box::new(FaaWriterSim::new(indicator, wflag, wl.clone(), w)));
     }
-    BaselineWorld { sim: Sim::new(mem, procs), pids, state: Some(indicator) }
+    BaselineWorld {
+        sim: Sim::new(mem, procs),
+        pids,
+        state: Some(indicator),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccsim::{run_random, run_round_robin, run_solo, RunConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ccsim::{run_random, run_round_robin, run_solo, Prng, RunConfig};
 
     #[test]
     fn centralized_round_robin_completes() {
         let mut world = centralized_world(3, 2, Protocol::WriteBack);
-        let rc = RunConfig { passages_per_proc: 4, ..Default::default() };
+        let rc = RunConfig {
+            passages_per_proc: 4,
+            ..Default::default()
+        };
         let report = run_round_robin(&mut world.sim, &rc).unwrap();
         assert!(report.completed.iter().all(|&c| c == 4));
     }
@@ -506,8 +543,11 @@ mod tests {
     fn centralized_random_schedules() {
         for seed in 0..20 {
             let mut world = centralized_world(4, 1, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+            let mut rng = Prng::new(seed);
+            let rc = RunConfig {
+                passages_per_proc: 3,
+                ..Default::default()
+            };
             run_random(&mut world.sim, &mut rng, &rc)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
@@ -516,7 +556,10 @@ mod tests {
     #[test]
     fn faa_round_robin_completes() {
         let mut world = faa_world(3, 2, Protocol::WriteBack);
-        let rc = RunConfig { passages_per_proc: 4, ..Default::default() };
+        let rc = RunConfig {
+            passages_per_proc: 4,
+            ..Default::default()
+        };
         let report = run_round_robin(&mut world.sim, &rc).unwrap();
         assert!(report.completed.iter().all(|&c| c == 4));
     }
@@ -525,8 +568,11 @@ mod tests {
     fn faa_random_schedules() {
         for seed in 0..20 {
             let mut world = faa_world(4, 2, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+            let mut rng = Prng::new(seed);
+            let rc = RunConfig {
+                passages_per_proc: 3,
+                ..Default::default()
+            };
             run_random(&mut world.sim, &mut rng, &rc)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
@@ -554,8 +600,10 @@ mod tests {
         let mut world = centralized_world(3, 1, Protocol::WriteBack);
         for r in 0..3 {
             let pid = world.pids.reader(r);
-            run_solo(&mut world.sim, pid, 100, |s| s.phase(pid) == ccsim::Phase::Cs)
-                .unwrap();
+            run_solo(&mut world.sim, pid, 100, |s| {
+                s.phase(pid) == ccsim::Phase::Cs
+            })
+            .unwrap();
         }
         assert_eq!(world.sim.procs_in_cs().len(), 3);
         assert!(world.sim.check_mutual_exclusion().is_ok());
@@ -564,7 +612,10 @@ mod tests {
     #[test]
     fn mutex_rw_world_completes_and_serializes() {
         let mut world = mutex_rw_world(3, 1, Protocol::WriteBack);
-        let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let rc = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
         let report = run_round_robin(&mut world.sim, &rc).unwrap();
         assert!(report.completed.iter().all(|&c| c == 3));
         // Readers cannot share the CS through a plain mutex: get one
@@ -572,7 +623,10 @@ mod tests {
         let mut world = mutex_rw_world(2, 1, Protocol::WriteBack);
         let r0 = world.pids.reader(0);
         let r1 = world.pids.reader(1);
-        run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == ccsim::Phase::Cs).unwrap();
+        run_solo(&mut world.sim, r0, 1_000, |s| {
+            s.phase(r0) == ccsim::Phase::Cs
+        })
+        .unwrap();
         let reached = run_solo(&mut world.sim, r1, 2_000, |s| {
             s.phase(r1) == ccsim::Phase::Cs
         });

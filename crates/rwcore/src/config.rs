@@ -81,7 +81,11 @@ pub struct AfConfig {
 impl AfConfig {
     /// A configuration with the balanced [`FPolicy::LogN`] policy.
     pub fn new(readers: usize, writers: usize) -> Self {
-        AfConfig { readers, writers, policy: FPolicy::LogN }
+        AfConfig {
+            readers,
+            writers,
+            policy: FPolicy::LogN,
+        }
     }
 
     /// Replace the policy (builder-style).
@@ -123,7 +127,10 @@ impl AfConfig {
             self.readers
         );
         let k = self.group_size();
-        GroupSlot { group: reader_id / k, leaf: reader_id % k }
+        GroupSlot {
+            group: reader_id / k,
+            leaf: reader_id % k,
+        }
     }
 
     /// The number of readers assigned to group `g` (the last group may be
@@ -177,7 +184,11 @@ mod tests {
     fn grouping_partitions_all_readers() {
         for n in [1usize, 2, 7, 16, 100] {
             for policy in FPolicy::NAMED {
-                let cfg = AfConfig { readers: n, writers: 1, policy };
+                let cfg = AfConfig {
+                    readers: n,
+                    writers: 1,
+                    policy,
+                };
                 let mut seen = vec![0usize; cfg.occupied_groups()];
                 for r in 0..n {
                     let slot = cfg.group_of(r);
@@ -197,7 +208,11 @@ mod tests {
     fn group_size_times_groups_covers_n() {
         for n in 1..200 {
             for policy in FPolicy::NAMED {
-                let cfg = AfConfig { readers: n, writers: 1, policy };
+                let cfg = AfConfig {
+                    readers: n,
+                    writers: 1,
+                    policy,
+                };
                 assert!(cfg.group_size() * cfg.groups() >= n, "{policy} n={n}");
             }
         }

@@ -97,7 +97,10 @@ impl Signal {
 
     /// Unpack from a word produced by [`Signal::pack`].
     pub fn unpack(word: u64) -> Self {
-        Signal { seq: word >> 3, op: Opcode::from_i64((word & 0b111) as i64) }
+        Signal {
+            seq: word >> 3,
+            op: Opcode::from_i64((word & 0b111) as i64),
+        }
     }
 
     /// The simulator representation: `Value::Pair(seq, opcode)`.
@@ -107,7 +110,10 @@ impl Signal {
 
     /// Decode from a simulator pair.
     pub fn from_pair(pair: (i64, i64)) -> Self {
-        Signal { seq: pair.0 as u64, op: Opcode::from_i64(pair.1) }
+        Signal {
+            seq: pair.0 as u64,
+            op: Opcode::from_i64(pair.1),
+        }
     }
 }
 

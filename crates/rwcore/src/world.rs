@@ -56,7 +56,10 @@ impl PidMap {
 
 impl From<AfConfig> for PidMap {
     fn from(cfg: AfConfig) -> Self {
-        PidMap { readers: cfg.readers, writers: cfg.writers }
+        PidMap {
+            readers: cfg.readers,
+            writers: cfg.writers,
+        }
     }
 }
 
@@ -117,24 +120,33 @@ pub fn af_world_custom(
     for w in 0..cfg.writers {
         procs.push(Box::new(AfWriterSim::new(Arc::clone(&shared), w)));
     }
-    AfWorld { sim: Sim::new(mem, procs), shared, pids }
+    AfWorld {
+        sim: Sim::new(mem, procs),
+        shared,
+        pids,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FPolicy;
-    use ccsim::{run_random, run_round_robin, run_solo, Phase, RunConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ccsim::{run_random, run_round_robin, run_solo, Phase, Prng, RunConfig};
 
     #[test]
     fn round_robin_all_policies_and_protocols() {
         for policy in FPolicy::NAMED {
             for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
-                let cfg = AfConfig { readers: 4, writers: 2, policy };
+                let cfg = AfConfig {
+                    readers: 4,
+                    writers: 2,
+                    policy,
+                };
                 let mut world = af_world(cfg, protocol);
-                let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+                let rc = RunConfig {
+                    passages_per_proc: 3,
+                    ..Default::default()
+                };
                 let report = run_round_robin(&mut world.sim, &rc)
                     .unwrap_or_else(|e| panic!("{policy} {protocol:?}: {e}"));
                 assert!(report.completed.iter().all(|&c| c == 3), "{policy}");
@@ -145,10 +157,17 @@ mod tests {
     #[test]
     fn random_schedules_many_seeds() {
         for seed in 0..30 {
-            let cfg = AfConfig { readers: 3, writers: 2, policy: FPolicy::Groups(2) };
+            let cfg = AfConfig {
+                readers: 3,
+                writers: 2,
+                policy: FPolicy::Groups(2),
+            };
             let mut world = af_world(cfg, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let rc = RunConfig { passages_per_proc: 4, ..Default::default() };
+            let mut rng = Prng::new(seed);
+            let rc = RunConfig {
+                passages_per_proc: 4,
+                ..Default::default()
+            };
             run_random(&mut world.sim, &mut rng, &rc)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
@@ -158,7 +177,11 @@ mod tests {
     fn solo_reader_enters_quickly_when_quiescent() {
         // Concurrent Entering: with all writers in the remainder section, a
         // reader reaches the CS in a bounded number of its own steps.
-        let cfg = AfConfig { readers: 8, writers: 1, policy: FPolicy::LogN };
+        let cfg = AfConfig {
+            readers: 8,
+            writers: 1,
+            policy: FPolicy::LogN,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let r0 = world.pids.reader(0);
         let steps = run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == Phase::Cs)
@@ -169,7 +192,11 @@ mod tests {
 
     #[test]
     fn solo_writer_passage_completes() {
-        let cfg = AfConfig { readers: 8, writers: 2, policy: FPolicy::SqrtN };
+        let cfg = AfConfig {
+            readers: 8,
+            writers: 2,
+            policy: FPolicy::SqrtN,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let w0 = world.pids.writer(0);
         run_solo(&mut world.sim, w0, 10_000, |s| s.stats(w0).passages == 1)
@@ -189,7 +216,10 @@ mod tests {
         assert_eq!(reached, None, "writer entered CS while a reader held it");
         assert!(world.sim.check_mutual_exclusion().is_ok());
         // Once the reader leaves, the writer gets in.
-        run_solo(&mut world.sim, r0, 1_000, |s| s.phase(r0) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, r0, 1_000, |s| {
+            s.phase(r0) == Phase::Remainder
+        })
+        .unwrap();
         run_solo(&mut world.sim, w0, 5_000, |s| s.phase(w0) == Phase::Cs)
             .expect("writer must enter after reader exits");
     }
@@ -203,26 +233,40 @@ mod tests {
         let reached = run_solo(&mut world.sim, r1, 5_000, |s| s.phase(r1) == Phase::Cs);
         assert_eq!(reached, None, "reader entered CS while the writer held it");
         // Writer leaves; the waiting reader proceeds.
-        run_solo(&mut world.sim, w0, 1_000, |s| s.phase(w0) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, w0, 1_000, |s| {
+            s.phase(w0) == Phase::Remainder
+        })
+        .unwrap();
         run_solo(&mut world.sim, r1, 5_000, |s| s.phase(r1) == Phase::Cs)
             .expect("reader must enter after writer exits");
     }
 
     #[test]
     fn readers_share_the_cs() {
-        let cfg = AfConfig { readers: 4, writers: 1, policy: FPolicy::Groups(2) };
+        let cfg = AfConfig {
+            readers: 4,
+            writers: 1,
+            policy: FPolicy::Groups(2),
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         for r in 0..4 {
             let pid = world.pids.reader(r);
             run_solo(&mut world.sim, pid, 1_000, |s| s.phase(pid) == Phase::Cs).unwrap();
         }
-        assert_eq!(world.sim.procs_in_cs().len(), 4, "all readers in CS together");
+        assert_eq!(
+            world.sim.procs_in_cs().len(),
+            4,
+            "all readers in CS together"
+        );
         assert!(world.sim.check_mutual_exclusion().is_ok());
     }
 
     #[test]
     fn pid_map_convention() {
-        let pids = PidMap { readers: 3, writers: 2 };
+        let pids = PidMap {
+            readers: 3,
+            writers: 2,
+        };
         assert_eq!(pids.reader(2), ProcId(2));
         assert_eq!(pids.writer(0), ProcId(3));
         assert_eq!(pids.total(), 5);

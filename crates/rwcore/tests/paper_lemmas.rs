@@ -3,15 +3,17 @@
 //! validates. (Lemmas 8/9 — Mutual Exclusion — are additionally verified
 //! *exhaustively* in `modelcheck/tests/af_exhaustive.rs`.)
 
-use ccsim::{run_random, run_solo, Op, Phase, Protocol, RunConfig, Step, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccsim::{run_random, run_solo, Op, Phase, Prng, Protocol, RunConfig, Step, Value};
 use rwcore::{af_world, AfConfig, FPolicy, Opcode};
 
 /// Observation 4: mutual exclusion between writer processes.
 #[test]
 fn observation4_writer_writer_exclusion() {
-    let cfg = AfConfig { readers: 1, writers: 3, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: 1,
+        writers: 3,
+        policy: FPolicy::One,
+    };
     let mut world = af_world(cfg, Protocol::WriteBack);
     let w0 = world.pids.writer(0);
     run_solo(&mut world.sim, w0, 100_000, |s| s.phase(w0) == Phase::Cs).unwrap();
@@ -26,13 +28,20 @@ fn observation4_writer_writer_exclusion() {
 /// remainder section, the opcode stored in RSIG is NOP.
 #[test]
 fn observation5_quiescent_rsig_is_nop() {
-    let cfg = AfConfig { readers: 3, writers: 2, policy: FPolicy::Groups(2) };
+    let cfg = AfConfig {
+        readers: 3,
+        writers: 2,
+        policy: FPolicy::Groups(2),
+    };
     for seed in 0..10 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::new(seed);
         // Drive a random mixed run to completion; then all processes are
         // in the remainder section.
-        let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let rc = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
         run_random(&mut world.sim, &mut rng, &rc).unwrap();
         assert!(world.sim.is_quiescent());
         let sig = world.shared.peek_rsig(world.sim.mem());
@@ -42,9 +51,9 @@ fn observation5_quiescent_rsig_is_nop() {
     // Stronger: at *every* point of a run where all writers are in the
     // remainder section, RSIG's opcode is NOP.
     let mut world = af_world(cfg, Protocol::WriteBack);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Prng::new(99);
     for _ in 0..30_000 {
-        let p = ccsim::ProcId(rng.gen_range(0..world.sim.n_procs()));
+        let p = ccsim::ProcId(rng.below(world.sim.n_procs()));
         // Bound passages implicitly by skipping remainder restarts with
         // probability; just step freely.
         world.sim.step(p);
@@ -65,7 +74,11 @@ fn observation5_quiescent_rsig_is_nop() {
 /// as the max exit-section step count across adversarially mixed runs.
 #[test]
 fn lemma10_bounded_exit() {
-    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::Groups(2) };
+    let cfg = AfConfig {
+        readers: 4,
+        writers: 2,
+        policy: FPolicy::Groups(2),
+    };
     // Exit bound: counter add (≤ 1 + 8·depth) + RSIG read + C read + CAS +
     // HelpWCS (2 reads + CAS) plus writer's 2 writes + WL exit writes.
     let k = cfg.group_size();
@@ -75,8 +88,11 @@ fn lemma10_bounded_exit() {
 
     for seed in 0..15 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rc = RunConfig { passages_per_proc: 4, ..Default::default() };
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 4,
+            ..Default::default()
+        };
         run_random(&mut world.sim, &mut rng, &rc).unwrap();
         for r in 0..cfg.readers {
             let pid = world.pids.reader(r);
@@ -104,14 +120,18 @@ fn lemma10_bounded_exit() {
 /// counters `W[i]` all read 0.
 #[test]
 fn lemma11_no_waiters_at_line18() {
-    let cfg = AfConfig { readers: 3, writers: 1, policy: FPolicy::Groups(2) };
+    let cfg = AfConfig {
+        readers: 3,
+        writers: 1,
+        policy: FPolicy::Groups(2),
+    };
     let rsig = {
         let world = af_world(cfg, Protocol::WriteBack);
         world.shared.rsig
     };
     for seed in 0..25 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::new(seed);
         let w0 = world.pids.writer(0);
         let mut checks = 0;
         for _ in 0..40_000 {
@@ -129,7 +149,7 @@ fn lemma11_no_waiters_at_line18() {
                     checks += 1;
                 }
             }
-            let p = ccsim::ProcId(rng.gen_range(0..world.sim.n_procs()));
+            let p = ccsim::ProcId(rng.below(world.sim.n_procs()));
             world.sim.step(p);
             world.sim.check_mutual_exclusion().unwrap();
         }
@@ -143,15 +163,19 @@ fn lemma11_no_waiters_at_line18() {
 /// own steps, regardless of other readers' scheduling.
 #[test]
 fn lemma12_concurrent_entering() {
-    let cfg = AfConfig { readers: 6, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: 6,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let k = cfg.group_size();
     let bound = (1 + 8 * k.next_power_of_two().trailing_zeros() as u64) + 2;
     for seed in 0..10 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::new(seed);
         // Other readers run random amounts first.
-        for _ in 0..rng.gen_range(0..2_000) {
-            let r = world.pids.reader(rng.gen_range(1..cfg.readers));
+        for _ in 0..rng.below(2_000) {
+            let r = world.pids.reader(1 + rng.below(cfg.readers - 1));
             world.sim.step(r);
         }
         // Now count ONLY reader 0's own steps to the CS.
@@ -166,11 +190,18 @@ fn lemma12_concurrent_entering() {
 /// every reader still completes its quota under random scheduling.
 #[test]
 fn lemma16_no_reader_starvation() {
-    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::LogN };
+    let cfg = AfConfig {
+        readers: 4,
+        writers: 2,
+        policy: FPolicy::LogN,
+    };
     for seed in 0..10 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rc = RunConfig { passages_per_proc: 5, ..Default::default() };
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 5,
+            ..Default::default()
+        };
         let report = run_random(&mut world.sim, &mut rng, &rc)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(report.completed.iter().all(|&c| c == 5));
@@ -183,12 +214,23 @@ fn lemma16_no_reader_starvation() {
 fn theorem18_rmr_ordering_across_policies() {
     fn solo(cfg: AfConfig, reader: bool) -> u64 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let pid = if reader { world.pids.reader(0) } else { world.pids.writer(0) };
-        run_solo(&mut world.sim, pid, 1_000_000, |s| s.stats(pid).passages == 1).unwrap();
+        let pid = if reader {
+            world.pids.reader(0)
+        } else {
+            world.pids.writer(0)
+        };
+        run_solo(&mut world.sim, pid, 1_000_000, |s| {
+            s.stats(pid).passages == 1
+        })
+        .unwrap();
         world.sim.stats(pid).rmrs()
     }
     let n = 128;
-    let mk = |policy| AfConfig { readers: n, writers: 1, policy };
+    let mk = |policy| AfConfig {
+        readers: n,
+        writers: 1,
+        policy,
+    };
     let writer_f1 = solo(mk(FPolicy::One), false);
     let writer_mid = solo(mk(FPolicy::SqrtN), false);
     let writer_fn = solo(mk(FPolicy::Linear), false);

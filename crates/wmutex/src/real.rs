@@ -52,8 +52,7 @@ impl Node {
     fn acquire(&self, side: usize) {
         self.flag[side].store(true, Ordering::SeqCst);
         self.turn.store(side, Ordering::SeqCst);
-        while self.flag[1 - side].load(Ordering::SeqCst)
-            && self.turn.load(Ordering::SeqCst) == side
+        while self.flag[1 - side].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == side
         {
             std::hint::spin_loop();
         }
@@ -225,7 +224,11 @@ pub struct TicketLock {
 impl TicketLock {
     /// Create a ticket lock for `m` processes.
     pub fn new(m: usize) -> Self {
-        TicketLock { m, next: AtomicU64::new(0), grant: AtomicU64::new(0) }
+        TicketLock {
+            m,
+            next: AtomicU64::new(0),
+            grant: AtomicU64::new(0),
+        }
     }
 }
 
@@ -326,7 +329,11 @@ mod tests {
         // Level 1: everyone meets at the root.
         assert_eq!(m.arena(0, 1).0, 1);
         assert_eq!(m.arena(3, 1).0, 1);
-        assert_ne!(m.arena(1, 1).1, m.arena(2, 1).1, "subtrees take opposite sides");
+        assert_ne!(
+            m.arena(1, 1).1,
+            m.arena(2, 1).1,
+            "subtrees take opposite sides"
+        );
     }
 
     #[test]

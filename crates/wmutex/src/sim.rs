@@ -66,7 +66,11 @@ impl SimTournament {
     pub fn enter(&self, p: usize) -> EnterMachine {
         let path = self.path(p);
         EnterMachine {
-            pc: if path.is_empty() { EnterPc::Done } else { EnterPc::WriteFlag { lvl: 0 } },
+            pc: if path.is_empty() {
+                EnterPc::Done
+            } else {
+                EnterPc::WriteFlag { lvl: 0 }
+            },
             path,
         }
     }
@@ -75,7 +79,14 @@ impl SimTournament {
     pub fn exit(&self, p: usize) -> ExitMachine {
         let mut path = self.path(p);
         path.reverse(); // release top-down
-        ExitMachine { pc: if path.is_empty() { ExitPc::Done } else { ExitPc::Clear { idx: 0 } }, path }
+        ExitMachine {
+            pc: if path.is_empty() {
+                ExitPc::Done
+            } else {
+                ExitPc::Clear { idx: 0 }
+            },
+            path,
+        }
     }
 }
 
@@ -226,7 +237,12 @@ impl MutexClient {
     /// in as a (degenerate) reader-writer lock, where "reader" clients
     /// still take the lock exclusively.
     pub fn with_role(mutex: SimTournament, id: usize, role: Role) -> Self {
-        MutexClient { mutex, id, role, state: ClientState::Remainder }
+        MutexClient {
+            mutex,
+            id,
+            role,
+            state: ClientState::Remainder,
+        }
     }
 }
 
@@ -282,7 +298,6 @@ impl Program for MutexClient {
         self.role
     }
 
-
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -318,17 +333,17 @@ pub fn mutex_world(m: usize, protocol: ccsim::Protocol) -> ccsim::Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccsim::{run_random, run_round_robin, ProcId, Protocol, RunConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ccsim::{run_random, run_round_robin, Prng, ProcId, Protocol, RunConfig};
 
     #[test]
     fn round_robin_passages_complete_for_various_m() {
         for m in [1usize, 2, 3, 4, 5, 8] {
             let mut sim = mutex_world(m, Protocol::WriteBack);
-            let cfg = RunConfig { passages_per_proc: 3, ..Default::default() };
-            let report = run_round_robin(&mut sim, &cfg)
-                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            let cfg = RunConfig {
+                passages_per_proc: 3,
+                ..Default::default()
+            };
+            let report = run_round_robin(&mut sim, &cfg).unwrap_or_else(|e| panic!("m={m}: {e}"));
             assert!(report.completed.iter().all(|&c| c == 3), "m={m}");
         }
     }
@@ -337,10 +352,12 @@ mod tests {
     fn random_schedules_preserve_mutual_exclusion() {
         for seed in 0..20 {
             let mut sim = mutex_world(4, Protocol::WriteBack);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let cfg = RunConfig { passages_per_proc: 5, ..Default::default() };
-            run_random(&mut sim, &mut rng, &cfg)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let mut rng = Prng::new(seed);
+            let cfg = RunConfig {
+                passages_per_proc: 5,
+                ..Default::default()
+            };
+            run_random(&mut sim, &mut rng, &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -350,7 +367,10 @@ mod tests {
             let mut sim = mutex_world(m, Protocol::WriteBack);
             let p = ProcId(0);
             // One uncontended passage.
-            let cfg = RunConfig { passages_per_proc: 1, ..Default::default() };
+            let cfg = RunConfig {
+                passages_per_proc: 1,
+                ..Default::default()
+            };
             // Drive only process 0 by using run_solo.
             ccsim::run_solo(&mut sim, p, 10_000, |s| s.stats(p).passages == 1).unwrap();
             let _ = cfg;
@@ -365,7 +385,10 @@ mod tests {
     #[test]
     fn write_through_also_completes() {
         let mut sim = mutex_world(3, Protocol::WriteThrough);
-        let cfg = RunConfig { passages_per_proc: 2, ..Default::default() };
+        let cfg = RunConfig {
+            passages_per_proc: 2,
+            ..Default::default()
+        };
         run_round_robin(&mut sim, &cfg).unwrap();
     }
 

@@ -1,39 +1,46 @@
-//! Property tests for the mutex substrates: random schedules of the
+//! Randomized tests for the mutex substrates: random schedules of the
 //! simulated tournament, and real-thread agreement between all three
-//! real locks.
+//! real locks. These are the former proptest suites ported to plain
+//! `#[test]`s driven by the in-tree `ccsim::Prng` (the workspace builds
+//! with zero external dependencies).
 
-use ccsim::{run_random, Protocol, RunConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ccsim::{run_random, Prng, Protocol, RunConfig};
 use std::sync::Arc;
 use wmutex::{mutex_world, ClhLock, IdMutex, TicketLock, TournamentLock};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    /// Random schedules of the simulated tournament always complete all
-    /// passages with mutual exclusion intact (checked per step by the
-    /// runner), under all three memory models.
-    #[test]
-    fn sim_tournament_random_schedules(
-        m in 1usize..7,
-        seed in any::<u64>(),
-        protocol_idx in 0usize..3,
-    ) {
-        let protocol = [Protocol::WriteBack, Protocol::WriteThrough, Protocol::Dsm][protocol_idx];
+/// Random schedules of the simulated tournament always complete all
+/// passages with mutual exclusion intact (checked per step by the
+/// runner), under all three memory models.
+#[test]
+fn sim_tournament_random_schedules() {
+    let mut gen = Prng::new(0x5ee0_cafe);
+    for case in 0..40 {
+        let m = 1 + gen.below(6);
+        let seed = gen.next_u64();
+        let protocol = [Protocol::WriteBack, Protocol::WriteThrough, Protocol::Dsm][gen.below(3)];
         let mut sim = mutex_world(m, protocol);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rc = RunConfig { passages_per_proc: 3, ..Default::default() };
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
         let report = run_random(&mut sim, &mut rng, &rc)
-            .map_err(|e| TestCaseError::fail(format!("m={m} {protocol:?} seed={seed}: {e}")))?;
-        prop_assert!(report.completed.iter().all(|&c| c == 3));
+            .unwrap_or_else(|e| panic!("case {case}: m={m} {protocol:?} seed={seed}: {e}"));
+        assert!(
+            report.completed.iter().all(|&c| c == 3),
+            "case {case}: m={m}"
+        );
     }
+}
 
-    /// All real locks serialize a non-atomic counter correctly for any
-    /// (threads, iters) shape.
-    #[test]
-    fn real_locks_serialize(threads in 1usize..5, iters in 1u64..400) {
+/// All real locks serialize a non-atomic counter correctly for any
+/// (threads, iters) shape.
+#[test]
+fn real_locks_serialize() {
+    let mut gen = Prng::new(0x10c4_b01d);
+    for case in 0..12 {
+        let threads = 1 + gen.below(4);
+        let iters = 1 + gen.next_u64() % 399;
         let locks: Vec<Arc<dyn IdMutex>> = vec![
             Arc::new(TournamentLock::new(threads)),
             Arc::new(ClhLock::new(threads)),
@@ -57,10 +64,11 @@ proptest! {
                     });
                 }
             });
-            prop_assert_eq!(
+            assert_eq!(
                 unsafe { *counter.0.get() },
                 threads as u64 * iters,
-                "{} lost updates", lock.name()
+                "case {case}: {} lost updates",
+                lock.name()
             );
         }
     }

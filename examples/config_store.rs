@@ -25,14 +25,23 @@ struct RoutingTable {
 
 fn publish(version: u64) -> RoutingTable {
     let routes = (0..64)
-        .map(|i| (format!("/api/v{}/endpoint-{i}", version % 3 + 1), format!("backend-{}", (i + version) % 8)))
+        .map(|i| {
+            (
+                format!("/api/v{}/endpoint-{i}", version % 3 + 1),
+                format!("backend-{}", (i + version) % 8),
+            )
+        })
         .collect();
     RoutingTable { version, routes }
 }
 
 fn main() {
     let readers = 6usize;
-    let cfg = AfConfig { readers, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let lock = AfRwLock::new(cfg, publish(0));
     let stop = AtomicBool::new(false);
     let lookups = AtomicU64::new(0);
@@ -97,7 +106,17 @@ fn main() {
     let pubs = publishes.load(Ordering::Relaxed);
     println!("config_store: {readers} readers performed {total} consistent lookups");
     println!("              while the control plane published {pubs} table versions");
-    println!("              ({:.0} lookups/sec)", total as f64 / start.elapsed().as_secs_f64());
-    assert_eq!(stale_reads.load(Ordering::Relaxed), 0, "versions never regress");
-    assert!(pubs >= 5, "the writer was starved out entirely ({pubs} publishes)");
+    println!(
+        "              ({:.0} lookups/sec)",
+        total as f64 / start.elapsed().as_secs_f64()
+    );
+    assert_eq!(
+        stale_reads.load(Ordering::Relaxed),
+        0,
+        "versions never regress"
+    );
+    assert!(
+        pubs >= 5,
+        "the writer was starved out entirely ({pubs} publishes)"
+    );
 }

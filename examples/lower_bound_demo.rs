@@ -13,9 +13,7 @@
 //! at most per iteration, and the final Lemma-4 check that the writer
 //! became aware of every reader.
 
-use rwlock_repro::{
-    af_world, run_lower_bound, AdversarySetup, AfConfig, FPolicy, Protocol,
-};
+use rwlock_repro::{af_world, run_lower_bound, AdversarySetup, AfConfig, FPolicy, Protocol};
 
 fn main() {
     let n: usize = std::env::args()
@@ -25,21 +23,29 @@ fn main() {
 
     println!("Theorem-5 adversary vs A_f with f = 1, n = {n} readers\n");
 
-    let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let mut world = af_world(cfg, Protocol::WriteBack);
-    let setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     let report = run_lower_bound(&mut world.sim, &setup).expect("construction completes");
 
     println!("E1: all {n} readers entered the CS (Concurrent Entering).");
-    println!("E2: knowledge-throttled exit took r = {} iterations:", report.iterations);
+    println!(
+        "E2: knowledge-throttled exit took r = {} iterations:",
+        report.iterations
+    );
     for (j, m) in report.max_knowledge_per_iteration.iter().enumerate() {
         let bound = 3f64.powi(j as i32);
         println!(
             "    after σ{j}: M = {m:>5}   (Lemma-2 bound 3^{j} = {bound:>7.0})  {}",
-            if (*m as f64) <= bound { "ok" } else { "VIOLATED" }
+            if (*m as f64) <= bound {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     println!(
@@ -56,7 +62,11 @@ fn main() {
     );
     println!(
         "    and is aware of all {n} readers: {}  (Lemma 4)",
-        if report.writer_aware_of_all { "yes" } else { "NO — BUG" }
+        if report.writer_aware_of_all {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
     );
 
     let predicted = (n as f64).ln() / 3f64.ln();

@@ -23,7 +23,11 @@ fn run(policy: FPolicy, updates_per_producer: u64) -> (f64, u64) {
     use std::time::Duration;
     let producers = 3usize; // writer processes
     let scrapers = 2usize; // reader processes
-    let cfg = AfConfig { readers: scrapers, writers: producers, policy };
+    let cfg = AfConfig {
+        readers: scrapers,
+        writers: producers,
+        policy,
+    };
     let lock = AfRwLock::new(cfg, BTreeMap::<String, u64>::new());
     let snapshots = AtomicU64::new(0);
 
@@ -35,7 +39,9 @@ fn run(policy: FPolicy, updates_per_producer: u64) -> (f64, u64) {
                 let mut handle = lock.writer(w).unwrap();
                 for i in 0..updates_per_producer {
                     let mut registry = handle.write();
-                    *registry.entry(format!("requests_total{{worker=\"{w}\"}}")).or_insert(0) += 1;
+                    *registry
+                        .entry(format!("requests_total{{worker=\"{w}\"}}"))
+                        .or_insert(0) += 1;
                     if i % 64 == 0 {
                         registry.insert(format!("gauge_{w}_{i}"), i);
                     }
@@ -76,7 +82,10 @@ fn run(policy: FPolicy, updates_per_producer: u64) -> (f64, u64) {
     });
     let elapsed = start.elapsed().as_secs_f64();
     let total_updates = producers as u64 * updates_per_producer;
-    (total_updates as f64 / elapsed, snapshots.load(Ordering::Relaxed))
+    (
+        total_updates as f64 / elapsed,
+        snapshots.load(Ordering::Relaxed),
+    )
 }
 
 fn main() {

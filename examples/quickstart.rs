@@ -15,7 +15,11 @@ use std::collections::HashMap;
 fn main() {
     // 4 reader processes, 2 writer processes. The policy picks the
     // tradeoff point: LogN balances reader and writer RMR costs.
-    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::LogN };
+    let cfg = AfConfig {
+        readers: 4,
+        writers: 2,
+        policy: FPolicy::LogN,
+    };
     let lock = AfRwLock::new(cfg, HashMap::<String, u64>::new());
 
     std::thread::scope(|scope| {
@@ -46,7 +50,13 @@ fn main() {
 
     let map = lock.into_inner();
     assert_eq!(map.len(), 200);
-    println!("quickstart: 2 writers filled {} entries while 4 readers polled", map.len());
-    println!("lock family: A_f with f = log n ({} groups of {} readers)",
-        cfg.groups(), cfg.group_size());
+    println!(
+        "quickstart: 2 writers filled {} entries while 4 readers polled",
+        map.len()
+    );
+    println!(
+        "lock family: A_f with f = log n ({} groups of {} readers)",
+        cfg.groups(),
+        cfg.group_size()
+    );
 }

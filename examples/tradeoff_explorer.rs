@@ -15,8 +15,10 @@ use rwlock_repro::{af_world, run_solo, AfConfig, FPolicy, Phase, Protocol};
 /// One solo passage's RMRs for the given process.
 fn solo_rmrs(world: &mut rwlock_repro::AfWorld, pid: rwlock_repro::ProcId) -> u64 {
     world.sim.reset_stats();
-    run_solo(&mut world.sim, pid, 10_000_000, |s| s.stats(pid).passages >= 1)
-        .expect("solo passage completes");
+    run_solo(&mut world.sim, pid, 10_000_000, |s| {
+        s.stats(pid).passages >= 1
+    })
+    .expect("solo passage completes");
     let st = world.sim.stats(pid);
     st.rmrs_in(Phase::Entry) + st.rmrs_in(Phase::Cs) + st.rmrs_in(Phase::Exit)
 }
@@ -28,13 +30,20 @@ fn main() {
         .unwrap_or(256);
 
     println!("A_f tradeoff frontier at n = {n} (write-back CC, solo passages)\n");
-    println!("{:>8} {:>8} {:>16} {:>16}  guidance", "f", "K=n/f", "writer RMRs", "reader RMRs");
+    println!(
+        "{:>8} {:>8} {:>16} {:>16}  guidance",
+        "f", "K=n/f", "writer RMRs", "reader RMRs"
+    );
 
     let mut f = 1usize;
     let mut printed_full_width = false;
     while f <= n {
         printed_full_width |= f == n;
-        let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::Groups(f) };
+        let cfg = AfConfig {
+            readers: n,
+            writers: 1,
+            policy: FPolicy::Groups(f),
+        };
 
         let mut world = af_world(cfg, Protocol::WriteBack);
         let w = world.pids.writer(0);
@@ -61,7 +70,11 @@ fn main() {
         f *= 4;
     }
     if n > 1 && !printed_full_width {
-        let cfg = AfConfig { readers: n, writers: 1, policy: FPolicy::Linear };
+        let cfg = AfConfig {
+            readers: n,
+            writers: 1,
+            policy: FPolicy::Linear,
+        };
         let mut world = af_world(cfg, Protocol::WriteBack);
         let w = world.pids.writer(0);
         let writer = solo_rmrs(&mut world, w);

@@ -137,9 +137,17 @@ fn diy_world(readers: usize) -> Sim {
     let mem = Memory::new(&layout, readers + 1, Protocol::WriteBack);
     let mut procs: Vec<Box<dyn Program>> = Vec::new();
     for &my_flag in &reader_flags {
-        procs.push(Box::new(DiyReader { my_flag, writer_flag, pc: 0 }));
+        procs.push(Box::new(DiyReader {
+            my_flag,
+            writer_flag,
+            pc: 0,
+        }));
     }
-    procs.push(Box::new(DiyWriter { writer_flag, reader_flags, pc: 0 }));
+    procs.push(Box::new(DiyWriter {
+        writer_flag,
+        reader_flags,
+        pc: 0,
+    }));
     Sim::new(mem, procs)
 }
 
@@ -147,11 +155,20 @@ fn main() {
     println!("Model-checking a DIY flag-based reader-writer lock (2 readers)...\n");
     match explore(
         || diy_world(2),
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     ) {
-        Err(CheckError::MutualExclusion { schedule, violation }) => {
+        Err(CheckError::MutualExclusion {
+            schedule,
+            violation,
+        }) => {
             println!("VIOLATION after {} steps: {violation}", schedule.len());
-            println!("reproducing schedule (process ids): {:?}", schedule.iter().map(|p| p.0).collect::<Vec<_>>());
+            println!(
+                "reproducing schedule (process ids): {:?}",
+                schedule.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
             println!(
                 "\nThe bug: the reader's writer-check and its flag-set are two\n\
                  separate steps; a writer can raise its flag and finish its\n\
@@ -165,12 +182,19 @@ fn main() {
     let report = explore(
         || {
             rwlock_repro::af_world(
-                AfConfig { readers: 2, writers: 1, policy: FPolicy::One },
+                AfConfig {
+                    readers: 2,
+                    writers: 1,
+                    policy: FPolicy::One,
+                },
                 Protocol::WriteBack,
             )
             .sim
         },
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .expect("A_f is safe");
     println!(

@@ -51,8 +51,9 @@
 #![warn(missing_docs)]
 
 pub use ccsim::{
-    run_random, run_round_robin, run_solo, Layout, Memory, Op, Phase, ProcId, Program, Protocol,
-    Role, RunConfig, RunError, Sim, Step, StepKind, SubMachine, SubStep, Trace, Value, VarId,
+    run_random, run_round_robin, run_solo, Layout, Memory, Op, Phase, Prng, ProcId, Program,
+    Protocol, Role, RunConfig, RunError, Sim, Step, StepKind, SubMachine, SubStep, Trace, Value,
+    VarId,
 };
 pub use fcounter::{CasCounter, FArray, FaaCounter, SharedCounter, SimCounter};
 pub use knowledge::{
@@ -60,9 +61,9 @@ pub use knowledge::{
 };
 pub use modelcheck::{explore, explore_with, CheckConfig, CheckError, CheckReport};
 pub use rwcore::{
-    af_world, af_world_with_order, centralized_world, faa_world, gated_af_world,
-    mutex_rw_world, AfConfig, AfRwLock, AfShared, GatedAfLock,
-    AfWorld, CentralizedRwLock, FPolicy, FaaRwLock, HandleError, HelpOrder, MutexRwLock, PidMap,
-    Opcode, RawAfLock, RawRwLock, ReadGuard, ReaderHandle, Signal, WriteGuard, WriterHandle,
+    af_world, af_world_with_order, centralized_world, faa_world, gated_af_world, mutex_rw_world,
+    AfConfig, AfRwLock, AfShared, AfWorld, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock,
+    HandleError, HelpOrder, MutexRwLock, Opcode, PidMap, RawAfLock, RawRwLock, ReadGuard,
+    ReaderHandle, Signal, WriteGuard, WriterHandle,
 };
 pub use wmutex::{ClhLock, IdMutex, TicketLock, TournamentLock};

@@ -16,7 +16,11 @@ fn real_lock_full_stack_stress() {
         x: u64,
         y: u64,
     }
-    let cfg = AfConfig { readers: 4, writers: 2, policy: FPolicy::SqrtN };
+    let cfg = AfConfig {
+        readers: 4,
+        writers: 2,
+        policy: FPolicy::SqrtN,
+    };
     let lock = Arc::new(AfRwLock::new(cfg, Pair::default()));
     std::thread::scope(|s| {
         for w in 0..2 {
@@ -52,7 +56,11 @@ fn real_lock_full_stack_stress() {
 fn simulated_and_real_locks_share_grouping() {
     // The sim and real implementations must partition readers identically
     // (same config type drives both).
-    let cfg = AfConfig { readers: 10, writers: 1, policy: FPolicy::SqrtN };
+    let cfg = AfConfig {
+        readers: 10,
+        writers: 1,
+        policy: FPolicy::SqrtN,
+    };
     let real = RawAfLock::new(cfg);
     let world = af_world(cfg, Protocol::WriteBack);
     assert_eq!(real.groups(), world.shared.groups);
@@ -61,12 +69,13 @@ fn simulated_and_real_locks_share_grouping() {
 
 #[test]
 fn adversary_through_facade() {
-    let cfg = AfConfig { readers: 16, writers: 1, policy: FPolicy::One };
+    let cfg = AfConfig {
+        readers: 16,
+        writers: 1,
+        policy: FPolicy::One,
+    };
     let mut world = af_world(cfg, Protocol::WriteBack);
-    let setup = AdversarySetup::new(
-        world.pids.reader_pids().collect(),
-        world.pids.writer(0),
-    );
+    let setup = AdversarySetup::new(world.pids.reader_pids().collect(), world.pids.writer(0));
     let report = run_lower_bound(&mut world.sim, &setup).unwrap();
     assert!(report.writer_aware_of_all);
     assert!(report.iterations >= 2, "r must be ≥ log3(16) - slack");
@@ -77,7 +86,10 @@ fn adversary_through_facade() {
 fn model_checker_through_facade() {
     let report = explore(
         || af_world(AfConfig::new(2, 1), Protocol::WriteBack).sim,
-        &CheckConfig { passages_per_proc: 1, ..Default::default() },
+        &CheckConfig {
+            passages_per_proc: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(report.complete);
@@ -115,13 +127,28 @@ fn rmr_complexity_shapes_hold_through_facade() {
     // The headline tradeoff, measured through the public API alone.
     fn solo_rmrs(cfg: AfConfig, reader: bool) -> u64 {
         let mut world = af_world(cfg, Protocol::WriteBack);
-        let pid = if reader { world.pids.reader(0) } else { world.pids.writer(0) };
-        run_solo(&mut world.sim, pid, 1_000_000, |s| s.stats(pid).passages == 1).unwrap();
+        let pid = if reader {
+            world.pids.reader(0)
+        } else {
+            world.pids.writer(0)
+        };
+        run_solo(&mut world.sim, pid, 1_000_000, |s| {
+            s.stats(pid).passages == 1
+        })
+        .unwrap();
         world.sim.stats(pid).rmrs()
     }
     let n = 256;
-    let f1 = AfConfig { readers: n, writers: 1, policy: FPolicy::One };
-    let fn_ = AfConfig { readers: n, writers: 1, policy: FPolicy::Linear };
+    let f1 = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
+    let fn_ = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::Linear,
+    };
     // Writers: Θ(f).
     assert!(solo_rmrs(fn_, false) > 10 * solo_rmrs(f1, false));
     // Readers: Θ(log(n/f)).

@@ -1,0 +1,192 @@
+//! Randomized invariant tests: random configurations × random schedules
+//! never violate the paper's properties, and the knowledge formalism's
+//! structural invariants hold on arbitrary step sequences. These are the
+//! former proptest suites ported to plain `#[test]`s driven by the
+//! in-tree `ccsim::Prng` (the workspace builds with zero external
+//! dependencies).
+
+use rwlock_repro::*;
+
+/// A small but varied lock configuration.
+fn random_config(rng: &mut Prng) -> AfConfig {
+    let policy = [
+        FPolicy::One,
+        FPolicy::LogN,
+        FPolicy::SqrtN,
+        FPolicy::Half,
+        FPolicy::Linear,
+    ][rng.below(5)];
+    AfConfig {
+        readers: 1 + rng.below(6),
+        writers: 1 + rng.below(3),
+        policy,
+    }
+}
+
+/// Random schedules of random A_f worlds complete all passages with
+/// Mutual Exclusion checked after every step (the runner errors on
+/// violation or stall).
+#[test]
+fn af_random_schedules_safe_and_live() {
+    let mut gen = Prng::new(0xaf_5afe);
+    for _case in 0..48 {
+        let cfg = random_config(&mut gen);
+        let seed = gen.next_u64();
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 3,
+            ..Default::default()
+        };
+        run_random(&mut world.sim, &mut rng, &rc)
+            .unwrap_or_else(|e| panic!("{cfg:?} seed {seed}: {e}"));
+    }
+}
+
+/// Same property under the write-through protocol.
+#[test]
+fn af_random_schedules_safe_write_through() {
+    let mut gen = Prng::new(0xaf_5afe + 1);
+    for _case in 0..48 {
+        let cfg = random_config(&mut gen);
+        let seed = gen.next_u64();
+        let mut world = af_world(cfg, Protocol::WriteThrough);
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 2,
+            ..Default::default()
+        };
+        run_random(&mut world.sim, &mut rng, &rc)
+            .unwrap_or_else(|e| panic!("{cfg:?} seed {seed}: {e}"));
+    }
+}
+
+/// Awareness sets are monotone under any step sequence (Observation 1)
+/// and familiarity never exceeds the process universe.
+#[test]
+fn knowledge_monotonicity() {
+    let mut gen = Prng::new(0x0b5e_0001);
+    for _case in 0..48 {
+        let n_procs = 4;
+        let n_vars = 3;
+        let mut layout = Layout::new();
+        let vars: Vec<VarId> = (0..n_vars)
+            .map(|i| layout.var(format!("v{i}"), Value::Int(0)))
+            .collect();
+        let mut mem = Memory::new(&layout, n_procs, Protocol::WriteBack);
+        let mut tracker = KnowledgeTracker::new(n_procs);
+        let mut prev_sizes = vec![1usize; n_procs];
+        for _ in 0..1 + gen.below(79) {
+            let p = gen.below(4);
+            let v = gen.below(3);
+            let val = gen.int_in(0, 4);
+            let op = match gen.below(3) {
+                0 => Op::Read(vars[v]),
+                1 => Op::write(vars[v], val),
+                _ => Op::cas(vars[v], val, val + 1),
+            };
+            let out = mem.apply(ProcId(p), &op);
+            tracker.record(ProcId(p), &op, out.trivial);
+            for (q, prev) in prev_sizes.iter_mut().enumerate() {
+                let size = tracker.awareness(ProcId(q)).len();
+                assert!(size >= *prev, "awareness shrank (Observation 1)");
+                assert!(size <= n_procs);
+                assert!(tracker.awareness(ProcId(q)).contains(ProcId(q)));
+                *prev = size;
+            }
+            for &var in &vars {
+                assert!(tracker.familiarity(var).len() <= n_procs);
+            }
+        }
+    }
+}
+
+/// Expanding steps always incur RMRs (Lemma 1) on any A_f execution
+/// prefix under a random schedule.
+#[test]
+fn expanding_steps_cost_rmrs() {
+    let mut gen = Prng::new(0x1e44a1);
+    for _case in 0..48 {
+        let seed = gen.next_u64();
+        let steps = 50 + gen.below(350);
+        let cfg = AfConfig {
+            readers: 3,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let mut tracker = KnowledgeTracker::new(world.sim.n_procs());
+        let mut rng = Prng::new(seed);
+        for _ in 0..steps {
+            let p = ProcId(rng.below(world.sim.n_procs()));
+            let pending = world.sim.pending_op(p);
+            let would_expand = pending
+                .as_ref()
+                .map(|op| tracker.would_expand(p, op))
+                .unwrap_or(false);
+            let would_rmr = world.sim.would_rmr(p);
+            if would_expand {
+                assert!(would_rmr, "expanding step without an RMR (Lemma 1)");
+            }
+            let record = world.sim.step(p);
+            if let StepKind::Op { op, trivial, .. } = record.kind {
+                tracker.record(p, &op, trivial);
+            }
+            assert!(world.sim.check_mutual_exclusion().is_ok());
+        }
+    }
+}
+
+/// The f-array counter is exact under any interleaving of a batch of
+/// adds driven to completion in random order.
+#[test]
+fn fcounter_random_interleavings_exact() {
+    let mut gen = Prng::new(0xfc0417e4);
+    for _case in 0..48 {
+        let k = 1 + gen.below(7);
+        let seed = gen.next_u64();
+        let mut layout = Layout::new();
+        let c = SimCounter::allocate(&mut layout, "C", k);
+        let mut mem = Memory::new(&layout, k, Protocol::WriteBack);
+        let mut machines: Vec<_> = (0..k)
+            .map(|i| {
+                let mut h = c.handle(i);
+                h.add((i as i64) + 1)
+            })
+            .collect();
+        let mut rng = Prng::new(seed);
+        let mut live: Vec<usize> = (0..k).collect();
+        while !live.is_empty() {
+            let pick = live[rng.below(live.len())];
+            match machines[pick].poll() {
+                SubStep::Op(op) => {
+                    let out = mem.apply(ProcId(pick), &op);
+                    machines[pick].resume(out.response);
+                }
+                SubStep::Done(_) => {
+                    live.retain(|&x| x != pick);
+                }
+            }
+        }
+        let expected: i64 = (1..=k as i64).sum();
+        assert_eq!(c.peek(&mem), expected);
+    }
+}
+
+/// Signal packing is injective over realistic sequence numbers — an
+/// exhaustive check over the opcode space and a sampled sequence space.
+#[test]
+fn signal_packing_injective_sampled() {
+    use std::collections::HashSet;
+    let mut seen = HashSet::new();
+    for seq in (0u64..1 << 16).step_by(97) {
+        for op in [0i64, 1, 2, 3, 4, 5] {
+            let sig = Signal::new(seq, rwcore_opcode(op));
+            assert!(seen.insert(sig.pack()), "collision at {sig}");
+        }
+    }
+}
+
+fn rwcore_opcode(x: i64) -> rwlock_repro::Opcode {
+    rwlock_repro::Opcode::from_i64(x)
+}
