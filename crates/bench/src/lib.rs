@@ -16,11 +16,12 @@
 //! | `e7_baselines` | §6: centralized CAS vs `A_f` vs FAA under the adversary |
 //! | `e9_counter` | f-array: `add` `Θ(log K)` steps, `read` `O(1)` |
 //! | `e10_concurrent_entering` | Concurrent Entering constant `b` |
+//! | `e15_crash_robustness` | RME crash model: MX under crashes, recovery RMRs, stall diagnoses |
 //! | `perf_smoke` | simulator steps/sec: directory core vs reference core |
 //!
 //! (`e8` is the throughput bench suite: `cargo bench -p bench`.)
 //!
-//! Sweep-shaped experiments (`e2`, `e3`, `e4`, `e7`) fan their
+//! Sweep-shaped experiments (`e2`, `e3`, `e4`, `e7`, `e15`) fan their
 //! independent configs across cores with [`par::par_map`]; results come
 //! back in input order, so the printed tables are byte-identical to a
 //! sequential run (`BENCH_THREADS=1` forces one).

@@ -110,6 +110,19 @@ impl Directory {
         }
     }
 
+    /// Drop every copy held by process `p` (its cache went away — a crash).
+    /// O(n_vars): one bit clear per variable, plus an owner-slot clear
+    /// where `p` was the exclusive owner.
+    pub(crate) fn purge_proc(&mut self, p: usize) {
+        let mask = !(1u64 << (p % 64));
+        for v in 0..self.n_vars {
+            self.holders[v * self.words_per_var + p / 64] &= mask;
+            if self.owner[v] == p as u32 {
+                self.owner[v] = NO_OWNER;
+            }
+        }
+    }
+
     /// Number of processes holding a copy of `v`.
     pub(crate) fn holder_count(&self, v: usize) -> usize {
         let base = v * self.words_per_var;

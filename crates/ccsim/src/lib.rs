@@ -37,6 +37,7 @@
 
 mod cache;
 mod directory;
+mod fault;
 mod layout;
 mod memory;
 mod op;
@@ -49,12 +50,16 @@ mod trace;
 mod value;
 
 pub use cache::{Cache, Mode, Protocol};
+pub use fault::{CrashPoint, FaultDriver, FaultPlan};
 pub use layout::Layout;
 pub use memory::{CacheView, Memory, StepOutcome};
 pub use op::{Op, OpKind};
 pub use program::{sub, Phase, Program, Role, Step, SubMachine, SubStep};
 pub use rng::Prng;
-pub use sched::{run_random, run_round_robin, run_solo, RunConfig, RunError, RunReport};
+pub use sched::{
+    blocked_spinners, run_random, run_random_with_faults, run_round_robin,
+    run_round_robin_with_faults, run_solo, RunConfig, RunError, RunReport,
+};
 pub use sim::{MutualExclusionViolation, ProcStats, Sim};
 pub use trace::{StepKind, StepRecord, Trace, TraceSummary};
 pub use value::{ProcId, Value, VarId};

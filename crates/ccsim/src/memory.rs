@@ -200,6 +200,18 @@ impl Memory {
         }
     }
 
+    /// Process `p`'s cache was lost (a crash): drop every copy it holds
+    /// from the coherence directory. Variable values — main memory — are
+    /// untouched: under write-through memory is always current, and the
+    /// simulator's write-back model keeps the authoritative value in
+    /// `values` (an exclusive line only affects *future* RMR accounting),
+    /// so losing a dirty line never loses a write that another process
+    /// could already have observed.
+    pub fn crash_invalidate(&mut self, p: ProcId) {
+        assert!(p.0 < self.dir.n_procs(), "process {p} out of range");
+        self.dir.purge_proc(p.0);
+    }
+
     /// Hash the variable values (not cache state) into `h`. Used for
     /// model-checking fingerprints: cache state affects only RMR counts,
     /// never the values any step observes, so it is excluded from the

@@ -115,6 +115,19 @@ pub trait Program {
     /// Reader or writer.
     fn role(&self) -> Role;
 
+    /// The process crashed (the RME individual-crash model): all local
+    /// state — program counter, in-flight sub-machines, local variables —
+    /// is lost, and the process restarts in its remainder section. Shared
+    /// memory is *not* rolled back; implementations must not touch it here
+    /// (a crash is not a step). After this returns, [`Program::phase`]
+    /// must report [`Phase::Remainder`].
+    ///
+    /// Local mirrors of *single-writer* shared variables (e.g. an f-array
+    /// leaf contribution) may survive: recovery code could always restore
+    /// them by re-reading the variable, and keeping them can only
+    /// over-count — which is conservative for Mutual Exclusion.
+    fn on_crash(&mut self);
+
     /// Hash all local state (program counter and local variables) into `h`.
     /// Used by the model checker to fingerprint global configurations.
     fn fingerprint(&self, h: &mut dyn Hasher);

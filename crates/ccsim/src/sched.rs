@@ -5,10 +5,11 @@
 //! observable symptom of deadlock or livelock in a finite run). The
 //! adversarial lower-bound scheduler lives in the `knowledge` crate.
 
-use crate::program::Step;
+use crate::fault::{FaultDriver, FaultPlan};
+use crate::program::{Phase, Step};
 use crate::rng::Prng;
 use crate::sim::{MutualExclusionViolation, Sim};
-use crate::value::ProcId;
+use crate::value::{ProcId, VarId};
 use std::error::Error;
 use std::fmt;
 
@@ -43,6 +44,11 @@ pub enum RunError {
     Stalled {
         /// Steps executed by this run when the stall was declared.
         steps: u64,
+        /// The watchdog's diagnosis: every mid-passage process with a
+        /// pending memory operation, paired with the variable it is
+        /// spinning on. Empty only if the stall has no blocked spinner
+        /// (e.g. everyone is parked in the CS).
+        spinners: Vec<(ProcId, VarId)>,
     },
     /// `RunConfig::max_steps` was exhausted before all quotas were met.
     StepBudgetExhausted {
@@ -55,8 +61,18 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::MutualExclusion(v) => write!(f, "{v}"),
-            RunError::Stalled { steps } => {
-                write!(f, "run stalled: no passage completed near step {steps}")
+            RunError::Stalled { steps, spinners } => {
+                write!(f, "run stalled: no passage completed near step {steps}")?;
+                if spinners.is_empty() {
+                    write!(f, "; no blocked spinners")
+                } else {
+                    write!(f, "; blocked spinners:")?;
+                    for (i, (p, v)) in spinners.iter().enumerate() {
+                        let sep = if i == 0 { " " } else { ", " };
+                        write!(f, "{sep}{p} on {v}")?;
+                    }
+                    Ok(())
+                }
             }
             RunError::StepBudgetExhausted { completed } => {
                 write!(
@@ -90,6 +106,8 @@ pub struct RunReport {
     pub steps: u64,
     /// Passages completed per process *during this run*.
     pub completed: Vec<u64>,
+    /// Crashes injected by this run's [`FaultPlan`] (0 without one).
+    pub crashes: u64,
 }
 
 fn eligible(sim: &Sim, p: ProcId, done: &[u64], quota: u64) -> bool {
@@ -99,13 +117,23 @@ fn eligible(sim: &Sim, p: ProcId, done: &[u64], quota: u64) -> bool {
     }
 }
 
+/// The watchdog's stall diagnosis: every process that is mid-passage with
+/// a pending memory operation, paired with the variable that operation
+/// targets — i.e. who is blocked spinning on what. Sorted by process id.
+pub fn blocked_spinners(sim: &Sim) -> Vec<(ProcId, VarId)> {
+    sim.proc_ids()
+        .filter(|&p| sim.phase(p) != Phase::Remainder)
+        .filter_map(|p| sim.pending_op(p).map(|op| (p, op.var())))
+        .collect()
+}
+
 /// Run every process for `cfg.passages_per_proc` passages, choosing the
 /// next process round-robin among eligible ones.
 ///
 /// # Errors
 /// See [`RunError`].
 pub fn run_round_robin(sim: &mut Sim, cfg: &RunConfig) -> Result<RunReport, RunError> {
-    run_with(sim, cfg, |_, eligible_procs, turn| {
+    run_with(sim, cfg, None, |_, eligible_procs, turn| {
         (turn as usize) % eligible_procs.len()
     })
 }
@@ -116,7 +144,40 @@ pub fn run_round_robin(sim: &mut Sim, cfg: &RunConfig) -> Result<RunReport, RunE
 /// # Errors
 /// See [`RunError`].
 pub fn run_random(sim: &mut Sim, rng: &mut Prng, cfg: &RunConfig) -> Result<RunReport, RunError> {
-    run_with(sim, cfg, |_, eligible_procs, _| {
+    run_with(sim, cfg, None, |_, eligible_procs, _| {
+        rng.below(eligible_procs.len())
+    })
+}
+
+/// [`run_round_robin`] with crash injection: after each scheduled step the
+/// given [`FaultPlan`] may crash the stepped process (see
+/// [`crate::Sim::crash`]). A crashed process's in-progress passage is
+/// abandoned and re-run — the quota counts *completed* passages.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_round_robin_with_faults(
+    sim: &mut Sim,
+    cfg: &RunConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, RunError> {
+    run_with(sim, cfg, Some(plan), |_, eligible_procs, turn| {
+        (turn as usize) % eligible_procs.len()
+    })
+}
+
+/// [`run_random`] with crash injection; see
+/// [`run_round_robin_with_faults`].
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_random_with_faults(
+    sim: &mut Sim,
+    rng: &mut Prng,
+    cfg: &RunConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, RunError> {
+    run_with(sim, cfg, Some(plan), |_, eligible_procs, _| {
         rng.below(eligible_procs.len())
     })
 }
@@ -132,17 +193,24 @@ pub fn run_random(sim: &mut Sim, rng: &mut Prng, cfg: &RunConfig) -> Result<RunR
 fn run_with(
     sim: &mut Sim,
     cfg: &RunConfig,
+    plan: Option<&FaultPlan>,
     mut pick: impl FnMut(&Sim, &[ProcId], u64) -> usize,
 ) -> Result<RunReport, RunError> {
     let n = sim.n_procs();
     let base: Vec<u64> = (0..n).map(|i| sim.stats(ProcId(i)).passages).collect();
+    let mut faults = plan
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultDriver::new(p, n));
     let mut done = vec![0u64; n];
     let mut steps = 0u64;
+    let mut crashes = 0u64;
     let mut since_progress = 0u64;
     let mut turn = 0u64;
     // Eligibility is absorbing within a run: a process leaves the set only
     // by reaching its remainder section with its quota met, and the runner
-    // never steps it again after that.
+    // never steps it again after that. (A crash preserves this: it resets
+    // its victim to the remainder section *mid-passage*, i.e. with its
+    // quota still unmet, so the victim stays eligible.)
     let mut eligible_procs: Vec<ProcId> = (0..n)
         .map(ProcId)
         .filter(|&p| eligible(sim, p, &done, cfg.passages_per_proc))
@@ -153,13 +221,17 @@ fn run_with(
             return Ok(RunReport {
                 steps,
                 completed: done,
+                crashes,
             });
         }
         if steps >= cfg.max_steps {
             return Err(RunError::StepBudgetExhausted { completed: done });
         }
         if since_progress >= cfg.stall_after {
-            return Err(RunError::Stalled { steps });
+            return Err(RunError::Stalled {
+                steps,
+                spinners: blocked_spinners(sim),
+            });
         }
 
         let idx = pick(sim, &eligible_procs, turn);
@@ -175,6 +247,12 @@ fn run_with(
             done[p.0] = after - base[p.0];
         } else {
             since_progress += 1;
+        }
+        if let Some(driver) = &mut faults {
+            driver.note_step(p);
+            if driver.fire_due(sim, p).is_some() {
+                crashes += 1;
+            }
         }
         if !eligible(sim, p, &done, cfg.passages_per_proc) {
             eligible_procs.remove(idx);
@@ -213,6 +291,7 @@ mod tests {
     use crate::memory::Memory;
     use crate::op::Op;
     use crate::program::{Phase, Program, Role};
+    use crate::trace::StepKind;
     use crate::value::{Value, VarId};
     use std::hash::Hasher;
 
@@ -241,6 +320,9 @@ mod tests {
         }
         fn role(&self) -> Role {
             Role::Reader
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
         }
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.pc);
@@ -277,6 +359,9 @@ mod tests {
         }
         fn role(&self) -> Role {
             Role::Reader
+        }
+        fn on_crash(&mut self) {
+            self.started = false;
         }
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.started as u8);
@@ -320,20 +405,106 @@ mod tests {
     }
 
     #[test]
-    fn stall_detection_fires_on_livelock() {
+    fn stall_detection_fires_on_livelock_and_names_spinners() {
         let mut l = Layout::new();
         let v = l.var("x", Value::Int(0));
-        let mem = Memory::new(&l, 1, Protocol::WriteBack);
-        let mut sim = Sim::new(mem, vec![Box::new(Spinner { v, started: false })]);
+        let mem = Memory::new(&l, 2, Protocol::WriteBack);
+        let mut sim = Sim::new(
+            mem,
+            vec![
+                Box::new(Spinner { v, started: false }),
+                Box::new(Spinner { v, started: false }),
+            ],
+        );
         let cfg = RunConfig {
             passages_per_proc: 1,
             max_steps: 10_000,
             stall_after: 100,
         };
         match run_round_robin(&mut sim, &cfg) {
-            Err(RunError::Stalled { .. }) => {}
+            Err(err @ RunError::Stalled { .. }) => {
+                let RunError::Stalled { ref spinners, .. } = err else {
+                    unreachable!()
+                };
+                assert_eq!(
+                    spinners.as_slice(),
+                    &[(ProcId(0), v), (ProcId(1), v)],
+                    "the watchdog must name every blocked spinner"
+                );
+                let msg = err.to_string();
+                assert!(msg.contains("p0 on v0"), "got: {msg}");
+                assert!(msg.contains("p1 on v0"), "got: {msg}");
+            }
             other => panic!("expected stall, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn planned_crash_fires_and_passage_is_rerun() {
+        let mut sim = read_world(1);
+        // Crash p0 right after its second step (the entry read): the
+        // passage is abandoned and re-run from the remainder section.
+        let plan = FaultPlan::crash_after(ProcId(0), 2);
+        let cfg = RunConfig {
+            passages_per_proc: 2,
+            ..Default::default()
+        };
+        let report = run_round_robin_with_faults(&mut sim, &cfg, &plan).unwrap();
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.completed, vec![2], "quota counts completed passages");
+        assert_eq!(sim.stats(ProcId(0)).crashes, 1);
+        assert!(sim.stats(ProcId(0)).recovery_ops > 0);
+    }
+
+    #[test]
+    fn avoid_cs_defers_crash_until_exit() {
+        // After its second step a ReadClient sits in the CS; with the
+        // default avoid_cs policy the due crash must wait for the step
+        // that leaves the CS.
+        let mut sim = read_world(1);
+        let plan = FaultPlan::crash_after(ProcId(0), 2);
+        let cfg = RunConfig::default();
+        let report = run_round_robin_with_faults(&mut sim, &cfg, &plan).unwrap();
+        assert_eq!(report.crashes, 1);
+        let t = {
+            let mut sim2 = read_world(1);
+            sim2.set_tracing(true);
+            run_round_robin_with_faults(&mut sim2, &cfg, &plan).unwrap();
+            sim2.take_trace().unwrap()
+        };
+        let crash_rec = t
+            .iter()
+            .find(|r| matches!(r.kind, StepKind::Crash))
+            .expect("a crash must be recorded");
+        assert_eq!(crash_rec.phase, Phase::Exit, "deferred past the CS");
+    }
+
+    #[test]
+    fn crash_in_cs_allowed_when_policy_permits() {
+        let mut sim = read_world(1);
+        sim.set_tracing(true);
+        let plan = FaultPlan::crash_after(ProcId(0), 2).allow_crash_in_cs(true);
+        run_round_robin_with_faults(&mut sim, &RunConfig::default(), &plan).unwrap();
+        let t = sim.take_trace().unwrap();
+        let crash_rec = t
+            .iter()
+            .find(|r| matches!(r.kind, StepKind::Crash))
+            .unwrap();
+        assert_eq!(crash_rec.phase, Phase::Cs);
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_runner() {
+        let mut a = read_world(3);
+        let mut b = read_world(3);
+        let cfg = RunConfig {
+            passages_per_proc: 4,
+            ..Default::default()
+        };
+        let ra = run_round_robin(&mut a, &cfg).unwrap();
+        let rb = run_round_robin_with_faults(&mut b, &cfg, &FaultPlan::none()).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

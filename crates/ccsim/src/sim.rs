@@ -19,6 +19,15 @@ pub struct ProcStats {
     pub rmrs_by_phase: [u64; 4],
     /// Completed passages.
     pub passages: u64,
+    /// Crashes suffered (see [`Sim::crash`]).
+    pub crashes: u64,
+    /// Memory operations executed while recovering (between a crash and
+    /// the next completed passage). A subset of [`ProcStats::ops`].
+    pub recovery_ops: u64,
+    /// RMRs incurred while recovering. A subset of [`ProcStats::rmrs`] —
+    /// the RMR cost of re-warming a crashed process's cold cache and
+    /// re-running its passage.
+    pub recovery_rmrs: u64,
 }
 
 impl ProcStats {
@@ -80,6 +89,7 @@ impl Error for MutualExclusionViolation {}
 /// #   fn resume(&mut self, _: Value) {}
 /// #   fn phase(&self) -> Phase { Phase::Remainder }
 /// #   fn role(&self) -> Role { Role::Reader }
+/// #   fn on_crash(&mut self) {}
 /// #   fn fingerprint(&self, _: &mut dyn std::hash::Hasher) {}
 /// #   fn clone_box(&self) -> Box<dyn Program> { Box::new(Noop) }
 /// # }
@@ -92,6 +102,9 @@ pub struct Sim {
     mem: Memory,
     procs: Vec<Box<dyn Program>>,
     stats: Vec<ProcStats>,
+    /// Per process: crashed and not yet completed a fresh passage. Only
+    /// affects metric attribution (recovery_* counters), never behaviour.
+    recovering: Vec<bool>,
     trace: Option<Trace>,
     steps: u64,
 }
@@ -113,6 +126,7 @@ impl Sim {
             mem,
             procs,
             stats: vec![ProcStats::default(); n],
+            recovering: vec![false; n],
             trace: None,
             steps: 0,
         }
@@ -229,6 +243,12 @@ impl Sim {
                 if out.rmr {
                     st.rmrs_by_phase[phase_before.index()] += 1;
                 }
+                if self.recovering[p.0] {
+                    st.recovery_ops += 1;
+                    if out.rmr {
+                        st.recovery_rmrs += 1;
+                    }
+                }
                 StepKind::Op {
                     op,
                     response: out.response,
@@ -252,6 +272,8 @@ impl Sim {
         // section is empty, e.g. a 1-process tournament).
         if phase_before != Phase::Remainder && self.procs[p.0].phase() == Phase::Remainder {
             self.stats[p.0].passages += 1;
+            // A full passage completed after the crash: recovery is over.
+            self.recovering[p.0] = false;
         }
         let record = StepRecord {
             index: self.steps,
@@ -265,6 +287,58 @@ impl Sim {
             t.push(record);
         }
         record
+    }
+
+    /// Crash process `p` — the RME individual-crash model (Chan & Woelfel;
+    /// Golab & Ramaraju): the process loses all local state and all cached
+    /// lines, while shared memory survives. Concretely:
+    ///
+    /// * every line `p` holds is purged from the coherence directory (its
+    ///   next accesses are cold misses — the cache part of recovery cost);
+    /// * the program is reset through [`Program::on_crash`] and must come
+    ///   back in its remainder section (the in-progress passage, if any,
+    ///   is abandoned and does **not** count as completed);
+    /// * [`ProcStats::crashes`] is incremented and the process enters a
+    ///   *recovery* window: until its next completed passage, its ops and
+    ///   RMRs are additionally accumulated in [`ProcStats::recovery_ops`] /
+    ///   [`ProcStats::recovery_rmrs`].
+    ///
+    /// A crash is a scheduled event (it gets a trace record and a global
+    /// step index) but not a memory step: no variable changes value and no
+    /// RMR is charged to anyone.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range, or if `on_crash` leaves the program
+    /// outside its remainder section.
+    pub fn crash(&mut self, p: ProcId) -> StepRecord {
+        let phase_before = self.procs[p.0].phase();
+        let role = self.procs[p.0].role();
+        self.mem.crash_invalidate(p);
+        self.procs[p.0].on_crash();
+        assert_eq!(
+            self.procs[p.0].phase(),
+            Phase::Remainder,
+            "on_crash must reset {p} to its remainder section"
+        );
+        self.stats[p.0].crashes += 1;
+        self.recovering[p.0] = true;
+        let record = StepRecord {
+            index: self.steps,
+            proc: p,
+            role,
+            phase: phase_before,
+            kind: StepKind::Crash,
+        };
+        self.steps += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(record);
+        }
+        record
+    }
+
+    /// True if `p` has crashed and not yet completed a fresh passage.
+    pub fn is_recovering(&self, p: ProcId) -> bool {
+        self.recovering[p.0]
     }
 
     /// All processes currently inside the critical section.
@@ -318,6 +392,7 @@ impl Sim {
             mem: self.mem.clone(),
             procs: self.procs.iter().map(|p| p.clone_box()).collect(),
             stats: self.stats.clone(),
+            recovering: self.recovering.clone(),
             trace: None,
             steps: self.steps,
         }
@@ -378,6 +453,9 @@ mod tests {
         }
         fn role(&self) -> Role {
             self.role
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
         }
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.pc);
@@ -478,5 +556,68 @@ mod tests {
         assert!(sim.is_quiescent());
         sim.step(ProcId(0));
         assert!(!sim.is_quiescent());
+    }
+
+    #[test]
+    fn crash_resets_program_and_purges_cache() {
+        let mut sim = world(&[Role::Reader, Role::Reader]);
+        let p = ProcId(0);
+        sim.set_tracing(true);
+        sim.step(p); // begin passage
+        sim.step(p); // entry write -> CS (p now holds `flag` exclusively)
+        assert_eq!(sim.phase(p), Phase::Cs);
+        let flag = VarId(0);
+        assert!(sim.mem().cache(p).holds_exclusive(flag));
+        let before = sim.mem().peek(flag);
+
+        let rec = sim.crash(p);
+        assert_eq!(rec.kind, StepKind::Crash);
+        assert_eq!(rec.phase, Phase::Cs, "record keeps the pre-crash phase");
+        assert_eq!(sim.phase(p), Phase::Remainder, "program reset");
+        assert!(!sim.mem().cache(p).holds(flag), "cache lines purged");
+        assert_eq!(sim.mem().peek(flag), before, "shared memory survives");
+        assert_eq!(sim.stats(p).crashes, 1);
+        assert_eq!(sim.stats(p).passages, 0, "aborted passage doesn't count");
+        assert!(sim.is_recovering(p));
+        assert!(matches!(
+            sim.trace().unwrap().records().last().unwrap().kind,
+            StepKind::Crash
+        ));
+    }
+
+    #[test]
+    fn recovery_window_accounting() {
+        let mut sim = world(&[Role::Reader]);
+        let p = ProcId(0);
+        sim.step(p); // begin passage
+        sim.crash(p);
+        // The recovery passage: its ops/RMRs land in the recovery counters.
+        for _ in 0..4 {
+            sim.step(p);
+        }
+        let st = sim.stats(p);
+        assert_eq!(st.passages, 1);
+        assert!(!sim.is_recovering(p), "completed passage ends recovery");
+        assert_eq!(st.recovery_ops, 2, "both writes of the recovery passage");
+        assert!(
+            st.recovery_rmrs >= 1,
+            "re-warming the purged line costs an RMR"
+        );
+        // Post-recovery passages accumulate nothing further.
+        for _ in 0..4 {
+            sim.step(p);
+        }
+        assert_eq!(sim.stats(p).recovery_ops, 2);
+    }
+
+    #[test]
+    fn crash_in_remainder_is_harmless() {
+        let mut sim = world(&[Role::Reader]);
+        let p = ProcId(0);
+        let f0 = sim.fingerprint();
+        sim.crash(p);
+        assert_eq!(sim.phase(p), Phase::Remainder);
+        assert_eq!(sim.fingerprint(), f0, "no observable state changed");
+        assert_eq!(sim.stats(p).crashes, 1);
     }
 }

@@ -27,6 +27,9 @@ pub enum StepKind {
     BeginPassage,
     /// The process left the critical section and began its exit section.
     BeginExit,
+    /// The process crashed: local state and cached lines lost, program
+    /// reset to the remainder section (shared memory survives).
+    Crash,
 }
 
 /// One entry in a [`Trace`].
@@ -97,6 +100,13 @@ impl fmt::Display for StepRecord {
                     f,
                     "#{:<5} {} [{}] leaves CS, begins exit",
                     self.index, self.proc, self.role
+                )
+            }
+            StepKind::Crash => {
+                write!(
+                    f,
+                    "#{:<5} {} [{}] CRASHES in {} (local state and cache lost)",
+                    self.index, self.proc, self.role, self.phase
                 )
             }
         }

@@ -1,0 +1,77 @@
+//! Golden-stream regression test for [`ccsim::Prng`].
+//!
+//! Everything reproducible in this workspace — random schedules, fault
+//! plans, randomized invariant tests, the E-series sweeps — keys off the
+//! exact output stream of the in-tree xorshift64* generator. A silent
+//! change to its constants or reduction would invalidate every recorded
+//! seed (CI seed matrices, trace artifacts, tables in EXPERIMENTS.md), so
+//! the first 16 outputs of two fixed seeds are pinned here verbatim.
+
+use ccsim::Prng;
+
+#[test]
+fn golden_stream_seed_zero() {
+    // Seed 0 exercises the splitmix64 remap of the all-zero state.
+    let mut rng = Prng::new(0);
+    let expected: [u64; 16] = [
+        0x7bbcb40d550682d0,
+        0xde7fe413d00cc9fd,
+        0xb3c638353c668c91,
+        0xe073afc0949195fc,
+        0x7f2f9e2eb34937f6,
+        0x6ef86054c4731f4f,
+        0x410926d7bb410255,
+        0x0cf75540849d9c3b,
+        0xcc4ad468f16227ed,
+        0x88edb15077431c06,
+        0xfb81ca6252a18bae,
+        0x9f1270c924f47b7c,
+        0x791ba7ad88316662,
+        0x768a3190675fdd8b,
+        0xfa11f514e87e86f9,
+        0xce4ec4ed19fbffbf,
+    ];
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), want, "seed 0, output {i}");
+    }
+}
+
+#[test]
+fn golden_stream_high_entropy_seed() {
+    let mut rng = Prng::new(0xDEAD_BEEF_CAFE_F00D);
+    let expected: [u64; 16] = [
+        0x904a27d0de2ac504,
+        0xbff5ab5e5b1c5774,
+        0x9e8ba5d193624c69,
+        0xaeac6ff6f0ae6294,
+        0x042da45e112e637a,
+        0xce2286a0cab78df6,
+        0xfaf85473725ec680,
+        0xeb96e4f85b3bf4e1,
+        0x4d8197a14d552859,
+        0x6c4d1c958f88869d,
+        0x19d2b932c43c90cd,
+        0x163ea6b8c3bf9873,
+        0x14b7321132c42f3b,
+        0x78a5ffa6cf74eb0c,
+        0x09d91754b4a4ebec,
+        0x486bc20ea3dfd931,
+    ];
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(
+            rng.next_u64(),
+            want,
+            "seed 0xDEAD_BEEF_CAFE_F00D, output {i}"
+        );
+    }
+}
+
+#[test]
+fn derived_draws_are_pinned_too() {
+    // `below` and `chance` are thin reductions over `next_u64`; pin a few
+    // derived draws so reduction changes are caught even if the raw
+    // stream survives.
+    let mut rng = Prng::new(0);
+    let draws: Vec<usize> = (0..8).map(|_| rng.below(10)).collect();
+    assert_eq!(draws, vec![4, 8, 7, 8, 4, 4, 2, 0]);
+}

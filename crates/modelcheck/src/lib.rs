@@ -13,6 +13,14 @@
 //! paper's model admits (with CS dwell and passage starts also scheduled
 //! nondeterministically).
 //!
+//! Schedules are sequences of [`SchedEntry`] values: ordinary process
+//! steps plus — when [`CheckConfig::crash_budget`] is non-zero —
+//! *crash events* in the RME individual-crash model (see
+//! [`ccsim::Sim::crash`]), so the explorer also searches crash-augmented
+//! interleavings. Violating schedules can be reduced to locally-minimal
+//! counterexamples with [`shrink`] and persisted as replayable
+//! [`TraceArtifact`]s.
+//!
 //! ```
 //! use ccsim::Protocol;
 //! use modelcheck::{explore, CheckConfig};
@@ -29,12 +37,90 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use ccsim::{MutualExclusionViolation, ProcId, Sim, Step};
+use ccsim::{MutualExclusionViolation, Phase, ProcId, Sim, Step};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+mod artifact;
+mod shrink;
+
+pub use artifact::TraceArtifact;
+pub use shrink::{shrink, ShrinkOutcome};
+
+/// One entry of an explored (or replayed) schedule: a normal scheduled
+/// step of a process, or a crash event striking it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SchedEntry {
+    /// Process `.0` takes one scheduled step.
+    Step(ProcId),
+    /// Process `.0` crashes (see [`ccsim::Sim::crash`]).
+    Crash(ProcId),
+}
+
+impl SchedEntry {
+    /// The process this entry concerns.
+    pub fn proc(self) -> ProcId {
+        match self {
+            SchedEntry::Step(p) | SchedEntry::Crash(p) => p,
+        }
+    }
+
+    /// True if this entry is a crash event.
+    pub fn is_crash(self) -> bool {
+        matches!(self, SchedEntry::Crash(_))
+    }
+
+    /// Apply this entry to a world.
+    pub fn apply(self, sim: &mut Sim) {
+        match self {
+            SchedEntry::Step(p) => {
+                sim.step(p);
+            }
+            SchedEntry::Crash(p) => {
+                sim.crash(p);
+            }
+        }
+    }
+}
+
+impl From<ProcId> for SchedEntry {
+    fn from(p: ProcId) -> Self {
+        SchedEntry::Step(p)
+    }
+}
+
+/// The compact token form used in trace artifacts and replay commands:
+/// `s<pid>` for a step, `c<pid>` for a crash (e.g. `s0 s2 c0 s2`).
+impl fmt::Display for SchedEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedEntry::Step(p) => write!(f, "s{}", p.0),
+            SchedEntry::Crash(p) => write!(f, "c{}", p.0),
+        }
+    }
+}
+
+impl FromStr for SchedEntry {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, num) = s.split_at(1.min(s.len()));
+        let pid: usize = num
+            .parse()
+            .map_err(|_| format!("bad schedule token {s:?}: expected s<pid> or c<pid>"))?;
+        match kind {
+            "s" => Ok(SchedEntry::Step(ProcId(pid))),
+            "c" => Ok(SchedEntry::Crash(ProcId(pid))),
+            _ => Err(format!(
+                "bad schedule token {s:?}: expected s<pid> or c<pid>"
+            )),
+        }
+    }
+}
 
 /// Exploration limits and quotas.
 #[derive(Clone, Debug)]
@@ -45,6 +131,16 @@ pub struct CheckConfig {
     pub max_states: u64,
     /// Stop (incomplete) past this schedule depth.
     pub max_depth: usize,
+    /// Total crash events the adversary may inject along any one schedule
+    /// (`0` = failure-free exploration, the default). Crashes of processes
+    /// in their remainder section are pruned: they change no observable
+    /// state, so their subtree is a subset of the same node explored with
+    /// the budget intact.
+    pub crash_budget: u32,
+    /// Whether the crash adversary may strike a process *inside* the
+    /// critical section. Off by default — the regime in which a
+    /// non-recoverable lock should still preserve Mutual Exclusion.
+    pub crash_in_cs: bool,
 }
 
 impl Default for CheckConfig {
@@ -53,57 +149,73 @@ impl Default for CheckConfig {
             passages_per_proc: 1,
             max_states: 5_000_000,
             max_depth: 100_000,
+            crash_budget: 0,
+            crash_in_cs: false,
         }
     }
 }
 
-/// A property violation found by the explorer, with the schedule (sequence
-/// of process ids) that reproduces it from the initial configuration.
+/// A property violation found by the explorer, with the schedule (steps
+/// and crash events) that reproduces it from the initial configuration.
 #[derive(Clone, Debug)]
 pub enum CheckError {
     /// Mutual Exclusion failed.
     MutualExclusion {
         /// The offending schedule, replayable via [`replay`].
-        schedule: Vec<ProcId>,
+        schedule: Vec<SchedEntry>,
         /// The occupant list at the violating configuration.
         violation: MutualExclusionViolation,
+        /// [`Sim::fingerprint`] of the violating configuration — the
+        /// replay check: replaying `schedule` must land exactly here.
+        fingerprint: u64,
     },
     /// A user-supplied invariant failed.
     Invariant {
         /// The offending schedule.
-        schedule: Vec<ProcId>,
+        schedule: Vec<SchedEntry>,
         /// The invariant's message.
         message: String,
+        /// [`Sim::fingerprint`] of the violating configuration.
+        fingerprint: u64,
     },
 }
 
 impl CheckError {
     /// The schedule that reproduces the violation.
-    pub fn schedule(&self) -> &[ProcId] {
+    pub fn schedule(&self) -> &[SchedEntry] {
         match self {
             CheckError::MutualExclusion { schedule, .. } => schedule,
             CheckError::Invariant { schedule, .. } => schedule,
+        }
+    }
+
+    /// The fingerprint of the violating configuration.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            CheckError::MutualExclusion { fingerprint, .. } => *fingerprint,
+            CheckError::Invariant { fingerprint, .. } => *fingerprint,
+        }
+    }
+
+    /// A one-line description of the violated property (without the
+    /// schedule), suitable for a [`TraceArtifact`].
+    pub fn describe(&self) -> String {
+        match self {
+            CheckError::MutualExclusion { violation, .. } => violation.to_string(),
+            CheckError::Invariant { message, .. } => format!("invariant failed: {message}"),
         }
     }
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CheckError::MutualExclusion {
-                schedule,
-                violation,
-            } => {
-                write!(f, "{violation} (schedule length {})", schedule.len())
-            }
-            CheckError::Invariant { schedule, message } => {
-                write!(
-                    f,
-                    "invariant failed: {message} (schedule length {})",
-                    schedule.len()
-                )
-            }
-        }
+        let crashes = self.schedule().iter().filter(|e| e.is_crash()).count();
+        write!(
+            f,
+            "{} (schedule length {}, {crashes} crash(es))",
+            self.describe(),
+            self.schedule().len()
+        )
     }
 }
 
@@ -116,6 +228,8 @@ pub struct CheckReport {
     pub states_explored: u64,
     /// Transitions executed (≥ states, because different schedules rejoin).
     pub transitions: u64,
+    /// Crash transitions among them (0 without a crash budget).
+    pub crash_transitions: u64,
     /// Deepest schedule examined.
     pub max_depth_seen: usize,
     /// Configurations with no enabled process (all quotas met).
@@ -135,20 +249,45 @@ fn enabled(sim: &Sim, quota: u64) -> Vec<ProcId> {
         .collect()
 }
 
-/// Fingerprint a configuration *including* per-process passage counts
-/// (two identical memory/pc states differ for exploration purposes if the
-/// remaining quotas differ).
-fn state_key(sim: &Sim, quota: u64) -> u64 {
+/// All schedule entries available in a configuration: one step per
+/// enabled process, plus — while crash budget remains — one crash per
+/// mid-passage process (the CS excluded unless `crash_in_cs`).
+fn entries(sim: &Sim, quota: u64, crashes_left: u32, crash_in_cs: bool) -> Vec<SchedEntry> {
+    let mut out: Vec<SchedEntry> = enabled(sim, quota)
+        .into_iter()
+        .map(SchedEntry::Step)
+        .collect();
+    if crashes_left > 0 {
+        out.extend(
+            sim.proc_ids()
+                .filter(|&p| match sim.phase(p) {
+                    Phase::Remainder => false, // pruned: observably a no-op
+                    Phase::Cs => crash_in_cs,
+                    _ => true,
+                })
+                .map(SchedEntry::Crash),
+        );
+    }
+    out
+}
+
+/// Fingerprint a configuration *including* per-process passage counts and
+/// the remaining crash budget (two identical memory/pc states differ for
+/// exploration purposes if the remaining quotas or budget differ).
+fn state_key(sim: &Sim, quota: u64, crashes_left: u32) -> u64 {
     let mut h = DefaultHasher::new();
     sim.fingerprint().hash(&mut h);
     for p in sim.proc_ids() {
         sim.stats(p).passages.min(quota).hash(&mut h);
     }
+    crashes_left.hash(&mut h);
     h.finish()
 }
 
 /// Exhaustively explore every interleaving of the world produced by
 /// `factory`, checking Mutual Exclusion in every reachable configuration.
+/// With [`CheckConfig::crash_budget`] > 0 the explored interleavings
+/// include crash events.
 ///
 /// # Errors
 /// Returns the violating schedule if any reachable configuration breaks
@@ -170,14 +309,15 @@ pub fn explore_with(
 ) -> Result<CheckReport, CheckError> {
     struct Frame {
         sim: Sim,
-        enabled: Vec<ProcId>,
+        entries: Vec<SchedEntry>,
         next: usize,
-        /// The pid whose step produced this frame's configuration
-        /// (`None` for the root) — used to reconstruct schedules.
-        chosen: Option<ProcId>,
+        /// The entry that produced this frame's configuration (`None` for
+        /// the root) — used to reconstruct schedules.
+        chosen: Option<SchedEntry>,
+        crashes_left: u32,
     }
 
-    fn schedule_of(stack: &[Frame], last: ProcId) -> Vec<ProcId> {
+    fn schedule_of(stack: &[Frame], last: SchedEntry) -> Vec<SchedEntry> {
         stack
             .iter()
             .filter_map(|f| f.chosen)
@@ -188,54 +328,60 @@ pub fn explore_with(
     let root = factory();
     let quota = cfg.passages_per_proc;
     let mut visited: HashSet<u64> = HashSet::new();
-    visited.insert(state_key(&root, quota));
+    visited.insert(state_key(&root, quota, cfg.crash_budget));
 
     let mut report = CheckReport {
         states_explored: 1,
         transitions: 0,
+        crash_transitions: 0,
         max_depth_seen: 0,
         terminal_states: 0,
         complete: true,
     };
 
-    let root_enabled = enabled(&root, quota);
-    if root_enabled.is_empty() {
+    let root_entries = entries(&root, quota, cfg.crash_budget, cfg.crash_in_cs);
+    if root_entries.is_empty() {
         report.terminal_states = 1;
         return Ok(report);
     }
     let mut stack = vec![Frame {
         sim: root,
-        enabled: root_enabled,
+        entries: root_entries,
         next: 0,
         chosen: None,
+        crashes_left: cfg.crash_budget,
     }];
 
     while let Some(top) = stack.last_mut() {
-        if top.next >= top.enabled.len() {
+        if top.next >= top.entries.len() {
             stack.pop();
             continue;
         }
-        let p = top.enabled[top.next];
+        let entry = top.entries[top.next];
         top.next += 1;
+        let crashes_left = top.crashes_left - entry.is_crash() as u32;
 
         let mut child = top.sim.clone_world();
-        child.step(p);
+        entry.apply(&mut child);
         report.transitions += 1;
+        report.crash_transitions += entry.is_crash() as u64;
 
         if let Err(violation) = child.check_mutual_exclusion() {
             return Err(CheckError::MutualExclusion {
-                schedule: schedule_of(&stack, p),
+                schedule: schedule_of(&stack, entry),
                 violation,
+                fingerprint: child.fingerprint(),
             });
         }
         if let Err(message) = invariant(&child) {
             return Err(CheckError::Invariant {
-                schedule: schedule_of(&stack, p),
+                schedule: schedule_of(&stack, entry),
                 message,
+                fingerprint: child.fingerprint(),
             });
         }
 
-        if !visited.insert(state_key(&child, quota)) {
+        if !visited.insert(state_key(&child, quota, crashes_left)) {
             continue; // rejoined a known configuration
         }
         report.states_explored += 1;
@@ -246,30 +392,56 @@ pub fn explore_with(
             continue; // stop deepening; keep scanning siblings
         }
 
-        let child_enabled = enabled(&child, quota);
-        if child_enabled.is_empty() {
+        let child_entries = entries(&child, quota, crashes_left, cfg.crash_in_cs);
+        if child_entries.is_empty() {
             report.terminal_states += 1;
             continue;
         }
         stack.push(Frame {
             sim: child,
-            enabled: child_enabled,
+            entries: child_entries,
             next: 0,
-            chosen: Some(p),
+            chosen: Some(entry),
+            crashes_left,
         });
     }
 
     Ok(report)
 }
 
-/// Replay a schedule (e.g. from a [`CheckError`]) against a fresh world,
-/// returning the final configuration for inspection.
-pub fn replay(factory: impl Fn() -> Sim, schedule: &[ProcId]) -> Sim {
+/// Replay a schedule (e.g. from a [`CheckError`] or a parsed
+/// [`TraceArtifact`]) against a fresh world, returning the final
+/// configuration for inspection.
+pub fn replay(factory: impl Fn() -> Sim, schedule: &[SchedEntry]) -> Sim {
     let mut sim = factory();
-    for &p in schedule {
-        sim.step(p);
+    for &e in schedule {
+        e.apply(&mut sim);
     }
     sim
+}
+
+/// A Bounded Exit invariant for [`explore_with`]: every process found in
+/// its exit section must be able to finish the exit *running solo* within
+/// `budget` of its own steps (the paper's Bounded Exit property — the exit
+/// section contains no unbounded waiting). Clones the world per check;
+/// use on small instances.
+pub fn bounded_exit_invariant(budget: u64) -> impl Fn(&Sim) -> Result<(), String> {
+    move |sim: &Sim| {
+        for p in sim.proc_ids() {
+            if sim.phase(p) != Phase::Exit {
+                continue;
+            }
+            let mut probe = sim.clone_world();
+            if ccsim::run_solo(&mut probe, p, budget, |s| s.phase(p) == Phase::Remainder).is_none()
+            {
+                return Err(format!(
+                    "Bounded Exit violated: {p} cannot finish its exit section \
+                     in {budget} solo steps"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +476,9 @@ mod tests {
         }
         fn role(&self) -> Role {
             self.role
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
         }
         fn fingerprint(&self, h: &mut dyn Hasher) {
             h.write_u8(self.pc);
@@ -341,11 +516,14 @@ mod tests {
             CheckError::MutualExclusion {
                 schedule,
                 violation,
+                fingerprint,
             } => {
                 assert_eq!(violation.occupants.len(), 2);
-                // The schedule must actually reproduce the violation.
+                // The schedule must actually reproduce the violation, and
+                // land on the reported fingerprint.
                 let sim = replay(broken_world, schedule);
                 assert!(sim.check_mutual_exclusion().is_err());
+                assert_eq!(sim.fingerprint(), *fingerprint);
             }
             other => panic!("expected MX violation, got {other}"),
         }
@@ -434,5 +612,81 @@ mod tests {
             "got {}",
             report.terminal_states
         );
+    }
+
+    #[test]
+    fn crash_budget_zero_explores_no_crashes() {
+        let report = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.crash_transitions, 0);
+    }
+
+    #[test]
+    fn crash_augmented_exploration_visits_crashes_and_stays_safe() {
+        // The tournament mutex, like A_f, is non-recoverable: crashes
+        // outside the CS may cost liveness but never Mutual Exclusion.
+        let report = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                passages_per_proc: 1,
+                crash_budget: 1,
+                ..Default::default()
+            },
+        )
+        .expect("crashes outside the CS must not break MX");
+        assert!(report.complete);
+        assert!(
+            report.crash_transitions > 0,
+            "the crash adversary must actually strike"
+        );
+    }
+
+    #[test]
+    fn crash_budget_grows_the_state_space() {
+        let base = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig::default(),
+        )
+        .unwrap();
+        let crashy = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                crash_budget: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(crashy.states_explored > base.states_explored);
+    }
+
+    #[test]
+    fn bounded_exit_holds_for_tournament() {
+        explore_with(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                crash_budget: 1,
+                ..Default::default()
+            },
+            bounded_exit_invariant(200),
+        )
+        .expect("tournament exit sections are bounded, even after crashes");
+    }
+
+    #[test]
+    fn sched_entry_tokens_round_trip() {
+        for e in [
+            SchedEntry::Step(ProcId(0)),
+            SchedEntry::Crash(ProcId(12)),
+            SchedEntry::Step(ProcId(3)),
+        ] {
+            let tok = e.to_string();
+            assert_eq!(tok.parse::<SchedEntry>().unwrap(), e);
+        }
+        assert!("x3".parse::<SchedEntry>().is_err());
+        assert!("s".parse::<SchedEntry>().is_err());
+        assert!("".parse::<SchedEntry>().is_err());
     }
 }

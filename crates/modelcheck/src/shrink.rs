@@ -1,0 +1,211 @@
+//! Delta-debugging counterexample shrinker.
+//!
+//! Schedules returned by the explorer are depth-first-leftmost witnesses:
+//! they reproduce the violation but typically contain steps that have
+//! nothing to do with it (other processes idling through their passages,
+//! detours the DFS happened to take first). [`shrink`] reduces such a
+//! schedule to a **locally minimal** one — removing any single entry no
+//! longer reproduces the violation — using the classic `ddmin` chunk
+//! removal followed by an explicit 1-minimal pass.
+//!
+//! Every subsequence of a schedule is itself a valid schedule here
+//! (applying a step to a process in any configuration is well-defined, and
+//! crashes are always legal), so delta debugging needs no repair step: we
+//! just replay candidate subsequences and keep those whose execution still
+//! hits a violating configuration.
+
+use crate::SchedEntry;
+use ccsim::Sim;
+
+/// The result of shrinking a violating schedule.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The reduced schedule. Its *last* entry triggers the violation, and
+    /// removing any single entry stops it reproducing (1-minimality).
+    pub schedule: Vec<SchedEntry>,
+    /// [`Sim::fingerprint`] of the configuration the reduced schedule
+    /// lands in — use it to verify a later [`crate::replay`] reproduces
+    /// the identical configuration.
+    pub fingerprint: u64,
+    /// Entries of the original schedule that were removed.
+    pub removed: usize,
+    /// Candidate executions performed while shrinking (a cost metric).
+    pub executions: u64,
+}
+
+/// Replay `cand` entry by entry; return the length of the shortest
+/// violating prefix, if the candidate violates at all.
+fn violating_prefix(
+    factory: &impl Fn() -> Sim,
+    cand: &[SchedEntry],
+    violates: &impl Fn(&Sim) -> bool,
+    executions: &mut u64,
+) -> Option<usize> {
+    *executions += 1;
+    let mut sim = factory();
+    for (i, e) in cand.iter().enumerate() {
+        e.apply(&mut sim);
+        if violates(&sim) {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// Reduce `schedule` to a locally minimal schedule that still drives a
+/// fresh world (from `factory`) into a configuration where `violates`
+/// holds. For an explorer counterexample, pass
+/// `|sim| sim.check_mutual_exclusion().is_err()` (or the invariant that
+/// failed).
+///
+/// # Panics
+/// Panics if `schedule` itself does not reproduce the violation — a
+/// shrink request for a non-reproducing schedule is always a caller bug
+/// (wrong factory or wrong predicate) and silently "shrinking" it would
+/// hide that.
+pub fn shrink(
+    factory: impl Fn() -> Sim,
+    schedule: &[SchedEntry],
+    violates: impl Fn(&Sim) -> bool,
+) -> ShrinkOutcome {
+    let mut executions = 0u64;
+
+    // Phase 0: truncate to the shortest violating prefix of the input.
+    let len = violating_prefix(&factory, schedule, &violates, &mut executions)
+        .expect("shrink: the input schedule does not reproduce the violation");
+    let mut cur: Vec<SchedEntry> = schedule[..len].to_vec();
+
+    // Phase 1: ddmin — try removing chunks at increasing granularity.
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if let Some(l) = violating_prefix(&factory, &cand, &violates, &mut executions) {
+                cand.truncate(l);
+                cur = cand;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (2 * n).min(cur.len());
+        }
+    }
+
+    // Phase 2: explicit 1-minimal pass — drop single entries until no
+    // single removal reproduces. (ddmin at finest granularity already
+    // tries this, but restarting after each success keeps the invariant
+    // airtight even when truncation reshuffles indices.)
+    'outer: loop {
+        for i in 0..cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if let Some(l) = violating_prefix(&factory, &cand, &violates, &mut executions) {
+                cand.truncate(l);
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    let final_sim = crate::replay(&factory, &cur);
+    debug_assert!(violates(&final_sim));
+    ShrinkOutcome {
+        fingerprint: final_sim.fingerprint(),
+        removed: schedule.len() - cur.len(),
+        schedule: cur,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckConfig, CheckError};
+    use ccsim::{ProcId, Protocol};
+
+    fn world() -> Sim {
+        wmutex::mutex_world(2, Protocol::WriteBack)
+    }
+
+    #[test]
+    fn shrink_panics_on_non_reproducing_schedule() {
+        let r = std::panic::catch_unwind(|| {
+            shrink(world, &[SchedEntry::Step(ProcId(0))], |sim| {
+                sim.check_mutual_exclusion().is_err()
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn shrink_preserves_violation_and_is_one_minimal() {
+        // Manufacture a violation with slack: the "no CS occupancy"
+        // invariant fails once either process reaches the CS; pad the
+        // explorer's witness with extra steps of the other process.
+        let err = crate::explore_with(world, &CheckConfig::default(), |sim| {
+            if sim.procs_in_cs().is_empty() {
+                Ok(())
+            } else {
+                Err("occupied".into())
+            }
+        })
+        .unwrap_err();
+        let mut padded: Vec<SchedEntry> = vec![SchedEntry::Step(ProcId(1))];
+        padded.extend_from_slice(err.schedule());
+
+        let violates = |sim: &Sim| !sim.procs_in_cs().is_empty();
+        let out = shrink(world, &padded, violates);
+
+        assert!(out.schedule.len() < padded.len());
+        assert!(out.removed >= 1);
+        // The reduced schedule still reproduces, landing on the reported
+        // fingerprint...
+        let sim = crate::replay(world, &out.schedule);
+        assert!(violates(&sim));
+        assert_eq!(sim.fingerprint(), out.fingerprint);
+        // ...and is locally minimal: removing any single entry breaks it.
+        for i in 0..out.schedule.len() {
+            let mut cand = out.schedule.clone();
+            cand.remove(i);
+            let sim = crate::replay(world, &cand);
+            assert!(
+                !violates(&sim),
+                "dropping entry {i} still reproduces — not 1-minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn shrunk_mx_counterexample_replays_from_explorer_output() {
+        // A broken lock from the sibling test module is not visible here;
+        // drive the real explorer to an invariant violation instead and
+        // check the CheckError/shrink/replay pipeline end to end.
+        let err = crate::explore_with(world, &CheckConfig::default(), |sim| {
+            if sim.procs_in_cs().is_empty() {
+                Ok(())
+            } else {
+                Err("occupied".into())
+            }
+        })
+        .unwrap_err();
+        let CheckError::Invariant { schedule, .. } = &err else {
+            panic!("expected invariant violation");
+        };
+        let out = shrink(world, schedule, |sim| !sim.procs_in_cs().is_empty());
+        assert!(out.schedule.len() <= schedule.len());
+        assert!(out.executions > 0);
+    }
+}

@@ -103,6 +103,7 @@ fn paper_literal_help_order_violates_mutual_exclusion() {
         CheckError::MutualExclusion {
             schedule,
             violation,
+            fingerprint,
         } => {
             // A writer shares the CS with a reader.
             assert!(violation
@@ -113,9 +114,11 @@ fn paper_literal_help_order_violates_mutual_exclusion() {
                 .occupants
                 .iter()
                 .any(|(_, role)| *role == ccsim::Role::Reader));
-            // The counterexample replays deterministically.
+            // The counterexample replays deterministically, landing on
+            // the reported configuration fingerprint.
             let sim = replay(&factory, schedule);
             assert!(sim.check_mutual_exclusion().is_err());
+            assert_eq!(sim.fingerprint(), *fingerprint);
         }
         other => panic!("expected an MX violation, got {other}"),
     }
@@ -147,6 +150,30 @@ fn cas_loop_counter_variant_is_safe() {
     )
     .expect("the ablated lock must still be safe");
     assert!(report.complete);
+}
+
+/// Crash robustness: `A_f` is not a recoverable lock, but in the RME
+/// individual-crash model a crash *outside* the critical section must
+/// cost at most liveness, never Mutual Exclusion — local state and cache
+/// lines vanish, shared memory (including the f-array counters, whose
+/// kept leaf mirrors only ever over-count) survives. Exhausted here for
+/// n=2, m=1 with a one-crash adversary.
+#[test]
+fn af_crash_augmented_exploration_is_safe() {
+    let report = explore(
+        af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
+        &CheckConfig {
+            passages_per_proc: 1,
+            crash_budget: 1,
+            ..Default::default()
+        },
+    )
+    .expect("crashes outside the CS must not break A_f's mutual exclusion");
+    assert!(report.complete, "crash-augmented space must be exhausted");
+    assert!(
+        report.crash_transitions > 0,
+        "the crash adversary must actually strike"
+    );
 }
 
 /// The same configuration with the safe (waiters-first) order never

@@ -166,6 +166,11 @@ impl Program for GatedReaderSim {
         Role::Reader
     }
 
+    fn on_crash(&mut self) {
+        self.at_gate = false;
+        self.inner.on_crash();
+    }
+
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.at_gate.hash(&mut h);
         self.inner.fingerprint(h);
@@ -248,6 +253,11 @@ impl Program for GatedWriterSim {
 
     fn role(&self) -> Role {
         Role::Writer
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = GatePc::Inner;
+        self.inner.on_crash();
     }
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {

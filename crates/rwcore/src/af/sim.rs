@@ -333,6 +333,16 @@ impl Program for AfReaderSim {
         Role::Reader
     }
 
+    fn on_crash(&mut self) {
+        // The pc (and any in-flight counter/help machine) is lost. The
+        // group-counter handles keep their leaf mirrors: the leaf is
+        // single-writer, so recovery could restore the mirror by reading
+        // it back, and a mirror that ran ahead of an interrupted add only
+        // over-counts — conservative for Mutual Exclusion (an abandoned
+        // C/W increment can block writers, never admit one).
+        self.pc = RPc::Remainder;
+    }
+
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -425,6 +435,25 @@ enum WPc {
     },
     /// Line 27: `WL.Exit()`.
     WlExit(wmutex::ExitMachine),
+    /// Recovery after a crash: re-acquire `WL` (re-running one's own
+    /// tournament entry is safe from any stale own-flag state).
+    RecoverWlEnter(wmutex::EnterMachine),
+    /// Recovery: read `WSEQ` to learn the interrupted passage's epoch.
+    RecoverReadWseq,
+    /// Recovery: *burn the epoch* — `WSEQ := seq + 1`. The interrupted
+    /// passage's sequence number must never be reused: readers that
+    /// observed `<seq, …>` may still hold helper CASes armed for it, and
+    /// replaying them into a fresh passage with the same `seq` admits a
+    /// mutual-exclusion violation (found by the crash-augmented model
+    /// checker; see DESIGN.md, "Crash-fault model").
+    RecoverIncWseq {
+        seq: i64,
+    },
+    /// Recovery: `RSIG := <seq + 1, NOP>` — unparks readers still waiting
+    /// on the dead epoch, exactly as line 26 would have.
+    RecoverRsigNop {
+        seq: i64,
+    },
 }
 
 impl WPc {
@@ -445,6 +474,10 @@ impl WPc {
             WPc::IncWseq { .. } => 12,
             WPc::RsigNop { .. } => 13,
             WPc::WlExit(_) => 14,
+            WPc::RecoverWlEnter(_) => 15,
+            WPc::RecoverReadWseq => 16,
+            WPc::RecoverIncWseq { .. } => 17,
+            WPc::RecoverRsigNop { .. } => 18,
         }
     }
 }
@@ -455,6 +488,9 @@ pub struct AfWriterSim {
     shared: Arc<AfShared>,
     id: usize,
     pc: WPc,
+    /// Set by a crash; the next passage starts with the recovery section
+    /// (the RME model lets a restarted process know it is recovering).
+    recover: bool,
 }
 
 impl AfWriterSim {
@@ -468,6 +504,7 @@ impl AfWriterSim {
             shared,
             id,
             pc: WPc::Remainder,
+            recover: false,
         }
     }
 
@@ -543,18 +580,28 @@ impl Program for AfWriterSim {
                 AfShared::sig_value(*seq + 1, Opcode::Nop),
             )),
             WPc::WlExit(m) => Step::Op(sub::poll_op(m)),
+            WPc::RecoverWlEnter(m) => Step::Op(sub::poll_op(m)),
+            WPc::RecoverReadWseq => Step::Op(Op::Read(self.shared.wseq)),
+            WPc::RecoverIncWseq { seq } => Step::Op(Op::write(self.shared.wseq, *seq + 1)),
+            WPc::RecoverRsigNop { seq } => Step::Op(Op::Write(
+                self.shared.rsig,
+                AfShared::sig_value(*seq + 1, Opcode::Nop),
+            )),
         }
     }
 
     fn resume(&mut self, response: Value) {
         self.pc = match std::mem::replace(&mut self.pc, WPc::Remainder) {
             WPc::Remainder => {
-                // Begin passage: line 6. An m=1 tournament is empty.
+                // Begin passage: line 6. An m=1 tournament is empty. After
+                // a crash the passage starts with the recovery section.
                 let enter = self.shared.wl.enter(self.id);
-                if matches!(enter.poll(), SubStep::Done(_)) {
-                    WPc::ReadWseq
-                } else {
-                    WPc::WlEnter(enter)
+                let done = matches!(enter.poll(), SubStep::Done(_));
+                match (self.recover, done) {
+                    (false, true) => WPc::ReadWseq,
+                    (false, false) => WPc::WlEnter(enter),
+                    (true, true) => WPc::RecoverReadWseq,
+                    (true, false) => WPc::RecoverWlEnter(enter),
                 }
             }
             WPc::WlEnter(mut m) => match sub::drive(&mut m, response) {
@@ -631,6 +678,21 @@ impl Program for AfWriterSim {
                 sub::Drive::Finished(_) => WPc::Remainder,
                 sub::Drive::Running => WPc::WlExit(m),
             },
+            WPc::RecoverWlEnter(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => WPc::RecoverReadWseq,
+                sub::Drive::Running => WPc::RecoverWlEnter(m),
+            },
+            WPc::RecoverReadWseq => WPc::RecoverIncWseq {
+                seq: response.expect_int(),
+            },
+            WPc::RecoverIncWseq { seq } => WPc::RecoverRsigNop { seq },
+            WPc::RecoverRsigNop { seq } => {
+                // The dead epoch is burned and stale waiters unparked;
+                // continue into a normal entry with the fresh sequence
+                // number, keeping WL held (no exit/re-enter round trip).
+                self.recover = false;
+                WPc::InitWsig { seq: seq + 1, i: 0 }
+            }
         };
     }
 
@@ -647,14 +709,27 @@ impl Program for AfWriterSim {
         Role::Writer
     }
 
+    fn on_crash(&mut self) {
+        // Local state (pc, the in-flight WL machine, the cached seq) is
+        // lost. The next passage must start with the recovery section:
+        // re-acquire WL, then burn the interrupted epoch. Without the
+        // epoch burn, re-entering with the same WSEQ lets stale reader
+        // helper CASes (armed for the abandoned passage) fire into the
+        // new one — a real mutual-exclusion violation the crash-augmented
+        // model checker finds at n=2, m=1.
+        self.pc = WPc::Remainder;
+        self.recover = true;
+    }
+
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.pc.discriminant().hash(&mut h);
+        self.recover.hash(&mut h);
         match &self.pc {
-            WPc::WlEnter(m) => m.fingerprint(h),
+            WPc::WlEnter(m) | WPc::RecoverWlEnter(m) => m.fingerprint(h),
             WPc::WlExit(m) => m.fingerprint(h),
             WPc::InitWsig { seq, i }
             | WPc::L1Await { seq, i }
@@ -672,8 +747,10 @@ impl Program for AfWriterSim {
             | WPc::RsigWait { seq }
             | WPc::Cs { seq }
             | WPc::IncWseq { seq }
-            | WPc::RsigNop { seq } => seq.hash(&mut h),
-            WPc::Remainder | WPc::ReadWseq => {}
+            | WPc::RsigNop { seq }
+            | WPc::RecoverIncWseq { seq }
+            | WPc::RecoverRsigNop { seq } => seq.hash(&mut h),
+            WPc::Remainder | WPc::ReadWseq | WPc::RecoverReadWseq => {}
         }
     }
 }

@@ -122,6 +122,10 @@ impl Program for CentralReaderSim {
         Role::Reader
     }
 
+    fn on_crash(&mut self) {
+        self.pc = CrPc::Remainder;
+    }
+
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -207,6 +211,10 @@ impl Program for CentralWriterSim {
 
     fn role(&self) -> Role {
         Role::Writer
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = CwPc::Remainder;
     }
 
     fn clone_box(&self) -> Box<dyn Program> {
@@ -328,6 +336,10 @@ impl Program for FaaReaderSim {
         Role::Reader
     }
 
+    fn on_crash(&mut self) {
+        self.pc = FrPc::Remainder;
+    }
+
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
@@ -445,6 +457,10 @@ impl Program for FaaWriterSim {
 
     fn role(&self) -> Role {
         Role::Writer
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = FwPc::Remainder;
     }
 
     fn clone_box(&self) -> Box<dyn Program> {

@@ -298,6 +298,13 @@ impl Program for MutexClient {
         self.role
     }
 
+    fn on_crash(&mut self) {
+        // A crash while holding (or contending for) the tournament leaves
+        // its flags in shared memory; the client restarts from the
+        // remainder section.
+        self.state = ClientState::Remainder;
+    }
+
     fn clone_box(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }

@@ -13,8 +13,8 @@
 //! counterexample schedule, then contrasts it with the verified `A_f`.
 
 use rwlock_repro::{
-    explore, AfConfig, CheckConfig, CheckError, FPolicy, Layout, Memory, Op, Phase, Program,
-    Protocol, Role, Sim, Step, Value, VarId,
+    explore, replay, shrink, AfConfig, CheckConfig, CheckError, FPolicy, Layout, Memory, Op, Phase,
+    Program, Protocol, Role, Sim, Step, TraceArtifact, Value, VarId,
 };
 use std::hash::Hasher;
 
@@ -62,6 +62,9 @@ impl Program for DiyReader {
     }
     fn role(&self) -> Role {
         Role::Reader
+    }
+    fn on_crash(&mut self) {
+        self.pc = 0;
     }
     fn fingerprint(&self, h: &mut dyn Hasher) {
         h.write_u8(self.pc);
@@ -122,6 +125,9 @@ impl Program for DiyWriter {
     fn role(&self) -> Role {
         Role::Writer
     }
+    fn on_crash(&mut self) {
+        self.pc = 0;
+    }
     fn fingerprint(&self, h: &mut dyn Hasher) {
         h.write_u8(self.pc);
     }
@@ -152,6 +158,33 @@ fn diy_world(readers: usize) -> Sim {
 }
 
 fn main() {
+    // `--replay <trace file>`: re-execute a persisted counterexample
+    // against the DIY world and verify it lands on the recorded
+    // configuration.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        let path = args.get(i + 1).expect("--replay needs a trace file path");
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let artifact = TraceArtifact::parse(&text).expect("malformed trace artifact");
+        println!(
+            "replaying {} entries against {}...",
+            artifact.schedule.len(),
+            artifact.world
+        );
+        let sim = replay(|| diy_world(2), &artifact.schedule);
+        assert_eq!(
+            sim.fingerprint(),
+            artifact.fingerprint,
+            "replay diverged from the recorded configuration"
+        );
+        match sim.check_mutual_exclusion() {
+            Err(v) => println!("reproduced: {v}"),
+            Ok(()) => println!("replay landed on the fingerprint but shows no MX violation"),
+        }
+        return;
+    }
+
     println!("Model-checking a DIY flag-based reader-writer lock (2 readers)...\n");
     match explore(
         || diy_world(2),
@@ -160,15 +193,51 @@ fn main() {
             ..Default::default()
         },
     ) {
-        Err(CheckError::MutualExclusion {
-            schedule,
-            violation,
-        }) => {
-            println!("VIOLATION after {} steps: {violation}", schedule.len());
+        Err(err @ CheckError::MutualExclusion { .. }) => {
             println!(
-                "reproducing schedule (process ids): {:?}",
-                schedule.iter().map(|p| p.0).collect::<Vec<_>>()
+                "VIOLATION after {} steps: {}",
+                err.schedule().len(),
+                err.describe()
             );
+
+            // Shrink the explorer's witness to a locally minimal one.
+            let out = shrink(
+                || diy_world(2),
+                err.schedule(),
+                |sim| sim.check_mutual_exclusion().is_err(),
+            );
+            println!(
+                "shrunk {} -> {} entries ({} candidate replays); minimal schedule:",
+                err.schedule().len(),
+                out.schedule.len(),
+                out.executions
+            );
+            let tokens: Vec<String> = out.schedule.iter().map(|e| e.to_string()).collect();
+            println!("  {}", tokens.join(" "));
+
+            // The shrunk schedule must still reproduce, deterministically.
+            let sim = replay(|| diy_world(2), &out.schedule);
+            assert!(sim.check_mutual_exclusion().is_err());
+            assert_eq!(sim.fingerprint(), out.fingerprint);
+
+            // Persist a replayable trace artifact.
+            let artifact = TraceArtifact {
+                world: "diy readers=2 writeback (examples/verify_your_lock.rs)".into(),
+                violation: err.describe(),
+                fingerprint: out.fingerprint,
+                schedule: out.schedule,
+            };
+            match artifact.write_to("results") {
+                Ok(path) => {
+                    println!("\nreplayable trace written to {}", path.display());
+                    println!(
+                        "replay it with:\n  cargo run --release --example verify_your_lock -- \
+                         --replay {}",
+                        path.display()
+                    );
+                }
+                Err(e) => println!("could not write trace artifact: {e}"),
+            }
             println!(
                 "\nThe bug: the reader's writer-check and its flag-set are two\n\
                  separate steps; a writer can raise its flag and finish its\n\

@@ -51,15 +51,19 @@
 #![warn(missing_docs)]
 
 pub use ccsim::{
-    run_random, run_round_robin, run_solo, Layout, Memory, Op, Phase, Prng, ProcId, Program,
-    Protocol, Role, RunConfig, RunError, Sim, Step, StepKind, SubMachine, SubStep, Trace, Value,
-    VarId,
+    blocked_spinners, run_random, run_random_with_faults, run_round_robin,
+    run_round_robin_with_faults, run_solo, CrashPoint, FaultDriver, FaultPlan, Layout, Memory, Op,
+    Phase, Prng, ProcId, Program, Protocol, Role, RunConfig, RunError, Sim, Step, StepKind,
+    SubMachine, SubStep, Trace, Value, VarId,
 };
 pub use fcounter::{CasCounter, FArray, FaaCounter, SharedCounter, SimCounter};
 pub use knowledge::{
     analyze_trace, run_lower_bound, AdversarySetup, KnowledgeTracker, LowerBoundReport, ProcSet,
 };
-pub use modelcheck::{explore, explore_with, CheckConfig, CheckError, CheckReport};
+pub use modelcheck::{
+    bounded_exit_invariant, explore, explore_with, replay, shrink, CheckConfig, CheckError,
+    CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
+};
 pub use rwcore::{
     af_world, af_world_with_order, centralized_world, faa_world, gated_af_world, mutex_rw_world,
     AfConfig, AfRwLock, AfShared, AfWorld, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock,

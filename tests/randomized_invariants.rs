@@ -7,6 +7,55 @@
 
 use rwlock_repro::*;
 
+/// CI runs this suite as a seed matrix: `RANDOMIZED_SEED=<k>` shifts
+/// every generator seed below by `k`, so each matrix leg explores a
+/// disjoint family of configurations and schedules. Unset (the default)
+/// keeps the recorded seeds, so a plain `cargo test` stays reproducible.
+fn seed_offset() -> u64 {
+    match std::env::var("RANDOMIZED_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("RANDOMIZED_SEED must be a u64, got {s:?}")),
+        Err(_) => 0,
+    }
+}
+
+/// Reconstruct the schedule a traced execution took: one entry per
+/// scheduled step (section transitions included), crash events as crash
+/// entries.
+fn schedule_from_trace(trace: &Trace) -> Vec<SchedEntry> {
+    trace
+        .records()
+        .iter()
+        .map(|r| match r.kind {
+            StepKind::Crash => SchedEntry::Crash(r.proc),
+            _ => SchedEntry::Step(r.proc),
+        })
+        .collect()
+}
+
+/// On a randomized-run failure, persist the violating execution as a
+/// replayable trace artifact under `results/` (CI uploads them), then
+/// panic with the path in the message.
+fn fail_with_artifact(world: &str, err: &RunError, sim: &Sim) -> ! {
+    let artifact = TraceArtifact {
+        world: world.to_string(),
+        violation: err.to_string(),
+        fingerprint: sim.fingerprint(),
+        schedule: sim
+            .trace()
+            .map(schedule_from_trace)
+            .expect("tracing is enabled for randomized runs"),
+    };
+    match artifact.write_to("results") {
+        Ok(path) => panic!(
+            "{world}: {err}\nreplayable trace written to {}",
+            path.display()
+        ),
+        Err(io) => panic!("{world}: {err}\n(could not write trace artifact: {io})"),
+    }
+}
+
 /// A small but varied lock configuration.
 fn random_config(rng: &mut Prng) -> AfConfig {
     let policy = [
@@ -28,36 +77,79 @@ fn random_config(rng: &mut Prng) -> AfConfig {
 /// violation or stall).
 #[test]
 fn af_random_schedules_safe_and_live() {
-    let mut gen = Prng::new(0xaf_5afe);
+    let mut gen = Prng::new(0xaf_5afe + seed_offset());
     for _case in 0..48 {
         let cfg = random_config(&mut gen);
         let seed = gen.next_u64();
         let mut world = af_world(cfg, Protocol::WriteBack);
+        world.sim.set_tracing(true);
         let mut rng = Prng::new(seed);
         let rc = RunConfig {
             passages_per_proc: 3,
             ..Default::default()
         };
-        run_random(&mut world.sim, &mut rng, &rc)
-            .unwrap_or_else(|e| panic!("{cfg:?} seed {seed}: {e}"));
+        if let Err(e) = run_random(&mut world.sim, &mut rng, &rc) {
+            fail_with_artifact(
+                &format!("af {cfg:?} writeback seed={seed:#x}"),
+                &e,
+                &world.sim,
+            );
+        }
     }
 }
 
 /// Same property under the write-through protocol.
 #[test]
 fn af_random_schedules_safe_write_through() {
-    let mut gen = Prng::new(0xaf_5afe + 1);
+    let mut gen = Prng::new(0xaf_5afe + 1 + seed_offset());
     for _case in 0..48 {
         let cfg = random_config(&mut gen);
         let seed = gen.next_u64();
         let mut world = af_world(cfg, Protocol::WriteThrough);
+        world.sim.set_tracing(true);
         let mut rng = Prng::new(seed);
         let rc = RunConfig {
             passages_per_proc: 2,
             ..Default::default()
         };
-        run_random(&mut world.sim, &mut rng, &rc)
-            .unwrap_or_else(|e| panic!("{cfg:?} seed {seed}: {e}"));
+        if let Err(e) = run_random(&mut world.sim, &mut rng, &rc) {
+            fail_with_artifact(
+                &format!("af {cfg:?} writethrough seed={seed:#x}"),
+                &e,
+                &world.sim,
+            );
+        }
+    }
+}
+
+/// Random schedules with random crash injection: crashes outside the CS
+/// may wedge the lock (abandoned counter increments cost liveness — the
+/// run is allowed to stall or exhaust its budget) but must never break
+/// Mutual Exclusion.
+#[test]
+fn af_random_schedules_with_crashes_keep_mx() {
+    let mut gen = Prng::new(0xaf_c4a5 + seed_offset());
+    for _case in 0..32 {
+        let cfg = random_config(&mut gen);
+        let seed = gen.next_u64();
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        world.sim.set_tracing(true);
+        let n_procs = world.sim.n_procs();
+        let plan = FaultPlan::random(seed, n_procs, 1 + gen.below(3), 30);
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 2,
+            max_steps: 100_000,
+            stall_after: 10_000,
+        };
+        match run_random_with_faults(&mut world.sim, &mut rng, &rc, &plan) {
+            Ok(_) | Err(RunError::Stalled { .. }) | Err(RunError::StepBudgetExhausted { .. }) => {}
+            Err(e @ RunError::MutualExclusion(_)) => fail_with_artifact(
+                &format!("af {cfg:?} writeback crashy seed={seed:#x}"),
+                &e,
+                &world.sim,
+            ),
+        }
     }
 }
 
@@ -65,7 +157,7 @@ fn af_random_schedules_safe_write_through() {
 /// and familiarity never exceeds the process universe.
 #[test]
 fn knowledge_monotonicity() {
-    let mut gen = Prng::new(0x0b5e_0001);
+    let mut gen = Prng::new(0x0b5e_0001 + seed_offset());
     for _case in 0..48 {
         let n_procs = 4;
         let n_vars = 3;
@@ -105,7 +197,7 @@ fn knowledge_monotonicity() {
 /// prefix under a random schedule.
 #[test]
 fn expanding_steps_cost_rmrs() {
-    let mut gen = Prng::new(0x1e44a1);
+    let mut gen = Prng::new(0x1e44a1 + seed_offset());
     for _case in 0..48 {
         let seed = gen.next_u64();
         let steps = 50 + gen.below(350);
@@ -141,7 +233,7 @@ fn expanding_steps_cost_rmrs() {
 /// adds driven to completion in random order.
 #[test]
 fn fcounter_random_interleavings_exact() {
-    let mut gen = Prng::new(0xfc0417e4);
+    let mut gen = Prng::new(0xfc0417e4 + seed_offset());
     for _case in 0..48 {
         let k = 1 + gen.below(7);
         let seed = gen.next_u64();
