@@ -24,7 +24,7 @@
 
 use bench::{par, Table};
 use ccsim::{run_random_with_faults, FaultPlan, Prng, Protocol, RunConfig, RunError, Sim};
-use modelcheck::{explore, shrink, CheckConfig, TraceArtifact};
+use modelcheck::{explore_par, shrink, CheckConfig, TraceArtifact};
 use rwcore::{af_world, centralized_world, faa_world, AfConfig, FPolicy};
 
 const SEED: u64 = 0xE15_C4A5;
@@ -61,10 +61,13 @@ impl Lock {
     }
 }
 
-/// Exhaustive crash-augmented safety check for one lock.
+/// Exhaustive crash-augmented safety check for one lock. The whole
+/// worker pool attacks one state space at a time — the budget-2 spaces
+/// dwarf the budget-1 ones, so parallelism inside the explorer beats
+/// parallelism across rows.
 fn check_row(lock: Lock, budget: u32) -> [String; 5] {
     let (n, m) = (2usize, 1usize);
-    let result = explore(
+    let result = explore_par(
         || lock.world(n, m),
         &CheckConfig {
             passages_per_proc: 1,
@@ -72,6 +75,7 @@ fn check_row(lock: Lock, budget: u32) -> [String; 5] {
             max_states: 200_000_000,
             ..Default::default()
         },
+        par::worker_count(usize::MAX),
     );
     match result {
         Ok(r) => [
@@ -164,14 +168,12 @@ fn stress_row(lock: Lock, seed: u64) -> [String; 5] {
 fn main() {
     let mut table = Table::new(["lock", "run", "verdict", "progress", "detail"]);
 
-    // Part 1: exhaustive crash-augmented model checks, fanned across
-    // cores (each job is an independent state-space exploration).
-    let checks: Vec<(Lock, u32)> = Lock::ALL
-        .iter()
-        .flat_map(|&l| [(l, 1u32), (l, 2)])
-        .collect();
-    for row in par::par_map(&checks, |&(lock, budget)| check_row(lock, budget)) {
-        table.row(row);
+    // Part 1: exhaustive crash-augmented model checks. Each row runs the
+    // parallel explorer with the full worker pool, so rows go in order.
+    for &lock in &Lock::ALL {
+        for budget in [1u32, 2] {
+            table.row(check_row(lock, budget));
+        }
     }
 
     // Part 2: seeded random schedules with seeded random crash plans.

@@ -50,6 +50,17 @@ impl Directory {
         }
     }
 
+    /// Overwrite `self` with `src`, reusing the bitset and owner buffers
+    /// (no allocation when the shapes match, as they do when the model
+    /// checker recycles a popped world).
+    pub(crate) fn assign_from(&mut self, src: &Directory) {
+        self.n_procs = src.n_procs;
+        self.n_vars = src.n_vars;
+        self.words_per_var = src.words_per_var;
+        self.holders.clone_from(&src.holders);
+        self.owner.clone_from(&src.owner);
+    }
+
     #[inline]
     fn word(&self, v: usize, p: usize) -> usize {
         v * self.words_per_var + p / 64

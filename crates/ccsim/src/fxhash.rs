@@ -1,0 +1,251 @@
+//! A fast, dependency-free 64-bit hasher in the FxHash/rustc-hash
+//! lineage, plus the `splitmix64` finalizer used to build Zobrist-style
+//! incremental fingerprints.
+//!
+//! The model checker hashes millions of tiny keys (configuration
+//! fingerprints, program counters, quota vectors). `SipHash` — the
+//! default `std` hasher — is cryptographically keyed and pays ~1 round
+//! per 8-byte write; that robustness buys nothing here because the keys
+//! are not attacker-controlled. [`FxHasher`] is the classic
+//! multiply-rotate word hasher the Rust compiler itself uses for its
+//! interning tables: one rotate, one xor, one multiply per word.
+//!
+//! Raw Fx output has weak low-bit diffusion, so everything that *stores*
+//! an Fx hash as an identity key (visited-set fingerprints, shard
+//! selection) must pass it through [`mix64`] first — a full-avalanche
+//! `splitmix64` finalizer — which restores uniformity at the cost of
+//! three multiplies. [`FxHasher::finish`] applies the finalizer for
+//! exactly that reason; use the raw state only internally.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The golden-ratio multiplier used by rustc's FxHash.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// `splitmix64`'s finalizer: a cheap full-avalanche bijection on `u64`.
+///
+/// Every output bit depends on every input bit, so XOR-accumulating
+/// `mix64` images of independent inputs (the Zobrist trick used by
+/// [`crate::Sim::fingerprint`]) behaves like XOR-ing independent random
+/// words. Being a bijection it never loses entropy.
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A fast FxHash-style [`Hasher`]. Not cryptographic, not DoS-resistant
+/// — use only for in-process tables and fingerprints whose inputs the
+/// program itself generates.
+///
+/// Unlike rustc's FxHasher, [`FxHasher::finish`] folds the *number of
+/// bytes absorbed* into the final mix (the same trick SipHash uses).
+/// The raw Fx round maps `(state = 0, word = 0)` back to zero, so
+/// without the length term every all-zero write sequence — `0u8`,
+/// `(0u8, 0u64)`, ... — would share one digest. Program step machines
+/// routinely hash exactly such tag + payload encodings of their initial
+/// states, and those digests feed the model checker's visited-state
+/// keys, where a collision silently merges distinct configurations.
+///
+/// ```
+/// use ccsim::FxHasher;
+/// use std::hash::{Hash, Hasher};
+///
+/// let mut h = FxHasher::default();
+/// 42u64.hash(&mut h);
+/// let a = h.finish();
+/// let mut h = FxHasher::default();
+/// 43u64.hash(&mut h);
+/// assert_ne!(a, h.finish());
+/// ```
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+    /// Bytes absorbed so far, folded into [`FxHasher::finish`].
+    bytes: u64,
+}
+
+/// A [`std::hash::BuildHasher`] for `HashMap`/`HashSet` keyed by
+/// [`FxHasher`] — the model checker's visited shards use this in place
+/// of `RandomState`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    /// A hasher whose state starts at `seed` instead of zero; distinct
+    /// seeds give independent hash families (used to salt the per-slot
+    /// Zobrist signatures so variable 3 and process 3 never collide).
+    #[inline]
+    pub fn with_seed(seed: u64) -> Self {
+        FxHasher {
+            state: seed,
+            bytes: 0,
+        }
+    }
+
+    /// Absorb one word that carried `width` meaningful input bytes.
+    #[inline]
+    fn add(&mut self, word: u64, width: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+        self.bytes = self.bytes.wrapping_add(width);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state ^ self.bytes.wrapping_mul(K))
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()), 8);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" differ.
+            buf[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(buf), rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64, 1);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64, 2);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64, 4);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i, 8);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64, 8);
+        self.add((i >> 64) as u64, 8);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64, 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    fn fx_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = fx_of(|h| h.write_u64(1));
+        assert_eq!(a, fx_of(|h| h.write_u64(1)));
+        assert_ne!(a, fx_of(|h| h.write_u64(2)));
+        assert_ne!(
+            fx_of(|h| h.write(b"ab")),
+            fx_of(|h| h.write(b"ab\0")),
+            "tail length must be tagged"
+        );
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let ab = fx_of(|h| {
+            h.write_u64(0xa);
+            h.write_u64(0xb);
+        });
+        let ba = fx_of(|h| {
+            h.write_u64(0xb);
+            h.write_u64(0xa);
+        });
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn seeds_give_distinct_families() {
+        let a = {
+            let mut h = FxHasher::with_seed(1);
+            h.write_u64(7);
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::with_seed(2);
+            h.write_u64(7);
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_a_sample_and_avalanches() {
+        let mut seen = HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(mix64(i)), "mix64 collided at {i}");
+        }
+        // Low bits of sequential inputs must not stay sequential.
+        let low_bits: HashSet<u64> = (0u64..64).map(|i| mix64(i) & 0xff).collect();
+        assert!(low_bits.len() > 32, "finalizer fails to diffuse low bits");
+    }
+
+    #[test]
+    fn all_zero_write_sequences_of_different_shapes_stay_distinct() {
+        // The raw Fx round fixes (0, 0) — guard the length fold that
+        // keeps the common "tag + zeroed payload" encodings apart.
+        let digests = [
+            fx_of(|_| {}),
+            fx_of(|h| h.write_u8(0)),
+            fx_of(|h| {
+                h.write_u8(0);
+                h.write_u64(0);
+            }),
+            fx_of(|h| {
+                h.write_u32(0);
+                h.write_u32(0);
+            }),
+            fx_of(|h| {
+                h.write_u64(0);
+                h.write_u64(0);
+                h.write_u64(0);
+            }),
+        ];
+        let distinct: HashSet<u64> = digests.iter().copied().collect();
+        assert_eq!(distinct.len(), digests.len(), "digests: {digests:#x?}");
+    }
+
+    #[test]
+    fn usable_in_std_collections() {
+        let mut set: HashSet<u64, FxBuildHasher> = HashSet::default();
+        for i in 0..1000u64 {
+            set.insert(mix64(i));
+        }
+        assert_eq!(set.len(), 1000);
+        // Derived Hash impls route through the Hasher trait methods.
+        let mut h = FxHasher::default();
+        (1u8, 2usize, Some(3i64)).hash(&mut h);
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -38,6 +38,7 @@
 mod cache;
 mod directory;
 mod fault;
+mod fxhash;
 mod layout;
 mod memory;
 mod op;
@@ -51,6 +52,7 @@ mod value;
 
 pub use cache::{Cache, Mode, Protocol};
 pub use fault::{CrashPoint, FaultDriver, FaultPlan};
+pub use fxhash::{mix64, FxBuildHasher, FxHasher};
 pub use layout::Layout;
 pub use memory::{CacheView, Memory, StepOutcome};
 pub use op::{Op, OpKind};

@@ -2,10 +2,27 @@
 
 use crate::cache::{Mode, Protocol};
 use crate::directory::Directory;
+use crate::fxhash::{mix64, FxHasher};
 use crate::layout::Layout;
 use crate::op::Op;
 use crate::value::{ProcId, Value, VarId};
 use std::hash::{Hash, Hasher};
+
+/// Salt for per-variable Zobrist signatures, so a variable-slot signature
+/// can never collide with a process-slot signature built in `sim.rs`.
+const VAR_SALT: u64 = 0x5eed_0000_0000_0001;
+
+/// The Zobrist signature of "variable `v` currently holds `val`": a
+/// full-avalanche hash of the (slot, value) pair. The memory's value
+/// fingerprint is the XOR of one signature per variable, so changing one
+/// variable updates the fingerprint in O(1): XOR out the old signature,
+/// XOR in the new one.
+#[inline]
+fn slot_sig(v: usize, val: &Value) -> u64 {
+    let mut h = FxHasher::with_seed(VAR_SALT ^ mix64(v as u64));
+    val.hash(&mut h);
+    h.finish()
+}
 
 /// The result of applying one shared-memory operation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -60,6 +77,10 @@ pub struct Memory {
     dir: Directory,
     /// DSM home segments (unused by the CC protocols).
     homes: Vec<Option<usize>>,
+    /// Maintained XOR of [`slot_sig`] over all variables — the value part
+    /// of the model checker's incremental configuration fingerprint,
+    /// patched in O(1) by [`Memory::apply`] whenever a value changes.
+    vals_fp: u64,
 }
 
 impl Memory {
@@ -67,12 +88,29 @@ impl Memory {
     /// values) and `n_procs` cold caches.
     pub fn new(layout: &Layout, n_procs: usize, protocol: Protocol) -> Self {
         let values = layout.initial_values();
+        let vals_fp = values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (v, val)| acc ^ slot_sig(v, val));
         Memory {
             protocol,
             dir: Directory::new(values.len(), n_procs),
             values,
             homes: layout.home_assignments(),
+            vals_fp,
         }
+    }
+
+    /// Overwrite `self` with `src`, reusing the value and directory
+    /// buffers instead of allocating fresh ones. Used by
+    /// [`crate::Sim::clone_world_into`] when the model checker recycles a
+    /// popped configuration.
+    pub fn assign_from(&mut self, src: &Memory) {
+        self.protocol = src.protocol;
+        self.values.clone_from(&src.values);
+        self.dir.assign_from(&src.dir);
+        self.homes.clone_from(&src.homes);
+        self.vals_fp = src.vals_fp;
     }
 
     /// The coherence protocol in force.
@@ -154,6 +192,9 @@ impl Memory {
             Op::Faa { delta, .. } => (old, Value::Int(old.expect_int() + delta)),
         };
         self.values[v.0] = new;
+        if old != new {
+            self.vals_fp ^= slot_sig(v.0, &old) ^ slot_sig(v.0, &new);
+        }
 
         // Coherence bookkeeping (no caches in the DSM model).
         if self.protocol == Protocol::Dsm {
@@ -218,6 +259,24 @@ impl Memory {
     /// explored state space.
     pub fn hash_values<H: Hasher>(&self, h: &mut H) {
         self.values.hash(h);
+    }
+
+    /// The maintained value fingerprint: XOR of a Zobrist signature per
+    /// (variable, current value) pair. O(1) — [`Memory::apply`] keeps it
+    /// current by patching the changed slot's signature. Crashes never
+    /// touch it: [`Memory::crash_invalidate`] only purges the coherence
+    /// directory, and cache state is deliberately outside the fingerprint.
+    pub fn values_fingerprint(&self) -> u64 {
+        self.vals_fp
+    }
+
+    /// Recompute [`Memory::values_fingerprint`] from scratch. Used as the
+    /// debug-assert oracle for the maintained hash (and by tests).
+    pub fn values_fingerprint_full(&self) -> u64 {
+        self.values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (v, val)| acc ^ slot_sig(v, val))
     }
 
     /// A snapshot of all variable values, in variable order.
@@ -483,6 +542,48 @@ mod tests {
         assert_eq!(view.mode(x), Some(Mode::Shared));
         assert_eq!(view.mode(y), Some(Mode::Exclusive));
         assert_eq!(m.cache(ProcId(1)).mode(y), None);
+    }
+
+    #[test]
+    fn maintained_value_fingerprint_matches_full_recompute() {
+        for protocol in [Protocol::WriteThrough, Protocol::WriteBack, Protocol::Dsm] {
+            let (mut m, x, y) = setup(protocol);
+            assert_eq!(m.values_fingerprint(), m.values_fingerprint_full());
+            let script = [
+                (ProcId(0), Op::write(x, 3)),
+                (ProcId(1), Op::cas(x, 3, 5)),
+                (ProcId(2), Op::cas(x, 99, 1)), // fails: no value change
+                (ProcId(0), Op::Faa { var: x, delta: 2 }),
+                (ProcId(1), Op::Read(y)),
+                (ProcId(1), Op::Write(y, Value::Pair(1, 2))),
+                (ProcId(0), Op::write(x, 7)), // trivial write (x already 7)
+            ];
+            for (p, op) in script {
+                m.apply(p, &op);
+                assert_eq!(
+                    m.values_fingerprint(),
+                    m.values_fingerprint_full(),
+                    "{protocol:?} after {op}"
+                );
+            }
+            // Crashes purge the directory only — the fingerprint is stable.
+            let before = m.values_fingerprint();
+            m.crash_invalidate(ProcId(1));
+            assert_eq!(m.values_fingerprint(), before);
+            assert_eq!(m.values_fingerprint(), m.values_fingerprint_full());
+        }
+    }
+
+    #[test]
+    fn value_fingerprint_distinguishes_slot_swaps() {
+        // XOR composition must not be fooled by moving a value between
+        // variables: signatures are salted per slot.
+        let (mut a, x, y) = setup(Protocol::WriteBack);
+        let (mut b, _, _) = setup(Protocol::WriteBack);
+        a.apply(ProcId(0), &Op::write(x, 9)); // a: x=9, y=Nil
+        b.apply(ProcId(0), &Op::Write(y, Value::Int(9)));
+        b.apply(ProcId(0), &Op::Write(x, Value::Nil)); // b: x=Nil, y=9
+        assert_ne!(a.values_fingerprint(), b.values_fingerprint());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! what the Theorem-5 adversary needs in order to decide whether the next
 //! step would be an expanding step.
 
+use crate::fxhash::FxHasher;
 use crate::op::Op;
 use crate::value::Value;
 use std::fmt;
@@ -101,7 +102,12 @@ pub enum Step {
 ///   leave the process parked there indefinitely.
 /// * `phase` reports the current section and must be consistent with `poll`
 ///   (`Step::Cs` ⟺ `Phase::Cs`, `Step::Remainder` ⟺ `Phase::Remainder`).
-pub trait Program {
+///
+/// Programs must be [`Send`]: the parallel model checker
+/// (`modelcheck::explore_par`) moves cloned worlds between worker threads.
+/// Step machines are plain data (program counters, [`Value`]s, nested
+/// sub-machines), so this bound is vacuous in practice.
+pub trait Program: Send {
     /// The process's pending action. Pure; see the trait-level contract.
     fn poll(&self) -> Step;
 
@@ -132,10 +138,80 @@ pub trait Program {
     /// Used by the model checker to fingerprint global configurations.
     fn fingerprint(&self, h: &mut dyn Hasher);
 
+    /// A 64-bit digest of all local state, used by [`crate::Sim`]'s
+    /// incremental configuration fingerprint: after each step or crash of
+    /// this process, the simulator re-derives only *this* process's
+    /// signature and patches it into the maintained global hash.
+    ///
+    /// The default routes [`Program::fingerprint`] through the in-tree
+    /// [`FxHasher`], which is already cheap; implementations whose state
+    /// packs into a few words may override it with a direct encoding
+    /// (see `wmutex`). Overrides must depend on **exactly** the state
+    /// `fingerprint` hashes — dropping a field aliases distinct
+    /// configurations and silently truncates model checking.
+    fn fingerprint64(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.fingerprint(&mut h);
+        h.finish()
+    }
+
     /// Duplicate this process with its full local state. Used by the model
     /// checker to branch a configuration; the canonical implementation is
     /// `Box::new(self.clone())`.
     fn clone_box(&self) -> Box<dyn Program>;
+
+    /// Copy this process's full local state *into* `dst`, reusing `dst`'s
+    /// storage, and return `true` — or return `false` if `dst` is a
+    /// different concrete type (the caller then falls back to
+    /// [`Program::clone_box`]). The model checker branches millions of
+    /// configurations; recycling each popped world through this method
+    /// turns every per-process `Box` allocation of [`Sim::clone_world`]
+    /// into a plain memcpy.
+    ///
+    /// The default conservatively reports `false`. Implementations that
+    /// are `Clone + 'static` opt in with one line:
+    /// [`crate::impl_program_in_place_clone!()`][impl_program_in_place_clone].
+    ///
+    /// [`Sim::clone_world`]: crate::Sim::clone_world
+    fn clone_into_dyn(&self, dst: &mut dyn Program) -> bool {
+        let _ = dst;
+        false
+    }
+
+    /// Downcast support for [`Program::clone_into_dyn`]. `None` (the
+    /// default) opts out of in-place cloning.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Implement [`Program::clone_into_dyn`] / [`Program::as_any_mut`] for a
+/// `Clone + 'static` program type. Expand inside the `impl Program for …`
+/// block:
+///
+/// ```ignore
+/// impl Program for MyMachine {
+///     ccsim::impl_program_in_place_clone!();
+///     // ...the rest of the trait...
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_program_in_place_clone {
+    () => {
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+
+        fn clone_into_dyn(&self, dst: &mut dyn $crate::Program) -> bool {
+            match dst.as_any_mut().and_then(|a| a.downcast_mut::<Self>()) {
+                Some(slot) => {
+                    slot.clone_from(self);
+                    true
+                }
+                None => false,
+            }
+        }
+    };
 }
 
 /// What a sub-machine (an operation of a shared object used *inside* an

@@ -1,14 +1,37 @@
 //! The simulation world: processes + memory + metrics + trace.
 
+use crate::fxhash::{mix64, FxHasher};
 use crate::memory::Memory;
 use crate::op::Op;
 use crate::program::{Phase, Program, Role, Step};
 use crate::trace::{StepKind, StepRecord, Trace};
 use crate::value::{ProcId, Value};
-use std::collections::hash_map::DefaultHasher;
 use std::error::Error;
 use std::fmt;
-use std::hash::Hasher;
+
+/// Salt for per-process Zobrist signatures (the value-slot counterpart
+/// lives in `memory.rs` with a different salt).
+const PROC_SALT: u64 = 0x5eed_0000_0000_0002;
+
+/// The Zobrist signature of "process `i` has this local state": the
+/// program's 64-bit digest fed through a hasher *seeded* by the process
+/// index. The sim's process fingerprint is the XOR of one signature per
+/// process, so a step or crash of one process is an O(1) patch.
+///
+/// The digest must enter through the hasher's multiply, never a bare
+/// XOR with the index term: programs commonly implement
+/// [`Program::fingerprint64`] as `mix64(small_code)`, the same family as
+/// `mix64(i)`, and a plain `mix64(salt ^ mix64(i) ^ digest)` then makes
+/// "process 0 in state 1" and "process 1 in state 0" produce *identical*
+/// signatures (their XOR contributions cancel pairwise), silently
+/// merging mirror configurations in the model checker's visited set.
+#[inline]
+fn proc_sig(i: usize, prog: &dyn Program) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::with_seed(PROC_SALT ^ mix64(i as u64));
+    h.write_u64(prog.fingerprint64());
+    h.finish()
+}
 
 /// Per-process execution metrics, split by passage section.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -105,6 +128,11 @@ pub struct Sim {
     /// Per process: crashed and not yet completed a fresh passage. Only
     /// affects metric attribution (recovery_* counters), never behaviour.
     recovering: Vec<bool>,
+    /// Maintained [`proc_sig`] per process; `procs_fp` is their XOR.
+    /// Re-derived only for the process that just stepped or crashed, so
+    /// [`Sim::fingerprint`] is O(1) instead of a full-state rehash.
+    proc_sigs: Vec<u64>,
+    procs_fp: u64,
     trace: Option<Trace>,
     steps: u64,
 }
@@ -122,14 +150,30 @@ impl Sim {
             "memory must have one cache per process"
         );
         let n = procs.len();
+        let proc_sigs: Vec<u64> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| proc_sig(i, &**p))
+            .collect();
+        let procs_fp = proc_sigs.iter().fold(0u64, |acc, s| acc ^ s);
         Sim {
             mem,
             procs,
             stats: vec![ProcStats::default(); n],
             recovering: vec![false; n],
+            proc_sigs,
+            procs_fp,
             trace: None,
             steps: 0,
         }
+    }
+
+    /// Re-derive process `p`'s Zobrist signature after its local state
+    /// changed (a resume or a crash) and patch the maintained XOR.
+    fn refresh_proc_sig(&mut self, p: ProcId) {
+        let sig = proc_sig(p.0, &*self.procs[p.0]);
+        self.procs_fp ^= self.proc_sigs[p.0] ^ sig;
+        self.proc_sigs[p.0] = sig;
     }
 
     /// Enable (or disable) step tracing. Tracing is off by default; the
@@ -267,6 +311,7 @@ impl Sim {
                 StepKind::BeginPassage
             }
         };
+        self.refresh_proc_sig(p);
         // Passage completion: the process just returned to the remainder
         // section (usually Exit -> Remainder; Cs -> Remainder when the exit
         // section is empty, e.g. a 1-process tournament).
@@ -315,6 +360,7 @@ impl Sim {
         let role = self.procs[p.0].role();
         self.mem.crash_invalidate(p);
         self.procs[p.0].on_crash();
+        self.refresh_proc_sig(p);
         assert_eq!(
             self.procs[p.0].phase(),
             Phase::Remainder,
@@ -369,13 +415,36 @@ impl Sim {
     /// A 64-bit fingerprint of the global configuration: all variable
     /// values plus every process's local state. Cache state and metrics are
     /// excluded (they never influence observable behaviour).
+    ///
+    /// O(1): the fingerprint is maintained incrementally, Zobrist-style —
+    /// [`Memory::apply`] patches the changed variable's signature and
+    /// [`Sim::step`]/[`Sim::crash`] re-derive only the affected process's
+    /// signature. Debug builds assert it against the from-scratch
+    /// [`Sim::fingerprint_full`] oracle on every query.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.mem.hash_values(&mut h);
-        for p in &self.procs {
-            p.fingerprint(&mut h);
-        }
-        h.finish()
+        let fp = self.mem.values_fingerprint() ^ self.procs_fp;
+        debug_assert_eq!(
+            fp,
+            self.fingerprint_full(),
+            "maintained incremental fingerprint diverged from full recompute \
+             (a step/crash path failed to patch a signature)"
+        );
+        fp
+    }
+
+    /// Recompute [`Sim::fingerprint`] from scratch — rehash every variable
+    /// and every process. This is the oracle the maintained incremental
+    /// hash is checked against (debug assertions here and dedicated
+    /// randomized-walk tests); the model checker's `full_rehash` baseline
+    /// mode also measures against it.
+    pub fn fingerprint_full(&self) -> u64 {
+        let vals = self.mem.values_fingerprint_full();
+        let procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, p)| acc ^ proc_sig(i, &**p));
+        vals ^ procs
     }
 
     /// True if every process is in its remainder section (a *quiescent*
@@ -393,9 +462,38 @@ impl Sim {
             procs: self.procs.iter().map(|p| p.clone_box()).collect(),
             stats: self.stats.clone(),
             recovering: self.recovering.clone(),
+            proc_sigs: self.proc_sigs.clone(),
+            procs_fp: self.procs_fp,
             trace: None,
             steps: self.steps,
         }
+    }
+
+    /// [`Sim::clone_world`] into an existing world, reusing `dst`'s
+    /// buffers. When `dst` came from the same factory (same process types
+    /// in the same slots — the invariant of the model checker's recycling
+    /// pool) and the programs opt into
+    /// [`Program::clone_into_dyn`], no allocation happens at all: each
+    /// per-process `Box` is overwritten in place and every `Vec` reuses
+    /// its capacity. Mismatched slots fall back to a fresh
+    /// [`Program::clone_box`], so the copy is correct for any `dst`.
+    pub fn clone_world_into(&self, dst: &mut Sim) {
+        dst.mem.assign_from(&self.mem);
+        if dst.procs.len() != self.procs.len() {
+            dst.procs = self.procs.iter().map(|p| p.clone_box()).collect();
+        } else {
+            for (slot, src) in dst.procs.iter_mut().zip(&self.procs) {
+                if !src.clone_into_dyn(&mut **slot) {
+                    *slot = src.clone_box();
+                }
+            }
+        }
+        dst.stats.clone_from(&self.stats);
+        dst.recovering.clone_from(&self.recovering);
+        dst.proc_sigs.clone_from(&self.proc_sigs);
+        dst.procs_fp = self.procs_fp;
+        dst.trace = None;
+        dst.steps = self.steps;
     }
 }
 
@@ -419,6 +517,7 @@ mod tests {
     use crate::layout::Layout;
     use crate::memory::Memory;
     use crate::value::VarId;
+    use std::hash::Hasher;
 
     /// A trivial test lock client: entry = write flag, CS, exit = clear flag.
     #[derive(Clone)]
@@ -463,6 +562,7 @@ mod tests {
         fn clone_box(&self) -> Box<dyn Program> {
             Box::new(self.clone())
         }
+        crate::impl_program_in_place_clone!();
     }
 
     fn world(roles: &[Role]) -> Sim {
@@ -525,6 +625,80 @@ mod tests {
         }
         assert_eq!(sim.procs_in_cs().len(), 2);
         assert!(sim.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn clone_world_into_matches_clone_world() {
+        let mut sim = world(&[Role::Reader, Role::Writer]);
+        sim.step(ProcId(0));
+        sim.step(ProcId(0));
+        sim.step(ProcId(1));
+
+        // In-place copy into a same-shape world (the recycling-pool case):
+        // byte-for-byte the same observable state as a fresh clone.
+        let mut dst = world(&[Role::Reader, Role::Writer]);
+        for _ in 0..3 {
+            dst.step(ProcId(1)); // arbitrary divergence to overwrite
+        }
+        sim.clone_world_into(&mut dst);
+        assert_eq!(dst.fingerprint(), sim.fingerprint());
+        assert_eq!(dst.fingerprint(), dst.fingerprint_full());
+        for p in [ProcId(0), ProcId(1)] {
+            assert_eq!(dst.phase(p), sim.phase(p));
+            assert_eq!(dst.stats(p), sim.stats(p));
+        }
+
+        // The copy is detached: stepping one world leaves the other alone.
+        dst.step(ProcId(0));
+        assert_ne!(dst.fingerprint(), sim.fingerprint());
+        assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+
+        // A mismatched-shape destination is rebuilt, not corrupted.
+        let mut small = world(&[Role::Reader]);
+        sim.clone_world_into(&mut small);
+        assert_eq!(small.n_procs(), sim.n_procs());
+        assert_eq!(small.fingerprint(), sim.fingerprint());
+        assert_eq!(small.fingerprint(), small.fingerprint_full());
+    }
+
+    #[test]
+    fn in_place_program_clone_copies_state_and_rejects_foreign_types() {
+        let sim = world(&[Role::Reader]);
+        let src = FlagClient {
+            flag: VarId(0),
+            me: ProcId(0),
+            role: Role::Reader,
+            pc: 2,
+        };
+        let mut dst = src.clone();
+        dst.pc = 0;
+        assert!(src.clone_into_dyn(&mut dst));
+        assert_eq!(dst.pc, 2);
+        // A different concrete Program type is refused (the caller then
+        // falls back to clone_box).
+        assert!(!sim.program(ProcId(0)).clone_into_dyn(&mut NotAFlag));
+    }
+
+    /// Distinct concrete type for the foreign-downcast rejection test.
+    #[derive(Clone)]
+    struct NotAFlag;
+    impl Program for NotAFlag {
+        fn poll(&self) -> Step {
+            Step::Remainder
+        }
+        fn resume(&mut self, _: Value) {}
+        fn phase(&self) -> Phase {
+            Phase::Remainder
+        }
+        fn role(&self) -> Role {
+            Role::Reader
+        }
+        fn on_crash(&mut self) {}
+        fn fingerprint(&self, _: &mut dyn Hasher) {}
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(NotAFlag)
+        }
+        crate::impl_program_in_place_clone!();
     }
 
     #[test]
@@ -608,6 +782,38 @@ mod tests {
             sim.step(p);
         }
         assert_eq!(sim.stats(p).recovery_ops, 2);
+    }
+
+    #[test]
+    fn incremental_fingerprint_tracks_full_recompute() {
+        let mut sim = world(&[Role::Writer, Role::Reader]);
+        assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+        for round in 0..3 {
+            for p in [ProcId(0), ProcId(1)] {
+                for _ in 0..4 {
+                    sim.step(p);
+                    assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+                }
+            }
+            if round == 1 {
+                sim.crash(ProcId(0));
+                assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+            }
+        }
+        let clone = sim.clone_world();
+        assert_eq!(clone.fingerprint(), sim.fingerprint());
+        assert_eq!(clone.fingerprint(), clone.fingerprint_full());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_which_process_holds_state() {
+        // Two worlds whose processes have swapped local states must not
+        // collide: per-process signatures are salted by slot index.
+        let mut a = world(&[Role::Reader, Role::Reader]);
+        let mut b = world(&[Role::Reader, Role::Reader]);
+        a.step(ProcId(0)); // a: p0 in Entry, p1 in Remainder
+        b.step(ProcId(1)); // b: p1 in Entry, p0 in Remainder
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use ccsim::{MutualExclusionViolation, Phase, ProcId, Sim, Step};
+use ccsim::{FxBuildHasher, FxHasher, MutualExclusionViolation, Phase, ProcId, Sim, Step};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::error::Error;
@@ -46,9 +46,11 @@ use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 mod artifact;
+mod par;
 mod shrink;
 
 pub use artifact::TraceArtifact;
+pub use par::{explore_par, explore_par_with};
 pub use shrink::{shrink, ShrinkOutcome};
 
 /// One entry of an explored (or replayed) schedule: a normal scheduled
@@ -107,17 +109,25 @@ impl fmt::Display for SchedEntry {
 impl FromStr for SchedEntry {
     type Err = String;
 
+    /// Parse the strict `s<pid>` / `c<pid>` grammar of `artifact.rs`: a
+    /// kind byte followed by one or more ASCII digits, nothing else.
+    /// Tokens with trailing garbage (`"s1x"`) or signs (`"s+1"`, which
+    /// `usize::from_str` alone would admit) are rejected outright.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (kind, num) = s.split_at(1.min(s.len()));
-        let pid: usize = num
+        let err = || format!("bad schedule token {s:?}: expected s<pid> or c<pid>");
+        let (&kind, num) = s.as_bytes().split_first().ok_or_else(err)?;
+        if num.is_empty() || !num.iter().all(|b| b.is_ascii_digit()) {
+            return Err(err());
+        }
+        // All-digits guaranteed above; parse can only fail on overflow.
+        let pid: usize = std::str::from_utf8(num)
+            .expect("ASCII digits are valid UTF-8")
             .parse()
-            .map_err(|_| format!("bad schedule token {s:?}: expected s<pid> or c<pid>"))?;
+            .map_err(|_| err())?;
         match kind {
-            "s" => Ok(SchedEntry::Step(ProcId(pid))),
-            "c" => Ok(SchedEntry::Crash(ProcId(pid))),
-            _ => Err(format!(
-                "bad schedule token {s:?}: expected s<pid> or c<pid>"
-            )),
+            b's' => Ok(SchedEntry::Step(ProcId(pid))),
+            b'c' => Ok(SchedEntry::Crash(ProcId(pid))),
+            _ => Err(err()),
         }
     }
 }
@@ -141,6 +151,20 @@ pub struct CheckConfig {
     /// critical section. Off by default — the regime in which a
     /// non-recoverable lock should still preserve Mutual Exclusion.
     pub crash_in_cs: bool,
+    /// Explore with the pre-optimization discipline: state keys from a
+    /// from-scratch SipHash walk over every variable and every process
+    /// per visited state (instead of the maintained O(1) incremental
+    /// fingerprint), and a freshly allocated world per transition
+    /// (instead of the recycling pool). Off by default.
+    ///
+    /// Kept for two reasons: it is the honest baseline `perf_modelcheck`
+    /// measures the exploration speedup against — exactly how the
+    /// explorer behaved before the incremental fingerprints and the
+    /// world-recycling pool landed — and its keys are an independent
+    /// hash family: an exploration run in each mode must report
+    /// identical [`CheckReport`] counts, which the determinism suite
+    /// uses as a cross-check oracle against fingerprint aliasing.
+    pub full_rehash: bool,
 }
 
 impl Default for CheckConfig {
@@ -151,6 +175,7 @@ impl Default for CheckConfig {
             max_depth: 100_000,
             crash_budget: 0,
             crash_in_cs: false,
+            full_rehash: false,
         }
     }
 }
@@ -238,45 +263,101 @@ pub struct CheckReport {
     pub complete: bool,
 }
 
-/// Quota-aware enabled set: a process may step if it is mid-passage, in
-/// the CS, or idle with passages remaining.
-fn enabled(sim: &Sim, quota: u64) -> Vec<ProcId> {
-    sim.proc_ids()
-        .filter(|&p| match sim.poll(p) {
-            Step::Op(_) | Step::Cs => true,
-            Step::Remainder => sim.stats(p).passages < quota,
-        })
-        .collect()
+impl CheckReport {
+    /// The order-independent counters, for comparing explorations of the
+    /// same world: on a *complete* run every unique configuration is
+    /// expanded exactly once, so these are identical whatever the visit
+    /// order — sequential DFS, [`explore_par`] at any worker count, or
+    /// either [`CheckConfig::full_rehash`] mode. Excludes
+    /// [`CheckReport::max_depth_seen`], which is a discovery-order
+    /// diagnostic (DFS reaches depth along its first branch; a parallel
+    /// run's per-worker depths depend on how jobs were donated).
+    pub fn counts(&self) -> (u64, u64, u64, u64, bool) {
+        (
+            self.states_explored,
+            self.transitions,
+            self.crash_transitions,
+            self.terminal_states,
+            self.complete,
+        )
+    }
 }
 
-/// All schedule entries available in a configuration: one step per
-/// enabled process, plus — while crash budget remains — one crash per
-/// mid-passage process (the CS excluded unless `crash_in_cs`).
-fn entries(sim: &Sim, quota: u64, crashes_left: u32, crash_in_cs: bool) -> Vec<SchedEntry> {
-    let mut out: Vec<SchedEntry> = enabled(sim, quota)
-        .into_iter()
-        .map(SchedEntry::Step)
-        .collect();
-    if crashes_left > 0 {
-        out.extend(
-            sim.proc_ids()
-                .filter(|&p| match sim.phase(p) {
-                    Phase::Remainder => false, // pruned: observably a no-op
-                    Phase::Cs => crash_in_cs,
-                    _ => true,
-                })
-                .map(SchedEntry::Crash),
-        );
+/// Append every schedule entry available in a configuration to `out`:
+/// one step per enabled process (mid-passage, in the CS, or idle with
+/// passages remaining), plus — while crash budget remains — one crash
+/// per mid-passage process (the CS excluded unless `crash_in_cs`).
+///
+/// Appending to a caller-owned scratch buffer instead of returning a
+/// fresh `Vec` is what keeps the explorers allocation-free per state:
+/// the sequential DFS (and each parallel worker) threads one arena
+/// through its whole frame stack, truncating on pop.
+fn push_entries(
+    sim: &Sim,
+    quota: u64,
+    crashes_left: u32,
+    crash_in_cs: bool,
+    out: &mut Vec<SchedEntry>,
+) {
+    for p in sim.proc_ids() {
+        let enabled = match sim.poll(p) {
+            Step::Op(_) | Step::Cs => true,
+            Step::Remainder => sim.stats(p).passages < quota,
+        };
+        if enabled {
+            out.push(SchedEntry::Step(p));
+        }
     }
-    out
+    if crashes_left > 0 {
+        for p in sim.proc_ids() {
+            let crashable = match sim.phase(p) {
+                Phase::Remainder => false, // pruned: observably a no-op
+                Phase::Cs => crash_in_cs,
+                _ => true,
+            };
+            if crashable {
+                out.push(SchedEntry::Crash(p));
+            }
+        }
+    }
 }
 
 /// Fingerprint a configuration *including* per-process passage counts and
 /// the remaining crash budget (two identical memory/pc states differ for
 /// exploration purposes if the remaining quotas or budget differ).
-fn state_key(sim: &Sim, quota: u64, crashes_left: u32) -> u64 {
+///
+/// The fast path (`full_rehash == false`) reads [`Sim::fingerprint`] —
+/// maintained incrementally, O(1) — and folds the quotas through the
+/// in-tree [`FxHasher`]. The baseline path rehashes the entire
+/// configuration with SipHash, exactly as the explorer did before the
+/// incremental fingerprints landed.
+fn state_key(sim: &Sim, quota: u64, crashes_left: u32, full_rehash: bool) -> u64 {
+    if full_rehash {
+        return state_key_full(sim, quota, crashes_left);
+    }
+    let mut h = FxHasher::default();
+    h.write_u64(sim.fingerprint());
+    for p in sim.proc_ids() {
+        h.write_u64(sim.stats(p).passages.min(quota));
+    }
+    h.write_u32(crashes_left);
+    h.finish()
+}
+
+/// The pre-optimization baseline for [`state_key`]: a from-scratch
+/// SipHash (`DefaultHasher`) walk over every variable value and every
+/// process's local state. Being an independent hash family, a run keyed
+/// by this must partition states identically to the incremental path up
+/// to hash collisions — the determinism suite compares the two runs'
+/// [`CheckReport::counts`] as an aliasing oracle.
+fn state_key_full(sim: &Sim, quota: u64, crashes_left: u32) -> u64 {
+    let mut walk = DefaultHasher::new();
+    sim.mem().hash_values(&mut walk);
+    for p in sim.proc_ids() {
+        sim.program(p).fingerprint(&mut walk);
+    }
     let mut h = DefaultHasher::new();
-    sim.fingerprint().hash(&mut h);
+    walk.finish().hash(&mut h);
     for p in sim.proc_ids() {
         sim.stats(p).passages.min(quota).hash(&mut h);
     }
@@ -307,10 +388,15 @@ pub fn explore_with(
     cfg: &CheckConfig,
     invariant: impl Fn(&Sim) -> Result<(), String>,
 ) -> Result<CheckReport, CheckError> {
+    /// A suspended configuration. Its candidate entries live in the
+    /// shared arena at `[next, eend)` (`estart` marks where they began,
+    /// for truncation on pop) — frames own index ranges, not `Vec`s, so
+    /// expanding a state allocates nothing once the arena is warm.
     struct Frame {
         sim: Sim,
-        entries: Vec<SchedEntry>,
+        estart: usize,
         next: usize,
+        eend: usize,
         /// The entry that produced this frame's configuration (`None` for
         /// the root) — used to reconstruct schedules.
         chosen: Option<SchedEntry>,
@@ -318,17 +404,18 @@ pub fn explore_with(
     }
 
     fn schedule_of(stack: &[Frame], last: SchedEntry) -> Vec<SchedEntry> {
-        stack
-            .iter()
-            .filter_map(|f| f.chosen)
-            .chain(std::iter::once(last))
-            .collect()
+        // One exact-size allocation, only ever on the violation path.
+        let mut sched = Vec::with_capacity(stack.len());
+        sched.extend(stack.iter().filter_map(|f| f.chosen));
+        sched.push(last);
+        sched
     }
 
     let root = factory();
     let quota = cfg.passages_per_proc;
-    let mut visited: HashSet<u64> = HashSet::new();
-    visited.insert(state_key(&root, quota, cfg.crash_budget));
+    let full = cfg.full_rehash;
+    let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
+    visited.insert(state_key(&root, quota, cfg.crash_budget, full));
 
     let mut report = CheckReport {
         states_explored: 1,
@@ -339,29 +426,50 @@ pub fn explore_with(
         complete: true,
     };
 
-    let root_entries = entries(&root, quota, cfg.crash_budget, cfg.crash_in_cs);
-    if root_entries.is_empty() {
+    let mut arena: Vec<SchedEntry> = Vec::new();
+    push_entries(&root, quota, cfg.crash_budget, cfg.crash_in_cs, &mut arena);
+    if arena.is_empty() {
         report.terminal_states = 1;
         return Ok(report);
     }
     let mut stack = vec![Frame {
         sim: root,
-        entries: root_entries,
+        estart: 0,
         next: 0,
+        eend: arena.len(),
         chosen: None,
         crashes_left: cfg.crash_budget,
     }];
 
+    // Popped and deduplicated worlds are recycled through this pool:
+    // `clone_world_into` overwrites a spare world in place, so steady-state
+    // branching allocates nothing (see `Sim::clone_world_into`). The
+    // `full_rehash` baseline keeps the pre-optimization discipline — a
+    // fresh allocation per transition — so the measured speedup reflects
+    // the whole optimization, not just the key function.
+    let mut pool: Vec<Sim> = Vec::new();
+
     while let Some(top) = stack.last_mut() {
-        if top.next >= top.entries.len() {
-            stack.pop();
+        if top.next >= top.eend {
+            arena.truncate(top.estart);
+            if let Some(frame) = stack.pop() {
+                if !full {
+                    pool.push(frame.sim);
+                }
+            }
             continue;
         }
-        let entry = top.entries[top.next];
+        let entry = arena[top.next];
         top.next += 1;
         let crashes_left = top.crashes_left - entry.is_crash() as u32;
 
-        let mut child = top.sim.clone_world();
+        let mut child = match pool.pop() {
+            Some(mut spare) => {
+                top.sim.clone_world_into(&mut spare);
+                spare
+            }
+            None => top.sim.clone_world(),
+        };
         entry.apply(&mut child);
         report.transitions += 1;
         report.crash_transitions += entry.is_crash() as u64;
@@ -381,7 +489,10 @@ pub fn explore_with(
             });
         }
 
-        if !visited.insert(state_key(&child, quota, crashes_left)) {
+        if !visited.insert(state_key(&child, quota, crashes_left, full)) {
+            if !full {
+                pool.push(child);
+            }
             continue; // rejoined a known configuration
         }
         report.states_explored += 1;
@@ -389,18 +500,26 @@ pub fn explore_with(
 
         if report.states_explored >= cfg.max_states || stack.len() >= cfg.max_depth {
             report.complete = false;
+            if !full {
+                pool.push(child);
+            }
             continue; // stop deepening; keep scanning siblings
         }
 
-        let child_entries = entries(&child, quota, crashes_left, cfg.crash_in_cs);
-        if child_entries.is_empty() {
+        let estart = arena.len();
+        push_entries(&child, quota, crashes_left, cfg.crash_in_cs, &mut arena);
+        if arena.len() == estart {
             report.terminal_states += 1;
+            if !full {
+                pool.push(child);
+            }
             continue;
         }
         stack.push(Frame {
             sim: child,
-            entries: child_entries,
-            next: 0,
+            estart,
+            next: estart,
+            eend: arena.len(),
             chosen: Some(entry),
             crashes_left,
         });
@@ -688,5 +807,20 @@ mod tests {
         assert!("x3".parse::<SchedEntry>().is_err());
         assert!("s".parse::<SchedEntry>().is_err());
         assert!("".parse::<SchedEntry>().is_err());
+    }
+
+    #[test]
+    fn sched_entry_rejects_trailing_garbage_and_loose_integer_forms() {
+        // `usize::from_str` alone would admit "+1"; a prefix-based parse
+        // would admit "s1x". The grammar is strictly kind + digits.
+        for bad in [
+            "s1x", "c2 ", " s1", "s+1", "c-0", "s0x7", "s1c2", "s١", // Arabic-Indic digit
+            "sß", "c", "ss1",
+        ] {
+            assert!(
+                bad.parse::<SchedEntry>().is_err(),
+                "token {bad:?} must be rejected"
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! keep to sizes that finish quickly in debug builds.
 
 use ccsim::Protocol;
-use modelcheck::{explore, replay, CheckConfig, CheckError};
+use modelcheck::{explore, explore_par, replay, CheckConfig, CheckError};
 use rwcore::{af_world, af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
 fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn() -> ccsim::Sim {
@@ -26,12 +26,15 @@ fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn(
 
 #[test]
 fn af_2readers_1writer_exhaustively_safe() {
-    let report = explore(
+    // `workers: 0` sizes the pool to the host; counts are identical at
+    // any worker count (see `par_determinism.rs`).
+    let report = explore_par(
         af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
         &CheckConfig {
             passages_per_proc: 1,
             ..Default::default()
         },
+        0,
     )
     .expect("A_f n=2 m=1 must be safe");
     assert!(report.complete, "state space must be exhausted");
@@ -44,12 +47,13 @@ fn af_2readers_1writer_exhaustively_safe() {
 
 #[test]
 fn af_2readers_2writers_exhaustively_safe() {
-    let report = explore(
+    let report = explore_par(
         af_factory(2, 2, FPolicy::One, HelpOrder::WaitersFirst),
         &CheckConfig {
             passages_per_proc: 1,
             ..Default::default()
         },
+        0,
     )
     .expect("A_f n=2 m=2 must be safe");
     assert!(report.complete);
@@ -160,13 +164,14 @@ fn cas_loop_counter_variant_is_safe() {
 /// n=2, m=1 with a one-crash adversary.
 #[test]
 fn af_crash_augmented_exploration_is_safe() {
-    let report = explore(
+    let report = explore_par(
         af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
         &CheckConfig {
             passages_per_proc: 1,
             crash_budget: 1,
             ..Default::default()
         },
+        0,
     )
     .expect("crashes outside the CS must not break A_f's mutual exclusion");
     assert!(report.complete, "crash-augmented space must be exhausted");
@@ -200,7 +205,7 @@ fn waiters_first_survives_capped_n3_exploration() {
 #[test]
 fn gated_variant_is_safe() {
     for (n, m) in [(2usize, 1usize), (2, 2)] {
-        let report = explore(
+        let report = explore_par(
             || {
                 rwcore::gated_af_world(
                     AfConfig {
@@ -216,6 +221,7 @@ fn gated_variant_is_safe() {
                 passages_per_proc: 1,
                 ..Default::default()
             },
+            0,
         )
         .unwrap_or_else(|e| panic!("gated n={n} m={m}: {e}"));
         assert!(report.complete, "n={n} m={m}");

@@ -129,6 +129,8 @@ impl GatedReaderSim {
 }
 
 impl Program for GatedReaderSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         if self.at_gate {
             Step::Op(Op::Read(self.gate))
@@ -212,6 +214,8 @@ impl GatedWriterSim {
 }
 
 impl Program for GatedWriterSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match self.pc {
             GatePc::Raise => Step::Op(Op::write(self.gate, 1)),

@@ -166,7 +166,7 @@ impl RPc {
 }
 
 /// A simulated `A_f` reader process (lines 29–49).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct AfReaderSim {
     shared: Arc<AfShared>,
     /// This reader's id (`0..n`) and group slot.
@@ -175,6 +175,34 @@ pub struct AfReaderSim {
     c_handle: GroupHandle,
     w_handle: GroupHandle,
     pc: RPc,
+}
+
+/// Manual `Clone` so `clone_from` (the model checker's recycling-pool hot
+/// path, see [`ccsim::Sim::clone_world_into`]) skips the `Arc` refcount
+/// round-trip when source and destination already share the same world —
+/// which the pool guarantees — leaving a plain field copy.
+impl Clone for AfReaderSim {
+    fn clone(&self) -> Self {
+        AfReaderSim {
+            shared: Arc::clone(&self.shared),
+            id: self.id,
+            slot: self.slot,
+            c_handle: self.c_handle.clone(),
+            w_handle: self.w_handle.clone(),
+            pc: self.pc.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        if !Arc::ptr_eq(&self.shared, &src.shared) {
+            self.shared = Arc::clone(&src.shared);
+        }
+        self.id = src.id;
+        self.slot = src.slot;
+        self.c_handle = src.c_handle.clone();
+        self.w_handle = src.w_handle.clone();
+        self.pc = src.pc.clone();
+    }
 }
 
 impl AfReaderSim {
@@ -215,6 +243,8 @@ impl AfReaderSim {
 }
 
 impl Program for AfReaderSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match &self.pc {
             RPc::Remainder => Step::Remainder,
@@ -483,7 +513,7 @@ impl WPc {
 }
 
 /// A simulated `A_f` writer process (lines 5–28).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct AfWriterSim {
     shared: Arc<AfShared>,
     id: usize,
@@ -491,6 +521,29 @@ pub struct AfWriterSim {
     /// Set by a crash; the next passage starts with the recovery section
     /// (the RME model lets a restarted process know it is recovering).
     recover: bool,
+}
+
+/// Manual `Clone` for the same reason as [`AfReaderSim`]'s: `clone_from`
+/// in the model checker's recycling pool must not touch the shared-world
+/// `Arc` refcount when both sides already point at the same world.
+impl Clone for AfWriterSim {
+    fn clone(&self) -> Self {
+        AfWriterSim {
+            shared: Arc::clone(&self.shared),
+            id: self.id,
+            pc: self.pc.clone(),
+            recover: self.recover,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        if !Arc::ptr_eq(&self.shared, &src.shared) {
+            self.shared = Arc::clone(&src.shared);
+        }
+        self.id = src.id;
+        self.pc = src.pc.clone();
+        self.recover = src.recover;
+    }
 }
 
 impl AfWriterSim {
@@ -548,6 +601,8 @@ impl AfWriterSim {
 }
 
 impl Program for AfWriterSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match &self.pc {
             WPc::Remainder => Step::Remainder,

@@ -67,6 +67,8 @@ impl CentralReaderSim {
 }
 
 impl Program for CentralReaderSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match self.pc {
             CrPc::Remainder => Step::Remainder,
@@ -176,6 +178,8 @@ impl CentralWriterSim {
 }
 
 impl Program for CentralWriterSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match self.pc {
             CwPc::Remainder => Step::Remainder,
@@ -283,6 +287,8 @@ impl FaaReaderSim {
 }
 
 impl Program for FaaReaderSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match self.pc {
             FrPc::Remainder => Step::Remainder,
@@ -396,6 +402,8 @@ impl FaaWriterSim {
 }
 
 impl Program for FaaWriterSim {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match &self.pc {
             FwPc::Remainder => Step::Remainder,

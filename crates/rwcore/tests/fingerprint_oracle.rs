@@ -1,0 +1,67 @@
+//! Aliasing oracle for the A_f step machines' 64-bit digests (PR 3).
+//!
+//! `rwcore`'s programs use the default [`ccsim::Program::fingerprint64`]
+//! — an FxHash walk over the same state that `fingerprint` hashes. The
+//! model checker's incremental state keys stand on that digest, so two
+//! distinct local states collapsing to one digest would silently merge
+//! model-checker states. This test pairs each digest with an independent
+//! SipHash walk of the same state across long random crashy executions
+//! and demands the mapping stays 1:1 in both directions.
+
+use ccsim::{Phase, Prng, ProcId, Protocol};
+use rwcore::{af_world, AfConfig, FPolicy};
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hasher};
+
+#[test]
+fn default_fingerprint64_is_one_to_one_with_an_independent_hash_walk() {
+    let mut fx_to_sip: HashMap<u64, u64> = HashMap::new();
+    let mut sip_to_fx: HashMap<u64, u64> = HashMap::new();
+    let mut distinct = 0usize;
+
+    for (pi, policy) in [FPolicy::One, FPolicy::Linear].into_iter().enumerate() {
+        let cfg = AfConfig {
+            readers: 3,
+            writers: 2,
+            policy,
+        };
+        let mut sim = af_world(cfg, Protocol::WriteBack).sim;
+        let n = sim.n_procs();
+        let mut rng = Prng::new(0x0f_0c1e + pi as u64);
+        for step in 0..12_000 {
+            let p = ProcId(rng.below(n));
+            if step % 151 == 150 && sim.phase(p) != Phase::Remainder {
+                sim.crash(p);
+            } else {
+                sim.step(p);
+            }
+            for q in sim.proc_ids() {
+                let prog = sim.program(q);
+                let fx = prog.fingerprint64();
+                let mut sip = DefaultHasher::new();
+                prog.fingerprint(&mut sip);
+                let sip = sip.finish();
+                match fx_to_sip.insert(fx, sip) {
+                    None => distinct += 1,
+                    Some(prev) => assert_eq!(
+                        prev, sip,
+                        "fingerprint64 {fx:#x} aliases two local states the \
+                         SipHash walk separates ({policy:?}, {q})"
+                    ),
+                }
+                if let Some(prev) = sip_to_fx.insert(sip, fx) {
+                    assert_eq!(
+                        prev, fx,
+                        "one local state produced two fingerprint64 digests \
+                         ({policy:?}, {q}) — the digest is not a pure function \
+                         of the hashed state"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        distinct > 50,
+        "executions explored too few distinct local states: {distinct}"
+    );
+}

@@ -14,12 +14,32 @@ struct SimNode {
 /// Shared-memory descriptor of a simulated m-process tournament mutex.
 /// Cheap to clone; every competing process holds a clone inside its
 /// machines.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SimTournament {
     m: usize,
     width: usize,
     /// Internal nodes, heap indices `1..width` (slot 0 is a dummy).
     nodes: Vec<SimNode>,
+}
+
+/// Manual `Clone` so `clone_from` reuses the node `Vec`'s allocation —
+/// every [`MutexClient`] carries a copy, and the model checker's
+/// recycling pool (see [`ccsim::Sim::clone_world_into`]) overwrites it
+/// millions of times per exploration.
+impl Clone for SimTournament {
+    fn clone(&self) -> Self {
+        SimTournament {
+            m: self.m,
+            width: self.width,
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.m = src.m;
+        self.width = src.width;
+        self.nodes.clone_from(&src.nodes);
+    }
 }
 
 impl SimTournament {
@@ -115,6 +135,18 @@ impl EnterMachine {
             EnterPc::WriteFlag { lvl: lvl + 1 }
         }
     }
+
+    /// Injective word encoding of the pc — the dynamic state is one of
+    /// five variants plus a level index (< 64 for any conceivable `m`).
+    fn pc_code(&self) -> u64 {
+        match self.pc {
+            EnterPc::WriteFlag { lvl } => (lvl as u64) << 3,
+            EnterPc::WriteTurn { lvl } => 1 | ((lvl as u64) << 3),
+            EnterPc::ReadRival { lvl } => 2 | ((lvl as u64) << 3),
+            EnterPc::ReadTurn { lvl } => 3 | ((lvl as u64) << 3),
+            EnterPc::Done => 4,
+        }
+    }
 }
 
 impl SubMachine for EnterMachine {
@@ -183,6 +215,16 @@ pub struct ExitMachine {
     pc: ExitPc,
 }
 
+impl ExitMachine {
+    /// Injective word encoding of the pc (see [`EnterMachine::pc_code`]).
+    fn pc_code(&self) -> u64 {
+        match self.pc {
+            ExitPc::Clear { idx } => (idx as u64) << 1,
+            ExitPc::Done => 1,
+        }
+    }
+}
+
 impl SubMachine for ExitMachine {
     fn poll(&self) -> SubStep {
         match self.pc {
@@ -210,7 +252,7 @@ impl SubMachine for ExitMachine {
 /// A complete simulated mutex client: repeatedly acquires the tournament
 /// lock, occupies the CS, and releases. Used to measure the `O(log m)`
 /// writer-side RMR bound (experiment E6) and to model-check the mutex.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct MutexClient {
     mutex: SimTournament,
     id: usize,
@@ -218,12 +260,61 @@ pub struct MutexClient {
     state: ClientState,
 }
 
-#[derive(Clone, Debug)]
+/// Manual `Clone` forwarding `clone_from` to [`SimTournament`]'s
+/// allocation-reusing one (the recycling-pool hot path).
+impl Clone for MutexClient {
+    fn clone(&self) -> Self {
+        MutexClient {
+            mutex: self.mutex.clone(),
+            id: self.id,
+            role: self.role,
+            state: self.state.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.mutex.clone_from(&src.mutex);
+        self.id = src.id;
+        self.role = src.role;
+        self.state.clone_from(&src.state);
+    }
+}
+
+#[derive(Debug)]
 enum ClientState {
     Remainder,
     Entering(EnterMachine),
     Cs,
     Exiting(ExitMachine),
+}
+
+/// Manual `Clone` so same-variant `clone_from` reuses the contained
+/// machine's path `Vec` (processes spend most explored configurations
+/// mid-entry or mid-exit, so this is the common case in the recycling
+/// pool).
+impl Clone for ClientState {
+    fn clone(&self) -> Self {
+        match self {
+            ClientState::Remainder => ClientState::Remainder,
+            ClientState::Entering(m) => ClientState::Entering(m.clone()),
+            ClientState::Cs => ClientState::Cs,
+            ClientState::Exiting(m) => ClientState::Exiting(m.clone()),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        match (self, src) {
+            (ClientState::Entering(dst), ClientState::Entering(s)) => {
+                dst.path.clone_from(&s.path);
+                dst.pc = s.pc;
+            }
+            (ClientState::Exiting(dst), ClientState::Exiting(s)) => {
+                dst.path.clone_from(&s.path);
+                dst.pc = s.pc;
+            }
+            (slot, s) => *slot = s.clone(),
+        }
+    }
 }
 
 impl MutexClient {
@@ -247,6 +338,8 @@ impl MutexClient {
 }
 
 impl Program for MutexClient {
+    ccsim::impl_program_in_place_clone!();
+
     fn poll(&self) -> Step {
         match &self.state {
             ClientState::Remainder => Step::Remainder,
@@ -323,6 +416,21 @@ impl Program for MutexClient {
             }
         }
     }
+
+    /// Fast path for the simulator's incremental configuration
+    /// fingerprint: the whole dynamic state (state tag + nested machine
+    /// pc) packs injectively into one word, so skip the hasher walk
+    /// entirely. Covers exactly the state [`Program::fingerprint`] hashes
+    /// (`mutex`/`id`/`role` are construction-time constants).
+    fn fingerprint64(&self) -> u64 {
+        let code = match &self.state {
+            ClientState::Remainder => 0,
+            ClientState::Entering(m) => 1 | (m.pc_code() << 2),
+            ClientState::Cs => 2,
+            ClientState::Exiting(m) => 3 | (m.pc_code() << 2),
+        };
+        ccsim::mix64(code)
+    }
 }
 
 /// Build a ready-to-run world of `m` mutex clients sharing one tournament
@@ -397,6 +505,41 @@ mod tests {
             ..Default::default()
         };
         run_round_robin(&mut sim, &cfg).unwrap();
+    }
+
+    #[test]
+    fn fast_fingerprint64_never_aliases_states_the_hash_walk_separates() {
+        // The hand-rolled `fingerprint64` must be a function of exactly
+        // the state `fingerprint` hashes: associate each fast digest with
+        // the full hasher-walk digest and demand the mapping stays 1:1
+        // across a long random execution (including crashes).
+        use std::collections::HashMap;
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        let mut sim = mutex_world(3, Protocol::WriteBack);
+        let mut rng = Prng::new(0xfa57_f1e1);
+        let mut distinct = 0usize;
+        for i in 0..6000 {
+            let p = ProcId(rng.below(3));
+            if i % 97 == 96 {
+                sim.crash(p);
+            } else {
+                sim.step(p);
+            }
+            for q in 0..3 {
+                let prog = sim.program(ProcId(q));
+                let mut h = ccsim::FxHasher::default();
+                prog.fingerprint(&mut h);
+                let walk = h.finish();
+                match seen.insert(prog.fingerprint64(), walk) {
+                    None => distinct += 1,
+                    Some(prev) => assert_eq!(
+                        prev, walk,
+                        "fingerprint64 aliased two states the walk separates"
+                    ),
+                }
+            }
+        }
+        assert!(distinct > 10, "execution explored too few distinct states");
     }
 
     #[test]

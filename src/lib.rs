@@ -61,8 +61,8 @@ pub use knowledge::{
     analyze_trace, run_lower_bound, AdversarySetup, KnowledgeTracker, LowerBoundReport, ProcSet,
 };
 pub use modelcheck::{
-    bounded_exit_invariant, explore, explore_with, replay, shrink, CheckConfig, CheckError,
-    CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
+    bounded_exit_invariant, explore, explore_par, explore_par_with, explore_with, replay, shrink,
+    CheckConfig, CheckError, CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
 };
 pub use rwcore::{
     af_world, af_world_with_order, centralized_world, faa_world, gated_af_world, mutex_rw_world,

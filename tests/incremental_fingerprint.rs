@@ -1,0 +1,107 @@
+//! Oracle tests for the incrementally-maintained configuration
+//! fingerprint (PR 3): after *every* transition — steps, failed steps,
+//! and crashes, under all three coherence protocols — the O(1) Zobrist
+//! fingerprint must equal the from-scratch [`Sim::fingerprint_full`]
+//! recompute. Debug builds assert this inside `fingerprint()` itself;
+//! this suite makes the contract explicit (and keeps it checked in
+//! release, where those debug asserts compile out).
+
+use rwlock_repro::*;
+
+fn seed_offset() -> u64 {
+    match std::env::var("RANDOMIZED_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("RANDOMIZED_SEED must be a u64, got {s:?}")),
+        Err(_) => 0,
+    }
+}
+
+/// Drive `sim` through `steps` random scheduler choices, occasionally
+/// crashing a process that is mid-passage, asserting the maintained
+/// fingerprint against the full recompute after every transition.
+fn walk_and_check(mut sim: Sim, steps: usize, rng: &mut Prng, label: &str) {
+    let n = sim.n_procs();
+    for i in 0..steps {
+        let p = ProcId(rng.below(n));
+        // Roughly 1-in-16 transitions is a crash, when permitted: the RME
+        // model only crashes processes outside their remainder section.
+        if rng.below(16) == 0 && sim.phase(p) != Phase::Remainder {
+            sim.crash(p);
+        } else {
+            sim.step(p);
+        }
+        assert_eq!(
+            sim.fingerprint(),
+            sim.fingerprint_full(),
+            "{label}: maintained fingerprint diverged after transition {i} \
+             (process {p})"
+        );
+    }
+    // A forked world carries the maintained signatures with it.
+    let fork = sim.clone_world();
+    assert_eq!(fork.fingerprint(), sim.fingerprint());
+    assert_eq!(fork.fingerprint(), fork.fingerprint_full());
+}
+
+#[test]
+fn af_walks_keep_incremental_fingerprint_exact_under_all_protocols() {
+    let mut gen = Prng::new(0x0f19_e4af + seed_offset());
+    for protocol in [Protocol::WriteThrough, Protocol::WriteBack, Protocol::Dsm] {
+        for _case in 0..8 {
+            let cfg = AfConfig {
+                readers: 1 + gen.below(4),
+                writers: 1 + gen.below(2),
+                policy: [FPolicy::One, FPolicy::LogN, FPolicy::Linear][gen.below(3)],
+            };
+            let world = af_world(cfg, protocol);
+            let mut rng = Prng::new(gen.next_u64());
+            walk_and_check(
+                world.sim,
+                600,
+                &mut rng,
+                &format!("A_f {cfg:?} under {protocol:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tournament_walks_keep_incremental_fingerprint_exact_under_all_protocols() {
+    let mut gen = Prng::new(0x0f19_e907 + seed_offset());
+    for protocol in [Protocol::WriteThrough, Protocol::WriteBack, Protocol::Dsm] {
+        for m in [2usize, 3, 5] {
+            let sim = wmutex::mutex_world(m, protocol);
+            let mut rng = Prng::new(gen.next_u64());
+            walk_and_check(
+                sim,
+                800,
+                &mut rng,
+                &format!("tournament m={m} under {protocol:?}"),
+            );
+        }
+    }
+}
+
+/// The fingerprint is a pure function of the schedule: replaying the
+/// identical entry sequence from a fresh world reproduces it exactly.
+#[test]
+fn fingerprint_is_deterministic_across_replays() {
+    let factory = || af_world(AfConfig::new(2, 1), Protocol::WriteBack).sim;
+    let mut sim = factory();
+    let mut rng = Prng::new(0x0f19_ede7 + seed_offset());
+    let mut schedule = Vec::new();
+    for _ in 0..300 {
+        let p = ProcId(rng.below(sim.n_procs()));
+        let entry = if rng.below(16) == 0 && sim.phase(p) != Phase::Remainder {
+            SchedEntry::Crash(p)
+        } else {
+            SchedEntry::Step(p)
+        };
+        entry.apply(&mut sim);
+        schedule.push(entry);
+    }
+    let replayed = replay(factory, &schedule);
+    assert_eq!(replayed.fingerprint(), sim.fingerprint());
+    assert_eq!(replayed.fingerprint(), replayed.fingerprint_full());
+}

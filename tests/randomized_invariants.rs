@@ -153,6 +153,37 @@ fn af_random_schedules_with_crashes_keep_mx() {
     }
 }
 
+/// The parallel explorer exhausts the one-crash space of randomly drawn
+/// small configurations without finding an MX violation, and agrees with
+/// the sequential explorer's counts on each of them — the randomized
+/// counterpart of the fixed-world determinism suite in
+/// `crates/modelcheck/tests/par_determinism.rs`.
+#[test]
+fn af_random_configs_exhaust_crash_space_in_parallel() {
+    let mut gen = Prng::new(0xaf_09a7 + seed_offset());
+    for _case in 0..3 {
+        // Keep to n=2, m=1 shapes (larger spaces belong to release-mode
+        // benches); the policy still varies the f-array layout.
+        let cfg = AfConfig {
+            readers: 2,
+            writers: 1,
+            policy: [FPolicy::One, FPolicy::LogN, FPolicy::Linear][gen.below(3)],
+        };
+        let check = CheckConfig {
+            passages_per_proc: 1,
+            crash_budget: 1,
+            ..Default::default()
+        };
+        let factory = move || af_world(cfg, Protocol::WriteBack).sim;
+        let seq = explore(factory, &check).unwrap_or_else(|e| panic!("sequential {cfg:?}: {e}"));
+        assert!(seq.complete, "{cfg:?}: crash space must be exhausted");
+        let par =
+            explore_par(factory, &check, 0).unwrap_or_else(|e| panic!("parallel {cfg:?}: {e}"));
+        assert_eq!(seq.counts(), par.counts(), "{cfg:?}");
+        assert!(par.crash_transitions > 0, "{cfg:?}: adversary never struck");
+    }
+}
+
 /// Awareness sets are monotone under any step sequence (Observation 1)
 /// and familiarity never exceeds the process universe.
 #[test]
