@@ -1,75 +1,14 @@
-//! E2 — Lemma 17 (writer side): writer passages incur `Θ(f(n))` RMRs.
+//! Thin wrapper over the registry module `e2_writer_rmr` (see
+//! [`bench::experiments`]): runs the full sweep and exits nonzero if
+//! any structured check fails. Kept so documented invocations and
+//! `results/` provenance keep working; the unified driver is
+//! `cargo run --release -p bench --bin experiments`.
 //!
-//! Measures complete writer passages in the simulator under both coherence
-//! protocols: solo from cold caches, and after all `n` readers have
-//! passed (counters resident in reader caches). The `RMR / f` column
-//! should stay near a constant per policy as `n` grows.
-//!
-//! Each `(n, policy, protocol)` config is an independent simulation, so
-//! the sweep fans out across cores via [`bench::par::par_map`]; the table
-//! is printed from in-order results and is byte-identical to a
-//! sequential run.
-
-use bench::par::par_map;
-use bench::{measure_af, standard_sweep, Table};
-use ccsim::Protocol;
-use rwcore::AfConfig;
+//! The historical `BENCH_E2_SMOKE` env hack still selects the smoke
+//! sweep (it predates `experiments --smoke`; see CHANGELOG for the
+//! migration note).
 
 fn main() {
-    // CI smoke mode: one small config per protocol instead of the full
-    // sweep, so the workflow exercises the whole measurement path in
-    // seconds.
-    let sweep = if std::env::var_os("BENCH_E2_SMOKE").is_some() {
-        vec![(16usize, rwcore::FPolicy::One)]
-    } else {
-        standard_sweep()
-    };
-    let configs: Vec<(Protocol, usize, rwcore::FPolicy)> =
-        [Protocol::WriteBack, Protocol::WriteThrough]
-            .into_iter()
-            .flat_map(|protocol| sweep.iter().map(move |&(n, policy)| (protocol, n, policy)))
-            .collect();
-    let samples = par_map(&configs, |&(protocol, n, policy)| {
-        measure_af(
-            AfConfig {
-                readers: n,
-                writers: 1,
-                policy,
-            },
-            protocol,
-        )
-    });
-
-    for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
-        let mut table = Table::new([
-            "n",
-            "f policy",
-            "groups f",
-            "writer solo RMR",
-            "solo/f",
-            "writer post-readers RMR",
-            "post/f",
-        ]);
-        for ((p, n, policy), s) in configs.iter().zip(&samples) {
-            if *p != protocol {
-                continue;
-            }
-            table.row([
-                n.to_string(),
-                policy.to_string(),
-                s.groups.to_string(),
-                s.writer_solo_rmrs.to_string(),
-                format!("{:.1}", s.writer_solo_rmrs as f64 / s.groups as f64),
-                s.writer_post_reader_rmrs.to_string(),
-                format!("{:.1}", s.writer_post_reader_rmrs as f64 / s.groups as f64),
-            ]);
-        }
-        println!("E2 — writer passage RMRs, {protocol:?} protocol\n");
-        table.print();
-        println!();
-    }
-    println!(
-        "Expected shape: RMR/f is a small constant (the per-group loop body)\n\
-         independent of n — writer cost is Θ(f(n)) per Lemma 17."
-    );
+    let smoke = std::env::var_os("BENCH_E2_SMOKE").is_some();
+    bench::exp::run_as_bin("e2_writer_rmr", smoke);
 }

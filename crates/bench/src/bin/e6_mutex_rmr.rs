@@ -1,38 +1,9 @@
-//! E6 — the `WL` substrate: tournament mutex passages incur `Θ(log m)`
-//! RMRs (the writer-side floor implied by Corollary 7).
-
-use bench::{log2, measure_mutex, Table};
-use ccsim::Protocol;
+//! Thin wrapper over the registry module `e6_mutex_rmr` (see
+//! [`bench::experiments`]): runs the full sweep and exits nonzero if
+//! any structured check fails. Kept so documented invocations and
+//! `results/` provenance keep working; the unified driver is
+//! `cargo run --release -p bench --bin experiments`.
 
 fn main() {
-    for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
-        let mut table = Table::new([
-            "m",
-            "levels",
-            "solo RMR",
-            "solo/levels",
-            "contended max RMR",
-            "contended/levels",
-        ]);
-        for m in [2usize, 4, 8, 16, 32, 64, 128, 256] {
-            let s = measure_mutex(m, protocol);
-            let lv = s.levels.max(1) as f64;
-            table.row([
-                m.to_string(),
-                s.levels.to_string(),
-                s.solo_rmrs.to_string(),
-                format!("{:.1}", s.solo_rmrs as f64 / lv),
-                s.contended_max_rmrs.to_string(),
-                format!("{:.1}", s.contended_max_rmrs as f64 / lv),
-            ]);
-        }
-        println!("E6 — tournament mutex passage RMRs, {protocol:?} protocol\n");
-        table.print();
-        println!();
-    }
-    println!(
-        "Expected shape: RMR/levels stays near a constant — Θ(log m) per\n\
-         passage (levels = ceil(log2 m) = {:.0} at m = 256).",
-        log2(256.0)
-    );
+    bench::exp::run_as_bin("e6_mutex_rmr", false);
 }

@@ -1,0 +1,24 @@
+//! The unified experiment driver: runs registered experiments (see
+//! [`bench::experiments`]), renders structured reports, and gates them
+//! against the goldens under `results/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- --list
+//! cargo run --release -p bench --bin experiments -- --check
+//! cargo run --release -p bench --bin experiments -- --smoke --check
+//! cargo run --release -p bench --bin experiments -- --filter e2,e15 --bless
+//! ```
+
+fn main() {
+    let opts = match bench::exp::parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", bench::exp::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+    std::process::exit(bench::exp::cli_main(&opts));
+}

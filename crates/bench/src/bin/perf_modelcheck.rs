@@ -1,165 +1,9 @@
-//! Perf smoke test for the model checker (PR 3): states/sec of the
-//! exhaustive explorer across its three operating points —
-//!
-//! 1. **`full_rehash` baseline** — the pre-PR-3 state keys: a SipHash
-//!    walk over every shared variable and every process's local state,
-//!    per state.
-//! 2. **Incremental fingerprints** — the O(1) Zobrist keys maintained by
-//!    [`ccsim::Sim`] per transition, sequential explorer.
-//! 3. **Parallel explorer** — [`modelcheck::explore_par`] with the host's
-//!    worker pool over the same incremental keys.
-//!
-//! All three runs must report byte-identical state counts (two
-//! independent hash families agreeing is the aliasing oracle; the
-//! parallel explorer is exactly-once by construction). Results go to
-//! `BENCH_modelcheck.json` (override with `BENCH_MODELCHECK_OUT`); the
-//! worker pool respects `BENCH_THREADS`.
-//!
-//! The run closes with the *previously infeasible* instance: the
-//! two-crash adversary against `A_f` n=2 m=1 — 8.75M states, past the
-//! checker's default 5M cap and far past what the allocation-heavy
-//! full-rehash explorer finished in reasonable time — exhausted to
-//! completion.
-//!
-//! Floors (release builds): incremental keys ≥ 2× the full-rehash
-//! baseline at workers = 1, and the parallel explorer ≥ 3× the
-//! full-rehash baseline when the pool has ≥ 4 workers.
-
-use bench::par;
-use ccsim::Protocol;
-use modelcheck::{explore, explore_par, CheckConfig, CheckReport};
-use rwcore::{af_world, AfConfig, FPolicy};
-use std::time::Instant;
-
-const SAMPLES: usize = 5;
-
-fn af_factory(crash_budget: u32) -> (impl Fn() -> ccsim::Sim + Sync, CheckConfig) {
-    let cfg = AfConfig {
-        readers: 2,
-        writers: 1,
-        policy: FPolicy::One,
-    };
-    let check = CheckConfig {
-        passages_per_proc: 1,
-        crash_budget,
-        max_states: 50_000_000,
-        ..Default::default()
-    };
-    (move || af_world(cfg, Protocol::WriteBack).sim, check)
-}
-
-/// One timed run of an exploration mode.
-fn timed(mut run: impl FnMut() -> CheckReport) -> (f64, CheckReport) {
-    let start = Instant::now();
-    let report = run();
-    (start.elapsed().as_secs_f64(), report)
-}
+//! Thin wrapper over the registry module `perf_modelcheck` (see
+//! [`bench::experiments`]): runs the full sweep and exits nonzero if
+//! any structured check fails. Kept so documented invocations and
+//! `results/` provenance keep working; the unified driver is
+//! `cargo run --release -p bench --bin experiments`.
 
 fn main() {
-    let workers = par::worker_count(usize::MAX);
-    let (factory, check) = af_factory(1);
-
-    // Best-of-SAMPLES per mode, with the modes *interleaved* round-robin:
-    // a noisy-neighbor phase on a shared host then penalises every mode
-    // equally instead of skewing whichever one it happened to overlap.
-    let full_cfg = CheckConfig {
-        full_rehash: true,
-        ..check.clone()
-    };
-    let (mut full_secs, mut inc_secs, mut par_secs) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    let (mut full_report, mut inc_report, mut par_report) = (None, None, None);
-    for _ in 0..SAMPLES {
-        // 1. Baseline: SipHash full-walk keys, sequential.
-        let (s, r) = timed(|| explore(&factory, &full_cfg).expect("A_f crash space is safe"));
-        full_secs = full_secs.min(s);
-        full_report = Some(r);
-        // 2. Incremental Zobrist keys, sequential.
-        let (s, r) = timed(|| explore(&factory, &check).expect("A_f crash space is safe"));
-        inc_secs = inc_secs.min(s);
-        inc_report = Some(r);
-        // 3. Incremental keys, parallel explorer.
-        let (s, r) =
-            timed(|| explore_par(&factory, &check, workers).expect("A_f crash space is safe"));
-        par_secs = par_secs.min(s);
-        par_report = Some(r);
-    }
-    let (full_report, inc_report, par_report) = (
-        full_report.expect("SAMPLES >= 1"),
-        inc_report.expect("SAMPLES >= 1"),
-        par_report.expect("SAMPLES >= 1"),
-    );
-
-    assert!(full_report.complete && inc_report.complete && par_report.complete);
-    assert_eq!(
-        full_report.counts(),
-        inc_report.counts(),
-        "incremental keys and the SipHash walk partition the space differently"
-    );
-    assert_eq!(inc_report.counts(), par_report.counts());
-
-    let states = inc_report.states_explored as f64;
-    let full_sps = states / full_secs;
-    let inc_sps = states / inc_secs;
-    let par_sps = states / par_secs;
-    let inc_speedup = inc_sps / full_sps;
-    let par_speedup = par_sps / full_sps;
-    println!(
-        "A_f n=2 m=1 crash_budget=1 ({} states)\n\
-         full-rehash  {full_sps:>12.0} states/s\n\
-         incremental  {inc_sps:>12.0} states/s   {inc_speedup:>6.2}x\n\
-         parallel({workers:>2}) {par_sps:>12.0} states/s   {par_speedup:>6.2}x",
-        inc_report.states_explored,
-    );
-
-    // 4. The previously infeasible instance, once, with the full pool.
-    let (big_factory, big_check) = af_factory(2);
-    let start = Instant::now();
-    let big = explore_par(&big_factory, &big_check, workers).expect("A_f two-crash space is safe");
-    let big_secs = start.elapsed().as_secs_f64();
-    assert!(big.complete, "the two-crash space must be exhausted");
-    assert!(
-        big.states_explored > 5_000_000,
-        "the instance must exceed the checker's default state cap"
-    );
-    let big_sps = big.states_explored as f64 / big_secs;
-    println!(
-        "A_f n=2 m=1 crash_budget=2 ({} states, previously infeasible): \
-         exhausted in {big_secs:.1}s, {big_sps:.0} states/s",
-        big.states_explored
-    );
-
-    let unix_secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let json = format!(
-        "{{\n  \"experiment\": \"perf_modelcheck\",\n  \"unix_timestamp\": {unix_secs},\n  \
-         \"workers\": {workers},\n  \"samples\": {SAMPLES},\n  \"workload\": \
-         \"A_f n=2 m=1 passages=1 crash_budget=1 writeback\",\n  \"states\": {},\n  \
-         \"full_rehash_states_per_sec\": {full_sps:.0},\n  \
-         \"incremental_states_per_sec\": {inc_sps:.0},\n  \
-         \"parallel_states_per_sec\": {par_sps:.0},\n  \
-         \"incremental_speedup\": {inc_speedup:.2},\n  \
-         \"parallel_speedup\": {par_speedup:.2},\n  \"infeasible_instance\": {{\n    \
-         \"workload\": \"A_f n=2 m=1 passages=1 crash_budget=2 writeback\",\n    \
-         \"states\": {},\n    \"seconds\": {big_secs:.1},\n    \
-         \"states_per_sec\": {big_sps:.0},\n    \"complete\": {}\n  }}\n}}\n",
-        inc_report.states_explored, big.states_explored, big.complete
-    );
-    let path = std::env::var("BENCH_MODELCHECK_OUT")
-        .unwrap_or_else(|_| "BENCH_modelcheck.json".to_string());
-    std::fs::write(&path, &json).expect("write benchmark results");
-    println!("\nwrote {path}");
-
-    assert!(
-        inc_speedup >= 2.0,
-        "incremental fingerprints regressed below 2x the full-rehash baseline: {inc_speedup:.2}x"
-    );
-    // The parallel floor only binds where there is parallelism to win.
-    if workers >= 4 {
-        assert!(
-            par_speedup >= 3.0,
-            "parallel explorer below 3x the baseline with {workers} workers: {par_speedup:.2}x"
-        );
-    }
+    bench::exp::run_as_bin("perf_modelcheck", false);
 }

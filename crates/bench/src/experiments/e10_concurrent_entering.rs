@@ -1,0 +1,93 @@
+//! E10 — Concurrent Entering: with every writer in the remainder
+//! section, a reader enters the CS within a bounded number `b` of its
+//! own steps, even with all other readers interleaving.
+
+use super::prelude::*;
+use crate::measure_concurrent_entering;
+
+/// Registry entry for the Concurrent Entering bound.
+pub(crate) struct E10;
+
+impl Experiment for E10 {
+    fn id(&self) -> &'static str {
+        "e10_concurrent_entering"
+    }
+
+    fn title(&self) -> &'static str {
+        "Concurrent Entering bound b (writers quiescent)"
+    }
+
+    fn claim(&self) -> &'static str {
+        "Concurrent Entering: reader entry completes in b = Θ(log(n/f)) own steps, independent of other readers"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let (ns, policies): (&[usize], &[FPolicy]) = if ctx.smoke() {
+            (&[8, 16], &[FPolicy::One, FPolicy::LogN, FPolicy::Linear])
+        } else {
+            (
+                &[8, 16, 32, 64, 128, 256, 512, 1024],
+                &[FPolicy::One, FPolicy::LogN, FPolicy::SqrtN, FPolicy::Linear],
+            )
+        };
+        let configs: Vec<(usize, FPolicy)> = ns
+            .iter()
+            .flat_map(|&n| policies.iter().map(move |&p| (n, p)))
+            .collect();
+        let bs = par_map(&configs, |&(n, policy)| {
+            measure_concurrent_entering(
+                AfConfig {
+                    readers: n,
+                    writers: 1,
+                    policy,
+                },
+                Protocol::WriteBack,
+            )
+        });
+
+        let mut table = Table::new(["n", "f policy", "K=n/f", "max entry steps b", "b/log2K"]);
+        let (mut o1_rows, mut o1_total) = (0usize, 0usize);
+        let mut worst_ratio = 0f64;
+        for ((n, policy), &b) in configs.iter().zip(&bs) {
+            let cfg = AfConfig {
+                readers: *n,
+                writers: 1,
+                policy: *policy,
+            };
+            let k = cfg.group_size();
+            let ratio = b as f64 / log2(k.max(2) as f64);
+            worst_ratio = worst_ratio.max(ratio);
+            if k == 1 {
+                o1_total += 1;
+                o1_rows += usize::from(b <= 3);
+            }
+            table.row([
+                n.to_string(),
+                policy.to_string(),
+                k.to_string(),
+                b.to_string(),
+                format!("{ratio:.1}"),
+            ]);
+        }
+
+        let mut report = Report::new(self, ctx);
+        report
+            .section("entry bound per (n, f)", table)
+            .check(Check::le_f64(
+                "b/log2(K) stays a small constant across the grid",
+                worst_ratio,
+                12.0,
+            ))
+            .check(Check::all(
+                "f=n rows (K=1) enter in O(1): b <= 3 steps",
+                o1_rows,
+                o1_total,
+            ))
+            .notes(
+                "Expected shape: b is dominated by the C[i].add(1) f-array walk —\n\
+                 Θ(log(n/f)) steps — plus one RSIG read; it must never depend on\n\
+                 other readers' scheduling (the property's requirement).",
+            );
+        report
+    }
+}

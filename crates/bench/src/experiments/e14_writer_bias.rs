@@ -1,0 +1,115 @@
+//! E14 (extension) — the writer-biased `A_f` variant vs plain `A_f`:
+//! does gating new readers during a writer passage fix E12's starvation?
+//! Same methodology as E12; the gated variant holds arrivals at a gate
+//! the moment a writer commits, at the documented price of losing
+//! Lemma 16.
+
+use super::prelude::*;
+use super::support::{median, worst, writer_latency};
+use rwcore::{af_world, gated_af_world};
+
+const N: usize = 16;
+const BUDGET: u64 = 2_000_000;
+
+/// Registry entry for the writer-biased variant comparison.
+pub(crate) struct E14;
+
+impl Experiment for E14 {
+    fn id(&self) -> &'static str {
+        "e14_writer_bias"
+    }
+
+    fn title(&self) -> &'static str {
+        "plain A_f vs the writer-biased (gated) variant"
+    }
+
+    fn claim(&self) -> &'static str {
+        "Extension of the §6 open problem: gating arrivals shrinks the writer's starvation tail, at the price of Lemma 16"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let (actives, seeds): (&[usize], u64) = if ctx.smoke() {
+            (&[0, 2], 3)
+        } else {
+            (&[0, 2, 4, 8, 16], 11)
+        };
+        let cfg = AfConfig {
+            readers: N,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let runs = par_map(actives, |&active| {
+            let plain: Vec<Option<u64>> = (0..seeds)
+                .map(|seed| {
+                    let mut world = af_world(cfg, Protocol::WriteBack);
+                    writer_latency(&mut world.sim, &world.pids, active, seed, BUDGET)
+                })
+                .collect();
+            let gated: Vec<Option<u64>> = (0..seeds)
+                .map(|seed| {
+                    let mut world = gated_af_world(cfg, Protocol::WriteBack);
+                    writer_latency(&mut world.sim, &world.pids, active, seed, BUDGET)
+                })
+                .collect();
+            (plain, gated)
+        });
+
+        let mut table = Table::new([
+            "active readers",
+            "A_f median",
+            "A_f worst",
+            "gated median",
+            "gated worst",
+        ]);
+        let mut tail_shrunk_at_moderate_churn = true;
+        for (&active, (plain, gated)) in actives.iter().zip(runs) {
+            let (mut plain, mut gated) = (plain, gated);
+            let (pm, pw) = (median(&mut plain), worst(&mut plain));
+            let (gm, gw) = (median(&mut gated), worst(&mut gated));
+            // The tail claim binds at moderate churn (active = n/2): at
+            // low churn the gate's constant overhead dominates, and at
+            // full churn the residual drain of already-admitted readers
+            // makes the comparison a coin flip (see the notes).
+            if active == N / 2 {
+                tail_shrunk_at_moderate_churn = match (gw.parse::<u64>(), pw.parse::<u64>()) {
+                    (Ok(g), Ok(p)) => g <= p,
+                    _ => false, // a STARVED worst on either side fails the claim
+                };
+            }
+            table.row([active.to_string(), pm, pw, gm, gw]);
+        }
+
+        let mut report = Report::new(self, ctx);
+        report.section(
+            format!("n = {N}, f = 1, step budget {BUDGET}, {seeds} seeds/row"),
+            table,
+        );
+        // Smoke only sweeps low churn, where the tail claim doesn't bind.
+        if !ctx.smoke() {
+            report.check(Check::new(
+                "gated worst-case writer latency <= plain at moderate churn (active = n/2)",
+                "gated worst <= plain worst",
+                if tail_shrunk_at_moderate_churn {
+                    "holds"
+                } else {
+                    "VIOLATED"
+                },
+                tail_shrunk_at_moderate_churn,
+            ));
+        }
+        report.notes(
+            "Expected shape: medians are a touch higher for the gated variant\n\
+             (the gate costs a read per passage and two writes per writer\n\
+             passage), but the starvation *tail* shrinks at moderate churn —\n\
+             once the gate is up no new reader can join the drain. At extreme\n\
+             churn (every reader always active) the residual tail comes from\n\
+             readers already admitted when the gate rises; eliminating it\n\
+             needs phase-fair machinery, which is exactly the open problem\n\
+             the paper leaves. The price (not shown): gated readers can\n\
+             starve behind back-to-back writers, so Lemma 16 no longer holds\n\
+             for the variant. Safety is preserved and exhaustively\n\
+             model-checked.",
+        );
+        report
+    }
+}

@@ -1,0 +1,89 @@
+//! E2 — Lemma 17 (writer side): writer passages incur `Θ(f(n))` RMRs.
+//!
+//! Measures complete writer passages in the simulator under both
+//! coherence protocols: solo from cold caches, and after all `n` readers
+//! have passed (counters resident in reader caches). The `RMR / f`
+//! column stays near a constant per policy as `n` grows.
+
+use super::prelude::*;
+use crate::standard_sweep;
+
+/// The sweep shared by E2 and E3 (the [`Ctx`] cache makes the second
+/// user free): every `(protocol, n, policy)` of the standard grid, or a
+/// two-config smoke slice.
+pub(crate) fn af_sweep(ctx: &Ctx) -> Vec<(Protocol, usize, FPolicy)> {
+    let sweep = if ctx.smoke() {
+        vec![(16usize, FPolicy::One), (16, FPolicy::Linear)]
+    } else {
+        standard_sweep()
+    };
+    [Protocol::WriteBack, Protocol::WriteThrough]
+        .into_iter()
+        .flat_map(|protocol| sweep.iter().map(move |&(n, policy)| (protocol, n, policy)))
+        .collect()
+}
+
+/// Registry entry for the writer half of Lemma 17.
+pub(crate) struct E2;
+
+impl Experiment for E2 {
+    fn id(&self) -> &'static str {
+        "e2_writer_rmr"
+    }
+
+    fn title(&self) -> &'static str {
+        "writer passage RMRs across the (n, f) grid"
+    }
+
+    fn claim(&self) -> &'static str {
+        "Lemma 17: a writer passage incurs Θ(f(n)) RMRs"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let configs = af_sweep(ctx);
+        let samples = ctx.measure_af_batch(&configs);
+
+        let mut report = Report::new(self, ctx);
+        let mut worst_ratio = 0f64;
+        for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+            let mut table = Table::new([
+                "n",
+                "f policy",
+                "groups f",
+                "writer solo RMR",
+                "solo/f",
+                "writer post-readers RMR",
+                "post/f",
+            ]);
+            for ((p, n, policy), s) in configs.iter().zip(&samples) {
+                if *p != protocol {
+                    continue;
+                }
+                let solo_per_f = s.writer_solo_rmrs as f64 / s.groups as f64;
+                let post_per_f = s.writer_post_reader_rmrs as f64 / s.groups as f64;
+                worst_ratio = worst_ratio.max(solo_per_f).max(post_per_f);
+                table.row([
+                    n.to_string(),
+                    policy.to_string(),
+                    s.groups.to_string(),
+                    s.writer_solo_rmrs.to_string(),
+                    format!("{solo_per_f:.1}"),
+                    s.writer_post_reader_rmrs.to_string(),
+                    format!("{post_per_f:.1}"),
+                ]);
+            }
+            report.section(format!("{protocol:?} protocol"), table);
+        }
+        report
+            .check(Check::le_f64(
+                "writer RMR/f stays a small constant independent of n",
+                worst_ratio,
+                9.0,
+            ))
+            .notes(
+                "Expected shape: RMR/f is a small constant (the per-group loop body)\n\
+                 independent of n — writer cost is Θ(f(n)) per Lemma 17.",
+            );
+        report
+    }
+}

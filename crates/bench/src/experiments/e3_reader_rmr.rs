@@ -1,0 +1,75 @@
+//! E3 — Lemma 17 (reader side): reader passages incur `Θ(log(n/f(n)))`
+//! RMRs.
+//!
+//! Measures complete reader passages: solo from cold caches, the worst
+//! mean under all-readers contention, and the wait path (arriving while
+//! a writer holds the CS). The `RMR / log2(K)` column stays near a
+//! constant as `n` grows (K = n/f is the group size).
+
+use super::e2_writer_rmr::af_sweep;
+use super::prelude::*;
+
+/// Registry entry for the reader half of Lemma 17.
+pub(crate) struct E3;
+
+impl Experiment for E3 {
+    fn id(&self) -> &'static str {
+        "e3_reader_rmr"
+    }
+
+    fn title(&self) -> &'static str {
+        "reader passage RMRs across the (n, f) grid"
+    }
+
+    fn claim(&self) -> &'static str {
+        "Lemma 17: a reader passage incurs Θ(log(n/f)) RMRs"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let configs = af_sweep(ctx);
+        let samples = ctx.measure_af_batch(&configs);
+
+        let mut report = Report::new(self, ctx);
+        let mut worst_ratio = 0f64;
+        for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+            let mut table = Table::new([
+                "n",
+                "f policy",
+                "K=n/f",
+                "reader solo RMR",
+                "solo/log2K",
+                "concurrent max RMR",
+                "wait-path RMR",
+            ]);
+            for ((p, n, policy), s) in configs.iter().zip(&samples) {
+                if *p != protocol {
+                    continue;
+                }
+                let logk = log2(s.group_size.max(2) as f64);
+                let solo_per_logk = s.reader_solo_rmrs as f64 / logk;
+                worst_ratio = worst_ratio.max(solo_per_logk);
+                table.row([
+                    n.to_string(),
+                    policy.to_string(),
+                    s.group_size.to_string(),
+                    s.reader_solo_rmrs.to_string(),
+                    format!("{solo_per_logk:.1}"),
+                    s.reader_concurrent_max_rmrs.to_string(),
+                    s.reader_wait_path_rmrs.to_string(),
+                ]);
+            }
+            report.section(format!("{protocol:?} protocol"), table);
+        }
+        report
+            .check(Check::le_f64(
+                "reader solo RMR/log2(K) stays a small constant independent of n",
+                worst_ratio,
+                8.0,
+            ))
+            .notes(
+                "Expected shape: RMR/log2(K) is a small constant — reader cost is\n\
+                 Θ(log(n/f)) per Lemma 17; with f=n (K=1) passages are O(1).",
+            );
+        report
+    }
+}

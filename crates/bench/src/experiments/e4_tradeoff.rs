@@ -1,0 +1,102 @@
+//! E4 — Corollary 6: the writer×reader RMR tradeoff frontier.
+//!
+//! At fixed `n`, sweeps the group count `f` across the full power-of-two
+//! range and prints the (writer RMR, reader RMR) pairs — the family's
+//! frontier: writer ≈ c1·f while reader ≈ c2·log(n/f).
+
+use super::prelude::*;
+
+/// Registry entry for the tradeoff frontier.
+pub(crate) struct E4;
+
+impl Experiment for E4 {
+    fn id(&self) -> &'static str {
+        "e4_tradeoff"
+    }
+
+    fn title(&self) -> &'static str {
+        "writer×reader RMR tradeoff frontier at fixed n"
+    }
+
+    fn claim(&self) -> &'static str {
+        "Corollary 6: writer RMRs ~ f, reader RMRs ~ log2(n/f); no algorithm beats the frontier"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let (n, fs): (usize, Vec<usize>) = if ctx.smoke() {
+            (64, vec![1, 8, 64])
+        } else {
+            let n = 1024usize;
+            let mut fs = Vec::new();
+            let mut f = 1usize;
+            while f <= n {
+                fs.push(f);
+                f *= 2;
+            }
+            (n, fs)
+        };
+        let configs: Vec<(Protocol, usize, FPolicy)> = fs
+            .iter()
+            .map(|&f| (Protocol::WriteBack, n, FPolicy::Groups(f)))
+            .collect();
+        let samples = ctx.measure_af_batch(&configs);
+
+        let mut table = Table::new([
+            "f (groups)",
+            "K=n/f",
+            "writer solo RMR",
+            "reader solo RMR",
+            "writer post-readers RMR",
+            "reader concurrent RMR",
+            "log2(K)",
+        ]);
+        for s in &samples {
+            table.row([
+                s.groups.to_string(),
+                s.group_size.to_string(),
+                s.writer_solo_rmrs.to_string(),
+                s.reader_solo_rmrs.to_string(),
+                s.writer_post_reader_rmrs.to_string(),
+                s.reader_concurrent_max_rmrs.to_string(),
+                format!("{:.1}", log2(s.group_size.max(1) as f64)),
+            ]);
+        }
+
+        let writer_monotone = samples
+            .windows(2)
+            .all(|w| w[0].writer_solo_rmrs <= w[1].writer_solo_rmrs);
+        let reader_monotone = samples
+            .windows(2)
+            .all(|w| w[0].reader_solo_rmrs >= w[1].reader_solo_rmrs);
+        let mut report = Report::new(self, ctx);
+        report
+            .section(format!("frontier at n = {n} (write-back CC)"), table)
+            .check(Check::new(
+                "writer solo RMRs grow monotonically with f",
+                "nondecreasing across the f sweep",
+                if writer_monotone {
+                    "nondecreasing"
+                } else {
+                    "NOT monotone"
+                },
+                writer_monotone,
+            ))
+            .check(Check::new(
+                "reader solo RMRs shrink monotonically as f grows",
+                "nonincreasing across the f sweep",
+                if reader_monotone {
+                    "nonincreasing"
+                } else {
+                    "NOT monotone"
+                },
+                reader_monotone,
+            ))
+            .notes(
+                "Expected shape: writer RMRs scale ~linearly in f; reader RMRs\n\
+                 scale ~linearly in log2(n/f). Every point on the frontier is a\n\
+                 valid lock (Corollary 6 says no algorithm beats the frontier:\n\
+                 one of the two columns must stay Ω(log n)).",
+            );
+        report
+    }
+}

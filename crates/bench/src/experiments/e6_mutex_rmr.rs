@@ -1,0 +1,83 @@
+//! E6 — the `WL` substrate: tournament mutex passages incur `Θ(log m)`
+//! RMRs (the writer-side floor implied by Corollary 7).
+
+use super::prelude::*;
+use crate::measure_mutex;
+
+/// Registry entry for the tournament-mutex substrate measurement.
+pub(crate) struct E6;
+
+impl Experiment for E6 {
+    fn id(&self) -> &'static str {
+        "e6_mutex_rmr"
+    }
+
+    fn title(&self) -> &'static str {
+        "tournament mutex passage RMRs"
+    }
+
+    fn claim(&self) -> &'static str {
+        "WL substrate: a mutex passage incurs Θ(log m) RMRs (Corollary 7's writer-side floor)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let ms: &[usize] = if ctx.smoke() {
+            &[2, 8]
+        } else {
+            &[2, 4, 8, 16, 32, 64, 128, 256]
+        };
+        let configs: Vec<(usize, Protocol)> = [Protocol::WriteBack, Protocol::WriteThrough]
+            .into_iter()
+            .flat_map(|p| ms.iter().map(move |&m| (m, p)))
+            .collect();
+        let samples = par_map(&configs, |&(m, p)| measure_mutex(m, p));
+
+        let mut report = Report::new(self, ctx);
+        let (mut worst_solo, mut worst_contended) = (0f64, 0f64);
+        for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+            let mut table = Table::new([
+                "m",
+                "levels",
+                "solo RMR",
+                "solo/levels",
+                "contended max RMR",
+                "contended/levels",
+            ]);
+            for ((m, p), s) in configs.iter().zip(&samples) {
+                if *p != protocol {
+                    continue;
+                }
+                let lv = s.levels.max(1) as f64;
+                let solo = s.solo_rmrs as f64 / lv;
+                let contended = s.contended_max_rmrs as f64 / lv;
+                worst_solo = worst_solo.max(solo);
+                worst_contended = worst_contended.max(contended);
+                table.row([
+                    m.to_string(),
+                    s.levels.to_string(),
+                    s.solo_rmrs.to_string(),
+                    format!("{solo:.1}"),
+                    s.contended_max_rmrs.to_string(),
+                    format!("{contended:.1}"),
+                ]);
+            }
+            report.section(format!("{protocol:?} protocol"), table);
+        }
+        report
+            .check(Check::le_f64(
+                "solo RMR/levels stays a small constant",
+                worst_solo,
+                5.0,
+            ))
+            .check(Check::le_f64(
+                "contended max RMR/levels stays a small constant",
+                worst_contended,
+                6.0,
+            ))
+            .notes(
+                "Expected shape: RMR/levels stays near a constant — Θ(log m) per\n\
+                 passage (levels = ceil(log2 m)).",
+            );
+        report
+    }
+}

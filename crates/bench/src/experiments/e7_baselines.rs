@@ -1,0 +1,145 @@
+//! E7 — §6 comparison under the lower-bound adversary: `A_f` (Θ(log n)
+//! exit) vs the centralized CAS lock (Θ(n) exit, no Bounded Exit) vs the
+//! FAA read-indicator lock (O(1) exit — escapes the bound because FAA is
+//! outside the read/write/CAS model).
+
+use super::prelude::*;
+use knowledge::{run_lower_bound, AdversarySetup, LowerBoundReport};
+use rwcore::{af_world, centralized_world, faa_world, PidMap};
+
+#[derive(Copy, Clone)]
+enum Lock {
+    Af,
+    Centralized,
+    Faa,
+}
+
+impl Lock {
+    fn label(self) -> &'static str {
+        match self {
+            Lock::Af => "A_f (f=1)",
+            Lock::Centralized => "centralized-cas",
+            Lock::Faa => "faa-indicator",
+        }
+    }
+}
+
+fn adversary(sim: &mut ccsim::Sim, pids: &PidMap) -> LowerBoundReport {
+    let setup = AdversarySetup::new(pids.reader_pids().collect(), pids.writer(0));
+    run_lower_bound(sim, &setup).expect("construction must complete")
+}
+
+fn run_lock(lock: Lock, n: usize) -> LowerBoundReport {
+    match lock {
+        Lock::Af => {
+            let cfg = AfConfig {
+                readers: n,
+                writers: 1,
+                policy: FPolicy::One,
+            };
+            let mut world = af_world(cfg, Protocol::WriteBack);
+            adversary(&mut world.sim, &world.pids)
+        }
+        Lock::Centralized => {
+            let mut world = centralized_world(n, 1, Protocol::WriteBack);
+            adversary(&mut world.sim, &world.pids)
+        }
+        Lock::Faa => {
+            let mut world = faa_world(n, 1, Protocol::WriteBack);
+            adversary(&mut world.sim, &world.pids)
+        }
+    }
+}
+
+/// Registry entry for the §6 baseline comparison.
+pub(crate) struct E7;
+
+impl Experiment for E7 {
+    fn id(&self) -> &'static str {
+        "e7_baselines"
+    }
+
+    fn title(&self) -> &'static str {
+        "baselines under the Theorem-5 adversary"
+    }
+
+    fn claim(&self) -> &'static str {
+        "§6: centralized CAS pays Θ(n) reader exits, A_f pays Θ(log n), FAA pays O(1) (outside the op model)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let ns: &[usize] = if ctx.smoke() {
+            &[8, 16]
+        } else {
+            &[8, 16, 32, 64, 128, 256]
+        };
+        let configs: Vec<(Lock, usize)> = ns
+            .iter()
+            .flat_map(|&n| [Lock::Af, Lock::Centralized, Lock::Faa].map(|l| (l, n)))
+            .collect();
+        let reports = par_map(&configs, |&(lock, n)| run_lock(lock, n));
+
+        let mut table = Table::new([
+            "lock",
+            "n",
+            "r (iters)",
+            "max reader exit RMR",
+            "writer entry RMR",
+            "writer aware of all",
+        ]);
+        let (mut faa_flat, mut centralized_linear, mut af_ok) = (0usize, 0usize, 0usize);
+        let (mut faa_total, mut centralized_total, mut af_total) = (0usize, 0usize, 0usize);
+        for ((lock, n), lb) in configs.iter().zip(&reports) {
+            match lock {
+                Lock::Faa => {
+                    faa_total += 1;
+                    faa_flat += usize::from(lb.max_reader_exit_rmrs == 1);
+                }
+                Lock::Centralized => {
+                    centralized_total += 1;
+                    centralized_linear += usize::from(lb.max_reader_exit_rmrs >= *n as u64);
+                }
+                Lock::Af => {
+                    af_total += 1;
+                    let bound = 6.0 * log2(*n as f64);
+                    af_ok += usize::from((lb.max_reader_exit_rmrs as f64) <= bound);
+                }
+            }
+            table.row([
+                lock.label().to_string(),
+                n.to_string(),
+                lb.iterations.to_string(),
+                lb.max_reader_exit_rmrs.to_string(),
+                lb.writer_entry_rmrs.to_string(),
+                lb.writer_aware_of_all.to_string(),
+            ]);
+        }
+
+        let mut report = Report::new(self, ctx);
+        report
+            .section("adversary outcomes (write-back CC)", table)
+            .check(Check::all(
+                "FAA read-indicator exit stays at exactly 1 RMR",
+                faa_flat,
+                faa_total,
+            ))
+            .check(Check::all(
+                "centralized CAS worst exit grows linearly (>= n)",
+                centralized_linear,
+                centralized_total,
+            ))
+            .check(Check::all(
+                "A_f worst exit stays within 6·log2(n)",
+                af_ok,
+                af_total,
+            ))
+            .notes(
+                "Expected shape: the centralized lock's worst reader exit grows\n\
+                 ~linearly with n (its exit CAS loop retries against every other\n\
+                 exiting reader — it has no Bounded Exit); A_f grows ~log n; the\n\
+                 FAA lock stays at 1 RMR regardless of n, which is only possible\n\
+                 because fetch-and-add is outside the paper's operation model.",
+            );
+        report
+    }
+}

@@ -1,0 +1,138 @@
+//! E9 — the f-array substrate: `add` takes `Θ(log K)` steps and `read`
+//! takes `O(1)` steps (the complexities the paper imports from Jayanti
+//! \[15\] as adapted to CAS \[14\]).
+
+use super::prelude::*;
+use ccsim::{Layout, Memory, ProcId, SubMachine, SubStep};
+use fcounter::SimCounter;
+
+/// Drive a sub-machine to completion; return `(steps, rmrs)`.
+fn drive(mem: &mut Memory, p: ProcId, m: &mut dyn SubMachine) -> (u64, u64) {
+    let (mut steps, mut rmrs) = (0, 0);
+    while let SubStep::Op(op) = m.poll() {
+        let out = mem.apply(p, &op);
+        steps += 1;
+        if out.rmr {
+            rmrs += 1;
+        }
+        m.resume(out.response);
+    }
+    (steps, rmrs)
+}
+
+/// `(solo add steps, worst contended add steps, read steps)` for one K.
+fn measure(k: usize) -> (u64, u64, u64) {
+    // Cold solo add.
+    let mut layout = Layout::new();
+    let c = SimCounter::allocate(&mut layout, "C", k);
+    let mut mem = Memory::new(&layout, k, Protocol::WriteBack);
+    let mut h0 = c.handle(0);
+    let (solo_steps, _) = drive(&mut mem, ProcId(0), &mut h0.add(1));
+
+    // Contended adds: every process adds once, interleaved round-robin
+    // one step at a time; report the worst per-process step count.
+    let mut layout = Layout::new();
+    let c = SimCounter::allocate(&mut layout, "C", k);
+    let mut mem = Memory::new(&layout, k, Protocol::WriteBack);
+    let mut machines: Vec<_> = (0..k).map(|i| c.handle(i).add(1)).collect();
+    let mut steps = vec![0u64; k];
+    let mut live = true;
+    while live {
+        live = false;
+        for (i, m) in machines.iter_mut().enumerate() {
+            if let SubStep::Op(op) = m.poll() {
+                let out = mem.apply(ProcId(i), &op);
+                m.resume(out.response);
+                steps[i] += 1;
+                live = true;
+            }
+        }
+    }
+    assert_eq!(c.peek(&mem), k as i64, "all adds must land");
+    let contended = *steps.iter().max().unwrap();
+
+    // Read cost.
+    let mut r = c.read();
+    let (read_steps, _) = drive(&mut mem, ProcId(0), &mut r);
+    (solo_steps, contended, read_steps)
+}
+
+/// Registry entry for the f-array step-complexity measurement.
+pub(crate) struct E9;
+
+impl Experiment for E9 {
+    fn id(&self) -> &'static str {
+        "e9_counter"
+    }
+
+    fn title(&self) -> &'static str {
+        "f-array counter step complexity"
+    }
+
+    fn claim(&self) -> &'static str {
+        "f-array (Jayanti [15]/[14]): add is Θ(log K) steps wait-free, read is O(1)"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let ks: &[usize] = if ctx.smoke() {
+            &[2, 8, 32]
+        } else {
+            &[2, 4, 8, 16, 32, 64, 128, 256, 512]
+        };
+        let samples = par_map(ks, |&k| measure(k));
+
+        let mut table = Table::new([
+            "K",
+            "depth",
+            "add steps (cold)",
+            "add steps (contended)",
+            "add/log2K",
+            "read steps",
+        ]);
+        let (mut reads_const, mut contended_bounded) = (0usize, 0usize);
+        let mut worst_ratio = 0f64;
+        for (&k, &(solo, contended, read)) in ks.iter().zip(&samples) {
+            let depth = (k.next_power_of_two()).trailing_zeros();
+            let ratio = solo as f64 / log2(k.max(2) as f64);
+            worst_ratio = worst_ratio.max(ratio);
+            reads_const += usize::from(read == 1);
+            // At most 2 refresh rounds per level under full interleaving.
+            contended_bounded += usize::from(contended <= 2 * solo);
+            table.row([
+                k.to_string(),
+                depth.to_string(),
+                solo.to_string(),
+                contended.to_string(),
+                format!("{ratio:.1}"),
+                read.to_string(),
+            ]);
+        }
+
+        let mut report = Report::new(self, ctx);
+        report
+            .section("step counts per fan-in K (write-back CC)", table)
+            .check(Check::le_f64(
+                "cold add steps/log2(K) stays a small constant",
+                worst_ratio,
+                5.5,
+            ))
+            .check(Check::all(
+                "read is exactly 1 step at every K",
+                reads_const,
+                ks.len(),
+            ))
+            .check(Check::all(
+                "contended add stays within 2 refresh rounds per level (<= 2x cold)",
+                contended_bounded,
+                ks.len(),
+            ))
+            .notes(
+                "Expected shape: add steps/log2(K) stays near a constant (each\n\
+                 level costs one 4-step refresh, at most doubled on CAS failure);\n\
+                 read is always exactly 1 step. The contended column shows the\n\
+                 wait-free bound holds under full interleaving: at most 2 refresh\n\
+                 rounds per level regardless of contention.",
+            );
+        report
+    }
+}

@@ -1,0 +1,240 @@
+//! perf_modelcheck — states/sec of the exhaustive explorer across its
+//! three operating points: the pre-PR-3 `full_rehash` SipHash baseline,
+//! the O(1) incremental Zobrist keys (sequential), and the parallel
+//! explorer. All runs must report byte-identical state counts (two
+//! independent hash families agreeing is the aliasing oracle).
+//!
+//! Full mode times everything, closes with the previously infeasible
+//! two-crash `A_f` instance (8.75M states, past the default state cap),
+//! asserts the PR-3 speedup floors, and writes `BENCH_modelcheck.json`
+//! (override: `BENCH_MODELCHECK_OUT`); its wall-clock content makes the
+//! report non-byte-stable, so [`Experiment::deterministic`] is false
+//! there. Smoke mode runs the crash-free space once per operating point
+//! and reports only the deterministic state counts.
+
+use super::prelude::*;
+use crate::par;
+use modelcheck::{explore, explore_par, CheckConfig, CheckReport};
+use rwcore::af_world;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+fn af_factory(crash_budget: u32) -> (impl Fn() -> ccsim::Sim + Sync, CheckConfig) {
+    let cfg = AfConfig {
+        readers: 2,
+        writers: 1,
+        policy: FPolicy::One,
+    };
+    let check = CheckConfig {
+        passages_per_proc: 1,
+        crash_budget,
+        max_states: 50_000_000,
+        ..Default::default()
+    };
+    (move || af_world(cfg, Protocol::WriteBack).sim, check)
+}
+
+/// One timed run of an exploration mode.
+fn timed(mut run: impl FnMut() -> CheckReport) -> (f64, CheckReport) {
+    let start = Instant::now();
+    let report = run();
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// Registry entry for the model-checker throughput benchmark.
+pub(crate) struct PerfModelcheck;
+
+impl Experiment for PerfModelcheck {
+    fn id(&self) -> &'static str {
+        "perf_modelcheck"
+    }
+
+    fn title(&self) -> &'static str {
+        "explorer states/sec: full-rehash vs incremental vs parallel"
+    }
+
+    fn claim(&self) -> &'static str {
+        "PR-3 perf floors: incremental fingerprints >= 2x the full-rehash baseline; parallel >= 3x with >= 4 workers; all modes count identical states"
+    }
+
+    fn deterministic(&self, mode: Mode) -> bool {
+        // Full mode renders wall-clock states/sec; smoke renders only
+        // the deterministic state counts.
+        mode == Mode::Smoke
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let workers = par::worker_count(usize::MAX);
+        // Smoke explores the crash-free space (a fraction of the
+        // crash_budget=1 space) once per mode, counts only.
+        let crash_budget = if ctx.smoke() { 0 } else { 1 };
+        let samples = if ctx.smoke() { 1 } else { SAMPLES };
+        let (factory, check) = af_factory(crash_budget);
+        let full_cfg = CheckConfig {
+            full_rehash: true,
+            ..check.clone()
+        };
+
+        // Best-of-samples per mode, with the modes *interleaved*
+        // round-robin: a noisy-neighbor phase on a shared host then
+        // penalises every mode equally instead of skewing whichever one
+        // it happened to overlap.
+        let (mut full_secs, mut inc_secs, mut par_secs) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let (mut full_report, mut inc_report, mut par_report) = (None, None, None);
+        for _ in 0..samples {
+            let (s, r) = timed(|| explore(&factory, &full_cfg).expect("A_f crash space is safe"));
+            full_secs = full_secs.min(s);
+            full_report = Some(r);
+            let (s, r) = timed(|| explore(&factory, &check).expect("A_f crash space is safe"));
+            inc_secs = inc_secs.min(s);
+            inc_report = Some(r);
+            let (s, r) =
+                timed(|| explore_par(&factory, &check, workers).expect("A_f crash space is safe"));
+            par_secs = par_secs.min(s);
+            par_report = Some(r);
+        }
+        let (full_report, inc_report, par_report) = (
+            full_report.expect("samples >= 1"),
+            inc_report.expect("samples >= 1"),
+            par_report.expect("samples >= 1"),
+        );
+
+        let all_complete = full_report.complete && inc_report.complete && par_report.complete;
+        let counts_agree = full_report.counts() == inc_report.counts()
+            && inc_report.counts() == par_report.counts();
+
+        let states = inc_report.states_explored as f64;
+        let full_sps = states / full_secs;
+        let inc_sps = states / inc_secs;
+        let par_sps = states / par_secs;
+        let inc_speedup = inc_sps / full_sps;
+        let par_speedup = par_sps / full_sps;
+
+        let workload = format!("A_f n=2 m=1 passages=1 crash_budget={crash_budget} writeback");
+        let mut report = Report::new(self, ctx);
+        let mut table = if ctx.smoke() {
+            Table::new(["mode", "states", "complete"])
+        } else {
+            Table::new(["mode", "states", "states/s", "speedup"])
+        };
+        let par_label = format!("parallel({workers})");
+        let rows: [(&str, &CheckReport, f64, f64); 3] = [
+            ("full-rehash", &full_report, full_sps, 1.0),
+            ("incremental", &inc_report, inc_sps, inc_speedup),
+            (&par_label, &par_report, par_sps, par_speedup),
+        ];
+        for (label, r, sps, speedup) in rows {
+            if ctx.smoke() {
+                table.row([
+                    label.to_string(),
+                    r.states_explored.to_string(),
+                    r.complete.to_string(),
+                ]);
+            } else {
+                table.row([
+                    label.to_string(),
+                    r.states_explored.to_string(),
+                    format!("{sps:.0}"),
+                    format!("{speedup:.2}x"),
+                ]);
+            }
+        }
+        report.section(workload.clone(), table);
+        report
+            .check(Check::new(
+                "all exploration modes exhaust the space",
+                "complete = true in every mode",
+                if all_complete {
+                    "complete"
+                } else {
+                    "INCOMPLETE"
+                },
+                all_complete,
+            ))
+            .check(Check::new(
+                "incremental Zobrist keys and the SipHash walk partition the space identically",
+                "state counts equal across modes",
+                if counts_agree { "equal" } else { "DIVERGED" },
+                counts_agree,
+            ));
+
+        if !ctx.smoke() {
+            report.check(Check::new(
+                "incremental fingerprints hold the 2x floor over full-rehash",
+                ">= 2.00x",
+                format!("{inc_speedup:.2}x"),
+                inc_speedup >= 2.0,
+            ));
+            // The parallel floor only binds where there is parallelism
+            // to win.
+            if workers >= 4 {
+                report.check(Check::new(
+                    "parallel explorer holds the 3x floor over full-rehash",
+                    ">= 3.00x (with >= 4 workers)",
+                    format!("{par_speedup:.2}x at {workers} workers"),
+                    par_speedup >= 3.0,
+                ));
+            }
+
+            // The previously infeasible instance, once, with the full
+            // pool.
+            let (big_factory, big_check) = af_factory(2);
+            let start = Instant::now();
+            let big = explore_par(&big_factory, &big_check, workers)
+                .expect("A_f two-crash space is safe");
+            let big_secs = start.elapsed().as_secs_f64();
+            let big_sps = big.states_explored as f64 / big_secs;
+            let mut big_table = Table::new(["workload", "states", "seconds", "states/s"]);
+            big_table.row([
+                "A_f n=2 m=1 passages=1 crash_budget=2 writeback".to_string(),
+                big.states_explored.to_string(),
+                format!("{big_secs:.1}"),
+                format!("{big_sps:.0}"),
+            ]);
+            report.section("previously infeasible instance", big_table);
+            report.check(Check::new(
+                "the two-crash space is exhausted past the default 5M state cap",
+                "complete, > 5,000,000 states",
+                format!(
+                    "{}, {} states",
+                    if big.complete {
+                        "complete"
+                    } else {
+                        "INCOMPLETE"
+                    },
+                    big.states_explored
+                ),
+                big.complete && big.states_explored > 5_000_000,
+            ));
+
+            // Preserve the historical side artifact for trend tracking.
+            let unix_secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let json = format!(
+                "{{\n  \"experiment\": \"perf_modelcheck\",\n  \"unix_timestamp\": {unix_secs},\n  \
+                 \"workers\": {workers},\n  \"samples\": {samples},\n  \"workload\": \
+                 \"{workload}\",\n  \"states\": {},\n  \
+                 \"full_rehash_states_per_sec\": {full_sps:.0},\n  \
+                 \"incremental_states_per_sec\": {inc_sps:.0},\n  \
+                 \"parallel_states_per_sec\": {par_sps:.0},\n  \
+                 \"incremental_speedup\": {inc_speedup:.2},\n  \
+                 \"parallel_speedup\": {par_speedup:.2},\n  \"infeasible_instance\": {{\n    \
+                 \"workload\": \"A_f n=2 m=1 passages=1 crash_budget=2 writeback\",\n    \
+                 \"states\": {},\n    \"seconds\": {big_secs:.1},\n    \
+                 \"states_per_sec\": {big_sps:.0},\n    \"complete\": {}\n  }}\n}}\n",
+                inc_report.states_explored, big.states_explored, big.complete
+            );
+            let path = std::env::var("BENCH_MODELCHECK_OUT")
+                .unwrap_or_else(|_| "BENCH_modelcheck.json".to_string());
+            match std::fs::write(&path, &json) {
+                Ok(()) => report.notes(format!("Side artifact: {path}")),
+                Err(e) => report.notes(format!("Side artifact write failed ({path}): {e}")),
+            };
+        }
+        report
+    }
+}

@@ -1,11 +1,19 @@
 //! # bench — the experiment harness
 //!
-//! One binary per paper claim (see `src/bin/`, DESIGN.md's per-experiment
-//! index, and EXPERIMENTS.md for recorded results), plus dependency-free
-//! micro-benchmarks under `benches/` (plain `harness = false` mains timed
-//! with [`stopwatch`]).
+//! Every experiment lives behind the registry in [`experiments`] (one
+//! module per paper claim, all implementing [`exp::Experiment`]) and is
+//! driven by the unified `experiments` binary — `--list`, `--filter`,
+//! `--smoke`, `--json`, `--check`, `--bless`; see [`exp`]. The
+//! historical per-experiment binaries under `src/bin/` are thin
+//! wrappers over the same registry, so documented invocations and the
+//! `results/` goldens' provenance keep working. Dependency-free
+//! micro-benchmarks live under `benches/` (plain `harness = false`
+//! mains timed with [`stopwatch`]).
 //!
-//! | binary | claim |
+//! The experiment index (tested against the registry — see
+//! `experiments::tests`):
+//!
+//! | id / binary | claim |
 //! |---|---|
 //! | `e1_lower_bound` | Theorem 5 / Figure 1: `r = Θ(log₃(n/f))`, Lemma 2 & 4 |
 //! | `e2_writer_rmr` | Lemma 17: writer passage `Θ(f(n))` RMRs |
@@ -16,19 +24,26 @@
 //! | `e7_baselines` | §6: centralized CAS vs `A_f` vs FAA under the adversary |
 //! | `e9_counter` | f-array: `add` `Θ(log K)` steps, `read` `O(1)` |
 //! | `e10_concurrent_entering` | Concurrent Entering constant `b` |
+//! | `e11_dsm` | §6 / Danek–Hadzilacos: the same locks under the DSM cost model |
+//! | `e12_writer_starvation` | §6 fairness gap: writer time-to-CS under reader churn |
+//! | `e13_counter_ablation` | Bounded Exit ablation: f-array vs CAS-loop counters |
+//! | `e14_writer_bias` | extension: plain `A_f` vs the writer-biased (gated) variant |
 //! | `e15_crash_robustness` | RME crash model: MX under crashes, recovery RMRs, stall diagnoses |
 //! | `perf_smoke` | simulator steps/sec: directory core vs reference core |
+//! | `perf_modelcheck` | explorer states/sec: full-rehash vs incremental vs parallel |
 //!
 //! (`e8` is the throughput bench suite: `cargo bench -p bench`.)
 //!
-//! Sweep-shaped experiments (`e2`, `e3`, `e4`, `e7`, `e15`) fan their
-//! independent configs across cores with [`par::par_map`]; results come
-//! back in input order, so the printed tables are byte-identical to a
-//! sequential run (`BENCH_THREADS=1` forces one).
+//! Sweep-shaped experiments fan their independent configs across cores
+//! with [`par::par_map`]; results come back in input order, so rendered
+//! reports are byte-identical to a sequential run (`BENCH_THREADS=1`
+//! forces one) — the invariant the golden-file gate relies on.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod exp;
+pub mod experiments;
 pub mod par;
 mod rmr;
 pub mod stopwatch;

@@ -13,18 +13,47 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Parse a `BENCH_THREADS` setting.
+///
+/// `None` (the variable is unset) means "use detected parallelism" and
+/// returns `Ok(None)`. Anything else must be a positive decimal integer;
+/// malformed values (`"abc"`, `"0x4"`, `""`) and zero are errors so a
+/// typo'd cap fails loudly instead of silently falling back to hardware
+/// parallelism — which would quietly void a `BENCH_THREADS=1` determinism
+/// comparison.
+pub fn parse_bench_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "BENCH_THREADS must be a positive integer, got \"{raw}\" \
+             (use BENCH_THREADS=1 to force a sequential sweep)"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "BENCH_THREADS must be a positive decimal integer \
+             (e.g. BENCH_THREADS=4), got \"{raw}\""
+        )),
+    }
+}
+
 /// Worker threads to use for `n_items` independent jobs: detected
 /// parallelism, capped by the `BENCH_THREADS` env var and by the job
 /// count itself.
+///
+/// # Panics
+/// Panics with a clear message if `BENCH_THREADS` is set to anything
+/// other than a positive decimal integer (see [`parse_bench_threads`]).
 pub fn worker_count(n_items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let cap = std::env::var("BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&c| c > 0)
-        .unwrap_or(hw);
+    let raw = std::env::var_os("BENCH_THREADS");
+    let raw = raw.as_deref().map(|s| s.to_str().unwrap_or("<non-utf8>"));
+    let cap = match parse_bench_threads(raw) {
+        Ok(Some(n)) => n,
+        Ok(None) => hw,
+        Err(msg) => panic!("{msg}"),
+    };
     cap.min(n_items.max(1))
 }
 
@@ -137,5 +166,37 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(4) >= 1);
         assert!(worker_count(2) <= 2);
+    }
+
+    #[test]
+    fn bench_threads_unset_uses_hardware() {
+        assert_eq!(parse_bench_threads(None), Ok(None));
+    }
+
+    #[test]
+    fn bench_threads_accepts_positive_decimals() {
+        assert_eq!(parse_bench_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_bench_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_bench_threads(Some("128")), Ok(Some(128)));
+    }
+
+    #[test]
+    fn bench_threads_rejects_zero() {
+        let err = parse_bench_threads(Some("0")).unwrap_err();
+        assert!(err.contains("BENCH_THREADS"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn bench_threads_rejects_malformed_values() {
+        for bad in ["abc", "0x4", "", " 4", "4 ", "-1", "3.5", "four"] {
+            let err =
+                parse_bench_threads(Some(bad)).expect_err(&format!("{bad:?} should be rejected"));
+            assert!(err.contains("BENCH_THREADS"), "{bad:?}: {err}");
+            assert!(
+                err.contains(bad.trim()) || bad.trim().is_empty(),
+                "{bad:?}: {err}"
+            );
+        }
     }
 }

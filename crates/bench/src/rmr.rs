@@ -310,4 +310,34 @@ mod tests {
             "entry bound should grow ~log: b16={b16}, b256={b256}"
         );
     }
+
+    #[test]
+    fn measure_af_tiny_config_covers_both_protocols() {
+        // A seconds-scale smoke of the full measurement path (all five
+        // scenarios) at the smallest interesting size, so `cargo test`
+        // covers it without running a sweep. Values are exact RMR counts
+        // from the deterministic simulator, so equality is stable.
+        for protocol in [Protocol::WriteBack, Protocol::WriteThrough] {
+            let cfg = AfConfig {
+                readers: 4,
+                writers: 1,
+                policy: FPolicy::One,
+            };
+            let s = measure_af(cfg, protocol);
+            assert_eq!(s.groups, 1);
+            assert_eq!(s.group_size, 4);
+            assert!(s.writer_solo_rmrs > 0);
+            // Re-measuring reproduces the sample bit-for-bit (the
+            // property the golden-file gate depends on).
+            let s2 = measure_af(cfg, protocol);
+            assert_eq!(s.writer_solo_rmrs, s2.writer_solo_rmrs);
+            assert_eq!(s.reader_solo_rmrs, s2.reader_solo_rmrs);
+            assert_eq!(s.writer_post_reader_rmrs, s2.writer_post_reader_rmrs);
+            assert_eq!(s.reader_concurrent_max_rmrs, s2.reader_concurrent_max_rmrs);
+            assert_eq!(s.reader_wait_path_rmrs, s2.reader_wait_path_rmrs);
+            // The wait path (reader arriving during a writer passage) is
+            // never cheaper than half the cold solo passage.
+            assert!(s.reader_wait_path_rmrs >= s.reader_solo_rmrs / 2);
+        }
+    }
 }

@@ -44,6 +44,17 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers, in order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order; every row has
+    /// [`headers`](Self::headers)`.len()` cells.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True if no data rows were added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -115,6 +126,37 @@ mod tests {
     fn empty_table_renders_headers() {
         let t = Table::new(["h"]);
         assert!(t.is_empty());
-        assert!(t.render().contains('h'));
+        assert_eq!(t.len(), 0);
+        // Exactly the header line and its underline, nothing else.
+        assert_eq!(t.render(), "h\n-\n");
+    }
+
+    #[test]
+    fn columns_are_right_aligned() {
+        let mut t = Table::new(["col"]);
+        t.row(["1"]).row(["1234"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Narrow cells are padded on the left up to the widest cell.
+        assert_eq!(lines[0], " col");
+        assert_eq!(lines[2], "   1");
+        assert_eq!(lines[3], "1234");
+    }
+
+    #[test]
+    fn accessors_expose_headers_and_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(t.headers(), ["a", "b"]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[1], ["3", "4"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_too_wide_rows() {
+        Table::new(["a"]).row(["1", "2"]);
     }
 }

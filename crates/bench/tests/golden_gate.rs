@@ -1,0 +1,156 @@
+//! The acceptance loop of the golden-file gate, end to end: bless a
+//! report into a temp results dir, check it (clean), perturb one golden
+//! cell, and verify the check fails with a unified diff naming the
+//! experiment — the exact drill a CI failure walks a human through.
+
+use bench::exp::{
+    bless, check_against_goldens, golden_json_path, golden_txt_path, Check, Ctx, Experiment, Mode,
+    Report,
+};
+use bench::Table;
+
+/// A tiny deterministic experiment (no simulator) for gate plumbing.
+struct Toy;
+
+impl Experiment for Toy {
+    fn id(&self) -> &'static str {
+        "toy_gate"
+    }
+    fn title(&self) -> &'static str {
+        "golden-gate plumbing fixture"
+    }
+    fn claim(&self) -> &'static str {
+        "the gate catches any byte of drift"
+    }
+    fn run(&self, ctx: &Ctx) -> Report {
+        let mut table = Table::new(["n", "rmr"]);
+        table.row(["8", "12"]).row(["16", "16"]);
+        let mut report = Report::new(self, ctx);
+        report
+            .section("measurements", table)
+            .check(Check::le_u64("rmr stays bounded", 16, 20))
+            .notes("Expected shape: flat.");
+        report
+    }
+}
+
+fn temp_results_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-golden-gate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp results dir");
+    dir
+}
+
+#[test]
+fn bless_then_check_roundtrips_and_catches_perturbation() {
+    let dir = temp_results_dir("full");
+    let ctx = Ctx::new(Mode::Full);
+    let report = Toy.run(&ctx);
+
+    // Missing goldens are themselves a failure (with a bless hint).
+    let failures = check_against_goldens(&report, true, &dir);
+    assert_eq!(failures.len(), 2, "both goldens missing: {failures:?}");
+    assert!(failures[0].contains("missing golden"));
+    assert!(failures[0].contains("--bless"));
+
+    // Bless writes both the text table and the structured JSON twin.
+    let paths = bless(&report, &dir).expect("bless");
+    assert_eq!(
+        paths,
+        vec![
+            golden_txt_path(&dir, Mode::Full, "toy_gate"),
+            golden_json_path(&dir, Mode::Full, "toy_gate"),
+        ]
+    );
+    for p in &paths {
+        assert!(p.exists(), "{} not written", p.display());
+    }
+
+    // A clean re-run byte-matches what was blessed.
+    assert!(check_against_goldens(&report, true, &dir).is_empty());
+
+    // Perturb one table cell in the text golden: the check must fail
+    // with a unified diff that names the experiment and shows the cell.
+    let txt = &paths[0];
+    let golden = std::fs::read_to_string(txt).unwrap();
+    assert!(
+        golden.contains("16   16"),
+        "fixture layout changed:\n{golden}"
+    );
+    std::fs::write(txt, golden.replace("16   16", "16   17")).unwrap();
+    let failures = check_against_goldens(&report, true, &dir);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    let failure = &failures[0];
+    assert!(
+        failure.contains("toy_gate"),
+        "diff must name the experiment: {failure}"
+    );
+    assert!(failure.contains("drift against"), "{failure}");
+    assert!(
+        failure.contains("-16   17"),
+        "golden side of the cell: {failure}"
+    );
+    assert!(
+        failure.contains("+16   16"),
+        "rendered side of the cell: {failure}"
+    );
+
+    // Restoring the golden makes the gate clean again.
+    std::fs::write(txt, golden).unwrap();
+    assert!(check_against_goldens(&report, true, &dir).is_empty());
+
+    // A failing structured check is reported even with clean goldens.
+    let mut failing = report.clone();
+    failing
+        .checks
+        .push(Check::le_u64("impossible bound", 16, 1));
+    let failures = check_against_goldens(&failing, true, &dir);
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.contains("CHECK FAILED") && f.contains("impossible bound")),
+        "{failures:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn smoke_goldens_live_in_their_own_subdir() {
+    let dir = temp_results_dir("smoke");
+    let ctx = Ctx::new(Mode::Smoke);
+    let report = Toy.run(&ctx);
+    let paths = bless(&report, &dir).expect("bless");
+    assert!(paths[0].starts_with(dir.join("smoke")));
+    assert!(paths[1].ends_with("smoke/toy_gate.json"));
+    assert!(check_against_goldens(&report, true, &dir).is_empty());
+    // Smoke and full goldens never collide: the full check still
+    // reports its goldens as missing.
+    let full_report = Toy.run(&Ctx::new(Mode::Full));
+    assert_eq!(check_against_goldens(&full_report, true, &dir).len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nondeterministic_reports_gate_presence_and_checks_only() {
+    let dir = temp_results_dir("nondet");
+    let ctx = Ctx::new(Mode::Full);
+    let report = Toy.run(&ctx);
+    // Absent goldens still fail even for non-deterministic reports.
+    assert_eq!(check_against_goldens(&report, false, &dir).len(), 2);
+    bless(&report, &dir).expect("bless");
+    // Now perturb a golden: a non-deterministic report skips the
+    // byte-diff, so the gate stays clean...
+    let txt = golden_txt_path(&dir, Mode::Full, "toy_gate");
+    let golden = std::fs::read_to_string(&txt).unwrap();
+    std::fs::write(&txt, golden.replace("16   16", "16   99")).unwrap();
+    assert!(check_against_goldens(&report, false, &dir).is_empty());
+    // ...but a failed structured check still gates.
+    let mut failing = report.clone();
+    failing.checks.push(Check::le_u64("perf floor", 1, 2));
+    failing.checks.push(Check::le_u64("regressed floor", 10, 2));
+    let failures = check_against_goldens(&failing, false, &dir);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(failures[0].contains("regressed floor"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
