@@ -1,0 +1,7 @@
+//! Thin wrapper: `cargo run --release --bin perf_locks` runs the
+//! contended lock lab through the registry (same report/golden pipeline
+//! as `experiments --filter perf_locks`).
+
+fn main() {
+    bench::exp::run_as_bin("perf_locks", false);
+}

@@ -23,6 +23,7 @@ mod e5_properties;
 mod e6_mutex_rmr;
 mod e7_baselines;
 mod e9_counter;
+mod perf_locks;
 mod perf_modelcheck;
 mod perf_smoke;
 mod support;
@@ -56,6 +57,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e15_crash_robustness::E15),
         Box::new(perf_smoke::PerfSmoke),
         Box::new(perf_modelcheck::PerfModelcheck),
+        Box::new(perf_locks::PerfLocks),
     ]
 }
 

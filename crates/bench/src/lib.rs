@@ -31,6 +31,7 @@
 //! | `e15_crash_robustness` | RME crash model: MX under crashes, recovery RMRs, stall diagnoses |
 //! | `perf_smoke` | simulator steps/sec: directory core vs reference core |
 //! | `perf_modelcheck` | explorer states/sec: full-rehash vs incremental vs parallel |
+//! | `perf_locks` | contended lock lab: sharded `A_f` vs the field, throughput + latency tails |
 //!
 //! (`e8` is the throughput bench suite: `cargo bench -p bench`.)
 //!
@@ -44,7 +45,9 @@
 
 pub mod exp;
 pub mod experiments;
+pub mod hist;
 pub mod par;
+pub mod pin;
 mod rmr;
 pub mod stopwatch;
 mod table;

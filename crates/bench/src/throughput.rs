@@ -7,8 +7,13 @@
 //! with zero external dependencies, so the `parking_lot` contender was
 //! dropped.
 
-use rwcore::{AfConfig, CentralizedRwLock, FaaRwLock, MutexRwLock, RawAfLock, RawRwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::hist::Histogram;
+use ccsim::Prng;
+use rwcore::{
+    AfConfig, BusyForbiddenLock, CentralizedRwLock, FaaRwLock, MutexRwLock, RawAfLock, RawRwLock,
+    ShardedAfRwLock,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -177,9 +182,201 @@ pub fn contenders(readers: usize, writers: usize) -> Vec<Arc<dyn BenchLock>> {
         Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(
             readers, writers,
         )))),
+        Arc::new(RawAdapter::new(ShardedAfRwLock::with_auto_shards(writers))),
         Arc::new(RawAdapter::new(CentralizedRwLock::new())),
         Arc::new(RawAdapter::new(FaaRwLock::new(writers))),
         Arc::new(RawAdapter::new(MutexRwLock::new(readers, writers))),
+        Arc::new(RawAdapter::new(BusyForbiddenLock::new(readers, writers))),
+        Arc::new(StdAdapter::default()),
+    ]
+}
+
+/// How long a contended run lasts.
+#[derive(Copy, Clone, Debug)]
+pub enum OpBudget {
+    /// Run until the wall clock expires (measurement mode).
+    Duration(Duration),
+    /// Run a fixed per-thread op count (deterministic smoke mode: with a
+    /// fixed seed, every thread's read/write sequence — and therefore
+    /// the total read/write counts — is reproducible).
+    PerThreadOps(u64),
+}
+
+/// A symmetric contended workload: `threads` identical threads, each
+/// flipping a seeded per-thread coin before every op — read with
+/// probability `reads_per_write / (reads_per_write + 1)`, write
+/// otherwise. Thread `t` acts as reader id `t` *and* writer id `t` of
+/// the lock under test (sized for `threads` readers and writers).
+#[derive(Copy, Clone, Debug)]
+pub struct MixedWorkload {
+    /// OS thread count.
+    pub threads: usize,
+    /// Reads per write (e.g. 1000 for a 1000:1 read-mostly mix).
+    pub reads_per_write: u64,
+    /// Reader churn: threads occasionally yield the CPU between ops,
+    /// modeling passages interleaved with other work (and forcing
+    /// batch/indicator state to drain and rebuild).
+    pub churn: bool,
+    /// Run length.
+    pub budget: OpBudget,
+    /// Pin thread `t` to CPU `t % ncpu` (best-effort; see [`crate::pin`]).
+    pub pin: bool,
+    /// Per-run RNG seed (thread `t` derives its stream from `seed + t`).
+    pub seed: u64,
+}
+
+/// Result of one contended run: totals plus merged per-thread latency
+/// histograms (nanoseconds per op, lock passage + tiny CS).
+#[derive(Clone, Debug)]
+pub struct ContendedSample {
+    /// Lock label.
+    pub lock: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Total read passages completed.
+    pub reads: u64,
+    /// Total write passages completed.
+    pub writes: u64,
+    /// Wall-clock duration of the measured region.
+    pub elapsed: Duration,
+    /// Read-op latency histogram (merged across threads).
+    pub read_hist: Histogram,
+    /// Write-op latency histogram (merged across threads).
+    pub write_hist: Histogram,
+    /// Whether every thread was successfully pinned.
+    pub pinned: bool,
+}
+
+impl ContendedSample {
+    /// Total passages / second.
+    pub fn ops_per_sec(&self) -> f64 {
+        (self.reads + self.writes) as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Read and write histograms merged (every cell has at least one op,
+    /// so quantiles over this merged view always exist).
+    pub fn merged_hist(&self) -> Histogram {
+        let mut h = self.read_hist.clone();
+        h.merge(&self.write_hist);
+        h
+    }
+}
+
+/// What one bench thread brings home.
+struct ThreadTake {
+    reads: u64,
+    writes: u64,
+    read_hist: Histogram,
+    write_hist: Histogram,
+    pinned: bool,
+}
+
+/// Run `wl` against `lock` once: all threads start together behind a
+/// barrier, record per-op latencies into thread-local histograms, and
+/// stop on the budget (a stop flag for [`OpBudget::Duration`], a local
+/// countdown for [`OpBudget::PerThreadOps`]).
+pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedSample {
+    assert!(wl.threads > 0, "need at least one thread");
+    let barrier = Arc::new(Barrier::new(wl.threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ncpu = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut handles = Vec::with_capacity(wl.threads);
+    for t in 0..wl.threads {
+        let lock = Arc::clone(&lock);
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        let wl = *wl;
+        handles.push(std::thread::spawn(move || {
+            let pinned = if wl.pin {
+                crate::pin::pin_to_cpu(t % ncpu).is_ok()
+            } else {
+                false
+            };
+            let mut rng = Prng::new(wl.seed.wrapping_add(t as u64));
+            let mut take = ThreadTake {
+                reads: 0,
+                writes: 0,
+                read_hist: Histogram::new(),
+                write_hist: Histogram::new(),
+                pinned,
+            };
+            barrier.wait();
+            let quota = match wl.budget {
+                OpBudget::PerThreadOps(n) => n,
+                OpBudget::Duration(_) => u64::MAX,
+            };
+            while take.reads + take.writes < quota {
+                if matches!(wl.budget, OpBudget::Duration(_)) && stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let is_read = rng.below(wl.reads_per_write as usize + 1) != 0;
+                let t0 = Instant::now();
+                if is_read {
+                    lock.read_pass(t);
+                } else {
+                    lock.write_pass(t);
+                }
+                let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if is_read {
+                    take.read_hist.record(ns);
+                    take.reads += 1;
+                } else {
+                    take.write_hist.record(ns);
+                    take.writes += 1;
+                }
+                if wl.churn && rng.below(8) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            take
+        }));
+    }
+
+    barrier.wait();
+    let start = Instant::now();
+    if let OpBudget::Duration(d) = wl.budget {
+        std::thread::sleep(d);
+        stop.store(true, Ordering::Relaxed);
+    }
+    let mut sample = ContendedSample {
+        lock: lock.label(),
+        threads: wl.threads,
+        reads: 0,
+        writes: 0,
+        elapsed: Duration::ZERO,
+        read_hist: Histogram::new(),
+        write_hist: Histogram::new(),
+        pinned: wl.pin,
+    };
+    for h in handles {
+        let take = h.join().expect("bench thread panicked");
+        sample.reads += take.reads;
+        sample.writes += take.writes;
+        sample.read_hist.merge(&take.read_hist);
+        sample.write_hist.merge(&take.write_hist);
+        sample.pinned &= take.pinned;
+    }
+    sample.elapsed = start.elapsed();
+    sample
+}
+
+/// The contended-lab contender set for `threads` symmetric threads: the
+/// single-instance `A_f`, the sharded variant (`shards` shards), the
+/// real-atomics baselines, the busy-forbidden protocol, and
+/// `std::sync::RwLock`.
+pub fn contended_contenders(threads: usize, shards: usize) -> Vec<Arc<dyn BenchLock>> {
+    vec![
+        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(
+            threads, threads,
+        )))),
+        Arc::new(RawAdapter::new(ShardedAfRwLock::new(shards, threads))),
+        Arc::new(RawAdapter::new(CentralizedRwLock::new())),
+        Arc::new(RawAdapter::new(FaaRwLock::new(threads))),
+        Arc::new(RawAdapter::new(MutexRwLock::new(threads, threads))),
+        Arc::new(RawAdapter::new(BusyForbiddenLock::new(threads, threads))),
         Arc::new(StdAdapter::default()),
     ]
 }
@@ -209,5 +406,57 @@ mod tests {
         assert!(rh.total_passages() > 0);
         let mx = Workload::mixed(8);
         assert_eq!(mx.readers + mx.writers, 8);
+    }
+
+    #[test]
+    fn contended_run_completes_for_all_locks() {
+        let wl = MixedWorkload {
+            threads: 2,
+            reads_per_write: 9,
+            churn: false,
+            budget: OpBudget::PerThreadOps(200),
+            pin: false,
+            seed: 7,
+        };
+        for lock in contended_contenders(2, 2) {
+            let label = lock.label();
+            let s = run_contended(lock, &wl);
+            assert_eq!(s.reads + s.writes, 400, "{label}");
+            assert_eq!(s.read_hist.count(), s.reads, "{label}");
+            assert_eq!(s.write_hist.count(), s.writes, "{label}");
+            assert!(s.merged_hist().quantile(0.99).is_some(), "{label}");
+            assert!(!s.pinned, "{label}: pinning was not requested");
+        }
+    }
+
+    #[test]
+    fn contended_op_mix_is_seed_deterministic() {
+        let wl = MixedWorkload {
+            threads: 3,
+            reads_per_write: 99,
+            churn: true,
+            budget: OpBudget::PerThreadOps(300),
+            pin: false,
+            seed: 42,
+        };
+        let a = run_contended(Arc::new(StdAdapter::default()), &wl);
+        let b = run_contended(Arc::new(StdAdapter::default()), &wl);
+        assert_eq!((a.reads, a.writes), (b.reads, b.writes));
+        assert_eq!(a.reads + a.writes, 900);
+    }
+
+    #[test]
+    fn contended_duration_budget_stops() {
+        let wl = MixedWorkload {
+            threads: 2,
+            reads_per_write: 9,
+            churn: false,
+            budget: OpBudget::Duration(Duration::from_millis(20)),
+            pin: false,
+            seed: 1,
+        };
+        let s = run_contended(Arc::new(StdAdapter::default()), &wl);
+        assert!(s.reads + s.writes > 0);
+        assert!(s.elapsed >= Duration::from_millis(20));
     }
 }

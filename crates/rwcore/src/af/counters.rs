@@ -110,6 +110,16 @@ impl GroupHandle {
             GroupHandle::CasLoop(_) => 0,
         }
     }
+
+    /// Whether the handle carries no per-process state, i.e. whether a
+    /// fresh handle behaves identically to one that has issued `add`s.
+    /// F-array handles are *not* stateless (the leaf mirror accumulates);
+    /// single-word handles are. Compositions that hand a lock passage
+    /// from one process to another (e.g. the sharded batch slot) require
+    /// stateless handles.
+    pub fn is_stateless(&self) -> bool {
+        matches!(self, GroupHandle::CasLoop(_))
+    }
 }
 
 /// Retry-loop program counter of the CAS-loop add.

@@ -3,6 +3,8 @@
 pub mod counters;
 pub mod gated;
 pub mod real;
+pub mod sharded;
+pub mod sharded_sim;
 pub mod shared;
 pub mod sim;
 pub mod typed;

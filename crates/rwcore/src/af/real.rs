@@ -26,6 +26,17 @@ use wmutex::{IdMutex, TournamentLock};
 /// must be used by at most one thread at a time, and lock/unlock calls
 /// must be properly paired. The typed [`crate::AfRwLock`] wrapper enforces
 /// this with handles and guards.
+///
+/// A slot's passage *may* be handed between threads mid-flight — thread A
+/// calls `reader_lock(i)` and thread B later calls `reader_unlock(i)` —
+/// provided the handoff is synchronized (a happens-before edge from A's
+/// return to B's call, and exclusion of any other use of slot `i` in
+/// between). This works because the real lock, unlike the simulated one,
+/// keeps no thread-local per-slot state: the f-array `add` reads its leaf
+/// back from shared memory, so the exit path is position-independent.
+/// [`crate::ShardedAfRwLock`] relies on this: its batch leader locks a
+/// shard's slot 0 and the last batch member out unlocks it, with the
+/// shard's gate word providing the synchronization.
 #[derive(Debug)]
 pub struct RawAfLock {
     cfg: AfConfig,

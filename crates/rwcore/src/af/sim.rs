@@ -224,6 +224,30 @@ impl AfReaderSim {
         }
     }
 
+    /// Build the machine for reader `id` parked *inside* the critical
+    /// section (line 39), as if some other process had already run the
+    /// entry section for this reader id. This is the handoff constructor
+    /// for compositions that pass one lock slot between processes — the
+    /// sharded batch slot's exit runs in whichever member leaves last,
+    /// not in the leader that entered.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, or if the instance's counters are
+    /// not stateless ([`GroupHandle::is_stateless`]): an f-array handle
+    /// carries a per-process leaf mirror, so an exit driven by a fresh
+    /// handle in a different process would desynchronise the tree.
+    /// Handed-off instances must use [`crate::CounterKind::CasLoop`].
+    pub fn at_cs(shared: Arc<AfShared>, id: usize) -> Self {
+        let mut m = Self::new(shared, id);
+        assert!(
+            m.c_handle.is_stateless() && m.w_handle.is_stateless(),
+            "at_cs requires stateless (CasLoop) counters: f-array leaf \
+             mirrors cannot be handed across processes"
+        );
+        m.pc = RPc::Cs;
+        m
+    }
+
     /// This reader's id.
     pub fn id(&self) -> usize {
         self.id

@@ -294,6 +294,9 @@ mod tests {
             RawRwLock::name(&FaaRwLock::new(1)),
             RawRwLock::name(&MutexRwLock::new(1, 1)),
             RawRwLock::name(&crate::RawAfLock::new(crate::AfConfig::new(1, 1))),
+            RawRwLock::name(&crate::GatedAfLock::new(crate::AfConfig::new(1, 1))),
+            RawRwLock::name(&crate::ShardedAfRwLock::new(1, 1)),
+            RawRwLock::name(&crate::BusyForbiddenLock::new(1, 1)),
         ];
         assert_eq!(
             names.iter().collect::<std::collections::HashSet<_>>().len(),

@@ -34,6 +34,7 @@
 
 mod af;
 pub mod baselines;
+mod busy_forbidden;
 mod config;
 mod sig;
 mod world;
@@ -41,11 +42,16 @@ mod world;
 pub use af::counters::{CounterKind, GroupAddMachine, GroupCounter, GroupHandle, GroupReadMachine};
 pub use af::gated::{gated_af_world, GatedAfLock, GatedReaderSim, GatedWorld, GatedWriterSim};
 pub use af::real::RawAfLock;
+pub use af::sharded::ShardedAfRwLock;
+pub use af::sharded_sim::{
+    sharded_af_world, ShardedReaderSim, ShardedSimShared, ShardedWorld, ShardedWriterSim,
+};
 pub use af::shared::{AfShared, HelpOrder};
 pub use af::sim::{AfReaderSim, AfWriterSim, HelpWcsMachine};
 pub use af::typed::{AfRwLock, HandleError, ReadGuard, ReaderHandle, WriteGuard, WriterHandle};
 pub use baselines::real::{CentralizedRwLock, FaaRwLock, MutexRwLock, RawRwLock};
 pub use baselines::sim::{centralized_world, faa_world, mutex_rw_world, BaselineWorld};
+pub use busy_forbidden::BusyForbiddenLock;
 pub use config::{AfConfig, FPolicy, GroupSlot};
 pub use sig::{Opcode, Signal};
 pub use world::{af_world, af_world_custom, af_world_with_order, AfWorld, PidMap};
