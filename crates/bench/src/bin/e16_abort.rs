@@ -1,0 +1,8 @@
+//! Thin wrapper over the registry module `e16_abort` (see
+//! [`bench::experiments`]): runs the full sweep and exits nonzero if
+//! any structured check fails. The unified driver is
+//! `cargo run --release -p bench --bin experiments`.
+
+fn main() {
+    bench::exp::run_as_bin("e16_abort", false);
+}

@@ -172,7 +172,7 @@ impl Experiment for E15 {
     }
 
     fn claim(&self) -> &'static str {
-        "RME crash model: MX survives every small crash adversary (A_f needs its epoch-burning recovery); none of the locks is recoverable"
+        "RME crash model: MX survives every small crash adversary (A_f needs its epoch-burning recovery), and A_f's recovery paths un-wedge what crashes abandon"
     }
 
     fn run(&self, ctx: &Ctx) -> Report {
@@ -222,13 +222,16 @@ impl Experiment for E15 {
                 "Reading the table: all three locks keep Mutual Exclusion under\n\
                  every one- and two-crash adversary that strikes outside the CS\n\
                  (A_f needs its epoch-burning writer recovery for this — the\n\
-                 crash-augmented checker finds a real violation without it). None\n\
-                 of them is *recoverable*, though: the random-stress rows show\n\
-                 crashes abandoning counter increments and lock claims, and the\n\
-                 stall watchdog names the processes left spinning on the wedged\n\
-                 variables. Recovery RMRs are the re-warming cost of the crashed\n\
-                 processes' passages. On a violation, a shrunk replayable trace\n\
-                 is written to results/ (replay: see examples/verify_your_lock.rs).",
+                 crash-augmented checker finds a real violation without it). A_f\n\
+                 is additionally *recoverable* in the liveness sense: its reader\n\
+                 recovery drains the stale counter contributions a crash\n\
+                 abandons, so its random-stress rows complete where the\n\
+                 baselines wedge — their stalled rows show the watchdog naming\n\
+                 the processes left spinning on abandoned lock claims. Recovery\n\
+                 RMRs are the re-warming cost of the crashed processes'\n\
+                 passages. The system-wide crash model is E17's subject. On a\n\
+                 violation, a shrunk replayable trace is written to results/\n\
+                 (replay: see examples/verify_your_lock.rs).",
             );
         report
     }

@@ -1,0 +1,255 @@
+//! E16 — abortable entry: the RMR cost of withdrawing from `A_f`'s entry
+//! sections. A reader waiting for the writer's signal, or a writer still
+//! competing in the `WL` tournament, can abort: retract its announced
+//! state and return to the remainder in bounded solo steps without losing
+//! wakeups for anyone else. This experiment measures the amortized RMRs
+//! spent inside abort windows and contrasts the measured shape with the
+//! O(1)-amortized abortable locks of Jayanti–Jayanti (the cited target;
+//! `A_f`'s withdrawal retracts f-array contributions, so it pays the
+//! entry cost again — Θ(log(n/f)) per reader abort, Θ(log m) per writer
+//! abort). All rows are solo-driven and exactly deterministic.
+
+use super::prelude::*;
+use ccsim::{run_solo, Phase, ProcId, Sim};
+use rwcore::af_world;
+
+/// Per-abort solo-step safety budget: every withdrawal must reach the
+/// remainder well within this (bounded abort, the model-checked variant
+/// of which is `bounded_abort_invariant`).
+const SOLO_BUDGET: u64 = 10_000;
+
+/// What a batch of aborts cost.
+struct AbortCosts {
+    aborts: u64,
+    abort_rmrs: u64,
+    abort_ops: u64,
+    max_single_rmrs: u64,
+    max_solo_steps: u64,
+    all_withdrew: bool,
+}
+
+/// Drive `p` solo until its program is abortable (spinning in its entry
+/// section against the parked holder), then a few steps deeper so the
+/// withdrawal has real announced state to retract.
+fn park_in_entry(sim: &mut Sim, p: ProcId) -> bool {
+    if run_solo(sim, p, 400, |s| s.program(p).can_abort()).is_none() {
+        return false;
+    }
+    // Walk deeper (announce fully, start waiting) — this can land inside
+    // a non-abortable sub-machine window — then settle on the abortable
+    // wait loop the process spins in while the holder stays parked.
+    for _ in 0..8 {
+        sim.step(p);
+    }
+    run_solo(sim, p, 400, |s| s.program(p).can_abort()).is_some()
+}
+
+/// Issue `rounds` aborts for each process in `victims`, with the CS held
+/// by a parked process throughout, and account the abort windows.
+fn measure_aborts(sim: &mut Sim, victims: &[ProcId], rounds: u64) -> AbortCosts {
+    let mut costs = AbortCosts {
+        aborts: 0,
+        abort_rmrs: 0,
+        abort_ops: 0,
+        max_single_rmrs: 0,
+        max_solo_steps: 0,
+        all_withdrew: true,
+    };
+    for _ in 0..rounds {
+        for &p in victims {
+            if !park_in_entry(sim, p) {
+                costs.all_withdrew = false;
+                continue;
+            }
+            let before = sim.stats(p);
+            if sim.abort(p).is_none() {
+                costs.all_withdrew = false;
+                continue;
+            }
+            let steps = match run_solo(sim, p, SOLO_BUDGET, |s| s.phase(p) == Phase::Remainder) {
+                Some(steps) => steps,
+                None => {
+                    costs.all_withdrew = false;
+                    continue;
+                }
+            };
+            let after = sim.stats(p);
+            costs.aborts += after.aborts - before.aborts;
+            let rmrs = after.abort_rmrs - before.abort_rmrs;
+            costs.abort_rmrs += rmrs;
+            costs.abort_ops += after.abort_ops - before.abort_ops;
+            costs.max_single_rmrs = costs.max_single_rmrs.max(rmrs);
+            costs.max_solo_steps = costs.max_solo_steps.max(steps);
+            if after.aborts != before.aborts + 1 {
+                costs.all_withdrew = false;
+            }
+        }
+    }
+    costs
+}
+
+/// Reader aborts at size `n`: a parked writer keeps every reader waiting
+/// on `RSIG`, each reader withdraws `rounds` times.
+fn reader_row(n: usize, rounds: u64) -> ([String; 6], AbortCosts, f64) {
+    let cfg = AfConfig {
+        readers: n,
+        writers: 1,
+        policy: FPolicy::One,
+    };
+    let mut world = af_world(cfg, Protocol::WriteBack);
+    let w0 = world.pids.writer(0);
+    run_solo(&mut world.sim, w0, 100_000, |s| s.phase(w0) == Phase::Cs)
+        .expect("the writer must park in the CS");
+    let victims: Vec<ProcId> = world.pids.reader_pids().collect();
+    let costs = measure_aborts(&mut world.sim, &victims, rounds);
+    let amortized = costs.abort_rmrs as f64 / costs.aborts.max(1) as f64;
+    (
+        [
+            "reader".into(),
+            format!("n={n} m=1 f=1, writer parked in CS"),
+            format!("{} aborts", costs.aborts),
+            format!("{amortized:.2} amortized RMRs/abort"),
+            format!(
+                "max {} RMRs, {} ops total",
+                costs.max_single_rmrs, costs.abort_ops
+            ),
+            format!("max {} solo steps to remainder", costs.max_solo_steps),
+        ],
+        costs,
+        amortized,
+    )
+}
+
+/// Writer aborts at tournament size `m`: writer 0 parks in the CS (holds
+/// `WL`), every other writer spins in the tree and withdraws `rounds`
+/// times.
+fn writer_row(m: usize, rounds: u64) -> ([String; 6], AbortCosts, f64) {
+    let cfg = AfConfig {
+        readers: 1,
+        writers: m,
+        policy: FPolicy::One,
+    };
+    let mut world = af_world(cfg, Protocol::WriteBack);
+    let w0 = world.pids.writer(0);
+    run_solo(&mut world.sim, w0, 100_000, |s| s.phase(w0) == Phase::Cs)
+        .expect("writer 0 must park in the CS");
+    let victims: Vec<ProcId> = world.pids.writer_pids().skip(1).collect();
+    let costs = measure_aborts(&mut world.sim, &victims, rounds);
+    let amortized = costs.abort_rmrs as f64 / costs.aborts.max(1) as f64;
+    (
+        [
+            "writer".into(),
+            format!("n=1 m={m} f=1, writer 0 parked in CS"),
+            format!("{} aborts", costs.aborts),
+            format!("{amortized:.2} amortized RMRs/abort"),
+            format!(
+                "max {} RMRs, {} ops total",
+                costs.max_single_rmrs, costs.abort_ops
+            ),
+            format!("max {} solo steps to remainder", costs.max_solo_steps),
+        ],
+        costs,
+        amortized,
+    )
+}
+
+/// Registry entry for the abort-cost suite.
+pub(crate) struct E16;
+
+impl Experiment for E16 {
+    fn id(&self) -> &'static str {
+        "e16_abort"
+    }
+
+    fn title(&self) -> &'static str {
+        "abortable entry: amortized RMRs per withdrawal"
+    }
+
+    fn claim(&self) -> &'static str {
+        "every abort withdraws in bounded solo steps at Θ(log(n/f)) ops, and its RMR cost amortizes to O(1) per abort — the Jayanti–Jayanti amortized shape"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Report {
+        let mut table = Table::new([
+            "role",
+            "config",
+            "aborts",
+            "amortized",
+            "cost",
+            "boundedness",
+        ]);
+
+        let reader_sizes: &[usize] = if ctx.smoke() {
+            &[2, 4]
+        } else {
+            &[2, 4, 8, 16, 32]
+        };
+        let writer_sizes: &[usize] = if ctx.smoke() { &[2, 4] } else { &[2, 4, 8, 16] };
+        let rounds: u64 = if ctx.smoke() { 2 } else { 6 };
+
+        let reader_rows: Vec<_> = par_map(reader_sizes, |&n| reader_row(n, rounds));
+        let writer_rows: Vec<_> = par_map(writer_sizes, |&m| writer_row(m, rounds));
+
+        let mut withdrew = 0usize;
+        let total = reader_rows.len() + writer_rows.len();
+        // Two shapes, checked separately: the *op* count per withdrawal
+        // tracks the entry cost (log2(n)+1 for readers retracting f-array
+        // contributions at f=1; log2(m)+1 for the tournament unwind),
+        // while the *RMR* cost amortizes to a constant — retractions
+        // rewrite lines the process already owns.
+        let mut max_amortized_rmrs = 0f64;
+        let mut max_ops_ratio = 0f64;
+        let mut max_solo_steps = 0u64;
+        for (sizes, rows) in [(reader_sizes, &reader_rows), (writer_sizes, &writer_rows)] {
+            for (&k, (row, costs, amortized)) in sizes.iter().zip(rows.iter()) {
+                table.row(row.clone());
+                withdrew += usize::from(costs.all_withdrew);
+                max_amortized_rmrs = max_amortized_rmrs.max(*amortized);
+                let ops_per_abort = costs.abort_ops as f64 / costs.aborts.max(1) as f64;
+                max_ops_ratio = max_ops_ratio.max(ops_per_abort / (log2(k as f64) + 1.0));
+                max_solo_steps = max_solo_steps.max(costs.max_solo_steps);
+            }
+        }
+
+        let mut report = Report::new(self, ctx);
+        report
+            .section("abort windows under a parked CS holder", table)
+            .check(Check::all(
+                "bounded abort: every withdrawal reaches the remainder",
+                withdrew,
+                total,
+            ))
+            .check(Check::le_u64(
+                "withdrawal solo steps stay far below the budget",
+                max_solo_steps,
+                SOLO_BUDGET / 10,
+            ))
+            .check(Check::le_f64(
+                "abort-window RMRs amortize to O(1) per abort (JJ shape)",
+                max_amortized_rmrs,
+                4.0,
+            ))
+            .check(Check::le_f64(
+                "abort-window ops per withdrawal within c·(log2(k)+1)",
+                max_ops_ratio,
+                12.0,
+            ))
+            .notes(
+                "Reading the table: each abort window runs from the abort request\n\
+                 to the process's return to the remainder section; its RMRs are\n\
+                 accounted separately (ProcStats::abort_rmrs) and never count as a\n\
+                 passage. A_f's withdrawal retracts the announced f-array\n\
+                 contributions (readers) or unwinds the claimed tournament path\n\
+                 (writers): the op count per withdrawal grows with the entry cost\n\
+                 — Θ(log(n/f)) and Θ(log m) — but in the cache-coherent RMR\n\
+                 model those retractions rewrite lines the aborting process\n\
+                 already owns, so the *remote* cost amortizes to O(1) per abort,\n\
+                 matching the amortized shape of the purpose-built abortable\n\
+                 mutex lineage of Jayanti–Jayanti (arXiv:2302.00748). The checks\n\
+                 pin both shapes plus bounded-abort itself; the model-checked\n\
+                 counterpart is `bounded_abort_invariant` in the `modelcheck`\n\
+                 crate.",
+            );
+        report
+    }
+}

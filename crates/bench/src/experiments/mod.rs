@@ -15,6 +15,8 @@ mod e12_writer_starvation;
 mod e13_counter_ablation;
 mod e14_writer_bias;
 mod e15_crash_robustness;
+mod e16_abort;
+mod e17_system_crash;
 mod e1_lower_bound;
 mod e2_writer_rmr;
 mod e3_reader_rmr;
@@ -55,6 +57,8 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e13_counter_ablation::E13),
         Box::new(e14_writer_bias::E14),
         Box::new(e15_crash_robustness::E15),
+        Box::new(e16_abort::E16),
+        Box::new(e17_system_crash::E17),
         Box::new(perf_smoke::PerfSmoke),
         Box::new(perf_modelcheck::PerfModelcheck),
         Box::new(perf_locks::PerfLocks),

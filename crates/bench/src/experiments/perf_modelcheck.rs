@@ -5,7 +5,8 @@
 //! independent hash families agreeing is the aliasing oracle).
 //!
 //! Full mode times everything, closes with the previously infeasible
-//! two-crash `A_f` instance (8.75M states, past the default state cap),
+//! two-crash `A_f` instance (historically 8.75M states, ~3.7M since the
+//! recoverable recovery paths prune the wedged branches),
 //! asserts the PR-3 speedup floors, and writes `BENCH_modelcheck.json`
 //! (override: `BENCH_MODELCHECK_OUT`); its wall-clock content makes the
 //! report non-byte-stable, so [`Experiment::deterministic`] is false
@@ -194,9 +195,13 @@ impl Experiment for PerfModelcheck {
                 format!("{big_sps:.0}"),
             ]);
             report.section("previously infeasible instance", big_table);
+            // Historically 8.75M states (past the default 5M cap); the
+            // recoverable A_f recovery paths prune the wedged branches,
+            // so the same instance now closes at ~3.7M states. The floor
+            // pins it staying a multi-million-state exhaustive close.
             report.check(Check::new(
-                "the two-crash space is exhausted past the default 5M state cap",
-                "complete, > 5,000,000 states",
+                "the two-crash space is exhausted at multi-million-state scale",
+                "complete, > 2,000,000 states",
                 format!(
                     "{}, {} states",
                     if big.complete {
@@ -206,7 +211,7 @@ impl Experiment for PerfModelcheck {
                     },
                     big.states_explored
                 ),
-                big.complete && big.states_explored > 5_000_000,
+                big.complete && big.states_explored > 2_000_000,
             ));
 
             // Preserve the historical side artifact for trend tracking.

@@ -29,6 +29,8 @@
 //! | `e13_counter_ablation` | Bounded Exit ablation: f-array vs CAS-loop counters |
 //! | `e14_writer_bias` | extension: plain `A_f` vs the writer-biased (gated) variant |
 //! | `e15_crash_robustness` | RME crash model: MX under crashes, recovery RMRs, stall diagnoses |
+//! | `e16_abort` | abortable entry: amortized RMRs per withdrawal vs the O(1)-amortized cite |
+//! | `e17_system_crash` | crash-all model: exhaustive safety, negative control, recovery-window RMRs |
 //! | `perf_smoke` | simulator steps/sec: directory core vs reference core |
 //! | `perf_modelcheck` | explorer states/sec: full-rehash vs incremental vs parallel |
 //! | `perf_locks` | contended lock lab: sharded `A_f` vs the field, throughput + latency tails |

@@ -45,6 +45,9 @@ impl fmt::Display for CrashPoint {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FaultPlan {
     crashes: Vec<CrashPoint>,
+    /// System-wide crash points, keyed on the run's *total* scheduled step
+    /// count (a crash-all has no single victim to count steps for).
+    crash_alls: Vec<u64>,
     avoid_cs: bool,
 }
 
@@ -60,6 +63,7 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             crashes: Vec::new(),
+            crash_alls: Vec::new(),
             avoid_cs: true,
         }
     }
@@ -76,6 +80,15 @@ impl FaultPlan {
             proc: p,
             after_steps: k,
         });
+        self
+    }
+
+    /// Add a *system-wide* crash ([`crate::Sim::crash_all`]) due after the
+    /// run's `k`-th scheduled step in total (builder style). Under
+    /// `avoid_cs`, a due crash-all is deferred while **any** process
+    /// occupies the CS.
+    pub fn with_crash_all(mut self, k: u64) -> Self {
+        self.crash_alls.push(k);
         self
     }
 
@@ -105,9 +118,31 @@ impl FaultPlan {
         plan
     }
 
+    /// `n_crash_alls` seeded-random system-wide crash points, each due
+    /// within the run's first `max_total_step` total steps. Deterministic
+    /// in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `max_total_step == 0`.
+    pub fn random_crash_alls(seed: u64, n_crash_alls: usize, max_total_step: u64) -> Self {
+        assert!(max_total_step > 0, "need a positive step horizon");
+        let mut rng = Prng::new(seed);
+        let mut plan = FaultPlan::none();
+        for _ in 0..n_crash_alls {
+            plan = plan.with_crash_all(rng.next_u64() % max_total_step);
+        }
+        plan
+    }
+
     /// The planned crash points, in insertion order.
     pub fn crash_points(&self) -> &[CrashPoint] {
         &self.crashes
+    }
+
+    /// The planned system-wide crash points (total-step triggers), in
+    /// insertion order.
+    pub fn crash_all_points(&self) -> &[u64] {
+        &self.crash_alls
     }
 
     /// Whether crashes are deferred while the victim is in the CS.
@@ -115,9 +150,9 @@ impl FaultPlan {
         self.avoid_cs
     }
 
-    /// True if the plan contains no crashes.
+    /// True if the plan contains no crashes of either kind.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty()
+        self.crashes.is_empty() && self.crash_alls.is_empty()
     }
 }
 
@@ -131,6 +166,11 @@ pub struct FaultDriver {
     pending: Vec<Vec<u64>>,
     /// Per process: scheduled steps taken so far in this run.
     taken: Vec<u64>,
+    /// Pending system-wide crash triggers (total-step counts), sorted
+    /// descending so the next due point is at the back.
+    pending_alls: Vec<u64>,
+    /// Total scheduled steps observed in this run.
+    total_taken: u64,
     avoid_cs: bool,
 }
 
@@ -151,9 +191,13 @@ impl FaultDriver {
         for q in &mut pending {
             q.sort_unstable_by(|a, b| b.cmp(a));
         }
+        let mut pending_alls = plan.crash_alls.clone();
+        pending_alls.sort_unstable_by(|a, b| b.cmp(a));
         FaultDriver {
             pending,
             taken: vec![0; n_procs],
+            pending_alls,
+            total_taken: 0,
             avoid_cs: plan.avoid_cs,
         }
     }
@@ -161,6 +205,7 @@ impl FaultDriver {
     /// Record that `p` took one scheduled step.
     pub fn note_step(&mut self, p: ProcId) {
         self.taken[p.0] += 1;
+        self.total_taken += 1;
     }
 
     /// Crash `p` now if a planned crash is due (and, under `avoid_cs`, the
@@ -175,9 +220,21 @@ impl FaultDriver {
         Some(sim.crash(p))
     }
 
-    /// True if no crash remains pending for any process.
+    /// Fire a system-wide crash now if one is due (and, under `avoid_cs`,
+    /// no process occupies the CS — a due crash-all then stays pending
+    /// until the CS empties). Returns the crash record if one fired.
+    pub fn fire_crash_all_due(&mut self, sim: &mut Sim) -> Option<crate::trace::StepRecord> {
+        let due = matches!(self.pending_alls.last(), Some(&k) if k <= self.total_taken);
+        if !due || (self.avoid_cs && !sim.procs_in_cs().is_empty()) {
+            return None;
+        }
+        self.pending_alls.pop();
+        Some(sim.crash_all())
+    }
+
+    /// True if no crash of either kind remains pending.
     pub fn is_done(&self) -> bool {
-        self.pending.iter().all(Vec::is_empty)
+        self.pending.iter().all(Vec::is_empty) && self.pending_alls.is_empty()
     }
 }
 
@@ -209,6 +266,22 @@ mod tests {
         }
         let c = FaultPlan::random(8, 4, 6, 100);
         assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn crash_all_points_build_and_randomize_deterministically() {
+        let plan = FaultPlan::none().with_crash_all(4).with_crash_all(9);
+        assert_eq!(plan.crash_all_points(), &[4, 9]);
+        assert!(!plan.is_empty(), "crash-alls alone make the plan non-empty");
+        assert!(plan.crash_points().is_empty());
+
+        let a = FaultPlan::random_crash_alls(3, 2, 50);
+        let b = FaultPlan::random_crash_alls(3, 2, 50);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.crash_all_points().len(), 2);
+        for &k in a.crash_all_points() {
+            assert!(k < 50);
+        }
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use op::{Op, OpKind};
 pub use program::{sub, Phase, Program, Role, Step, SubMachine, SubStep};
 pub use rng::Prng;
 pub use sched::{
-    blocked_spinners, run_random, run_random_with_faults, run_round_robin,
-    run_round_robin_with_faults, run_solo, RunConfig, RunError, RunReport,
+    blocked_spinners, parse_stall_after, run_random, run_random_with_faults, run_round_robin,
+    run_round_robin_with_faults, run_solo, RunConfig, RunError, RunReport, STALL_AFTER_ENV,
 };
 pub use sim::{MutualExclusionViolation, ProcStats, Sim};
 pub use trace::{StepKind, StepRecord, Trace, TraceSummary};

@@ -134,6 +134,24 @@ pub trait Program: Send {
     /// over-count — which is conservative for Mutual Exclusion.
     fn on_crash(&mut self);
 
+    /// Whether the process can *abort* its passage from its current state:
+    /// switch onto a withdrawal path that returns it to the remainder
+    /// section in a bounded number of its own steps, without losing
+    /// wakeups for other processes. The default (`false`) means the
+    /// algorithm has no abort protocol (or none from this state);
+    /// [`crate::Sim::abort`] is then a no-op.
+    fn can_abort(&self) -> bool {
+        false
+    }
+
+    /// Switch the process onto its withdrawal path. Called by
+    /// [`crate::Sim::abort`] only when [`Program::can_abort`] is true.
+    /// Like [`Program::on_crash`], this must not touch shared memory (the
+    /// abort *request* is not a step) — the unwinding itself happens in
+    /// subsequent ordinary steps. Implementations may land directly in
+    /// [`Phase::Remainder`] when there is nothing to undo.
+    fn on_abort(&mut self) {}
+
     /// Hash all local state (program counter and local variables) into `h`.
     /// Used by the model checker to fingerprint global configurations.
     fn fingerprint(&self, h: &mut dyn Hasher);

@@ -21,8 +21,56 @@ pub struct RunConfig {
     /// Hard cap on total scheduled steps.
     pub max_steps: u64,
     /// If no passage completes for this many consecutive steps, the run is
-    /// declared stalled (deadlock/livelock suspicion).
+    /// declared stalled (deadlock/livelock suspicion). Overridable at run
+    /// time via the strictly-parsed `CCSIM_STALL_AFTER` environment
+    /// variable (see [`parse_stall_after`]).
     pub stall_after: u64,
+}
+
+/// Environment variable overriding [`RunConfig::stall_after`] globally.
+pub const STALL_AFTER_ENV: &str = "CCSIM_STALL_AFTER";
+
+/// Strictly parse a `CCSIM_STALL_AFTER` value: `None` (unset) is fine,
+/// otherwise the value must be a positive decimal integer. Anything else
+/// is an error — the runners abort loudly instead of silently falling
+/// back to the configured threshold, the same discipline as
+/// `BENCH_THREADS`.
+///
+/// # Errors
+/// Returns a diagnostic naming the variable on a zero, malformed, or
+/// out-of-range value.
+pub fn parse_stall_after(raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    // Strictly decimal digits: no sign, no whitespace, no radix prefixes
+    // (u64::from_str would accept a leading '+').
+    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!(
+            "{STALL_AFTER_ENV} must be a positive decimal integer, got {raw:?}"
+        ));
+    }
+    match raw.parse::<u64>() {
+        Ok(0) => Err(format!(
+            "{STALL_AFTER_ENV} must be a positive integer, got \"0\""
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{STALL_AFTER_ENV} must be a positive decimal integer, got {raw:?}"
+        )),
+    }
+}
+
+/// The effective stall threshold: the `CCSIM_STALL_AFTER` override if set,
+/// else `cfg.stall_after`.
+///
+/// # Panics
+/// Panics on a malformed override (see [`parse_stall_after`]).
+fn effective_stall_after(cfg: &RunConfig) -> u64 {
+    let raw = std::env::var(STALL_AFTER_ENV).ok();
+    match parse_stall_after(raw.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => cfg.stall_after,
+        Err(msg) => panic!("{msg}"),
+    }
 }
 
 impl Default for RunConfig {
@@ -49,6 +97,10 @@ pub enum RunError {
         /// spinning on. Empty only if the stall has no blocked spinner
         /// (e.g. everyone is parked in the CS).
         spinners: Vec<(ProcId, VarId)>,
+        /// Whether any process was inside a recovery window (crashed and
+        /// not yet through a fresh passage) when the stall was declared —
+        /// the telltale of a recovery path that wedges the lock.
+        in_recovery: bool,
     },
     /// `RunConfig::max_steps` was exhausted before all quotas were met.
     StepBudgetExhausted {
@@ -61,18 +113,25 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::MutualExclusion(v) => write!(f, "{v}"),
-            RunError::Stalled { steps, spinners } => {
+            RunError::Stalled {
+                steps,
+                spinners,
+                in_recovery,
+            } => {
                 write!(f, "run stalled: no passage completed near step {steps}")?;
                 if spinners.is_empty() {
-                    write!(f, "; no blocked spinners")
+                    write!(f, "; no blocked spinners")?;
                 } else {
                     write!(f, "; blocked spinners:")?;
                     for (i, (p, v)) in spinners.iter().enumerate() {
                         let sep = if i == 0 { " " } else { ", " };
                         write!(f, "{sep}{p} on {v}")?;
                     }
-                    Ok(())
                 }
+                if *in_recovery {
+                    write!(f, " (inside a recovery window)")?;
+                }
+                Ok(())
             }
             RunError::StepBudgetExhausted { completed } => {
                 write!(
@@ -106,8 +165,12 @@ pub struct RunReport {
     pub steps: u64,
     /// Passages completed per process *during this run*.
     pub completed: Vec<u64>,
-    /// Crashes injected by this run's [`FaultPlan`] (0 without one).
+    /// Individual crashes injected by this run's [`FaultPlan`] (0 without
+    /// one).
     pub crashes: u64,
+    /// System-wide crashes ([`crate::Sim::crash_all`]) injected by this
+    /// run's [`FaultPlan`].
+    pub crash_alls: u64,
 }
 
 fn eligible(sim: &Sim, p: ProcId, done: &[u64], quota: u64) -> bool {
@@ -204,8 +267,10 @@ fn run_with(
     let mut done = vec![0u64; n];
     let mut steps = 0u64;
     let mut crashes = 0u64;
+    let mut crash_alls = 0u64;
     let mut since_progress = 0u64;
     let mut turn = 0u64;
+    let stall_after = effective_stall_after(cfg);
     // Eligibility is absorbing within a run: a process leaves the set only
     // by reaching its remainder section with its quota met, and the runner
     // never steps it again after that. (A crash preserves this: it resets
@@ -222,15 +287,17 @@ fn run_with(
                 steps,
                 completed: done,
                 crashes,
+                crash_alls,
             });
         }
         if steps >= cfg.max_steps {
             return Err(RunError::StepBudgetExhausted { completed: done });
         }
-        if since_progress >= cfg.stall_after {
+        if since_progress >= stall_after {
             return Err(RunError::Stalled {
                 steps,
                 spinners: blocked_spinners(sim),
+                in_recovery: sim.proc_ids().any(|p| sim.is_recovering(p)),
             });
         }
 
@@ -252,6 +319,9 @@ fn run_with(
             driver.note_step(p);
             if driver.fire_due(sim, p).is_some() {
                 crashes += 1;
+            }
+            if driver.fire_crash_all_due(sim).is_some() {
+                crash_alls += 1;
             }
         }
         if !eligible(sim, p, &done, cfg.passages_per_proc) {
@@ -522,6 +592,99 @@ mod tests {
     fn run_solo_budget_exhaustion_returns_none() {
         let mut sim = read_world(1);
         assert_eq!(run_solo(&mut sim, ProcId(0), 3, |_| false), None);
+    }
+
+    #[test]
+    fn planned_crash_all_fires_once_and_is_reported() {
+        let mut sim = read_world(3);
+        sim.set_tracing(true);
+        // Due after the run's 4th total step; with avoid_cs it defers
+        // until no process occupies the CS.
+        let plan = FaultPlan::none().with_crash_all(4);
+        let cfg = RunConfig {
+            passages_per_proc: 2,
+            ..Default::default()
+        };
+        let report = run_round_robin_with_faults(&mut sim, &cfg, &plan).unwrap();
+        assert_eq!(report.crash_alls, 1);
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.completed, vec![2, 2, 2]);
+        for i in 0..3 {
+            assert_eq!(sim.stats(ProcId(i)).crashes, 1, "p{i} hit by crash-all");
+        }
+        let t = sim.take_trace().unwrap();
+        assert_eq!(
+            t.iter()
+                .filter(|r| matches!(r.kind, StepKind::CrashAll))
+                .count(),
+            1,
+            "one system-wide crash, one record"
+        );
+    }
+
+    #[test]
+    fn crash_all_defers_while_any_process_occupies_cs() {
+        let mut sim = read_world(2);
+        sim.set_tracing(true);
+        // Step 2 puts p0 in the CS under round-robin... drive manually:
+        // park p0 in the CS, then run with a crash-all due immediately.
+        run_solo(&mut sim, ProcId(0), 10, |s| s.phase(ProcId(0)) == Phase::Cs).unwrap();
+        let mut driver = FaultDriver::new(&FaultPlan::none().with_crash_all(0), 2);
+        assert!(
+            driver.fire_crash_all_due(&mut sim).is_none(),
+            "due crash-all must wait for the CS to empty"
+        );
+        run_solo(&mut sim, ProcId(0), 10, |s| {
+            s.phase(ProcId(0)) == Phase::Remainder
+        })
+        .unwrap();
+        assert!(driver.fire_crash_all_due(&mut sim).is_some());
+        assert!(driver.is_done());
+    }
+
+    #[test]
+    fn stall_diagnostic_reports_recovery_window() {
+        let mut l = Layout::new();
+        let v = l.var("x", Value::Int(0));
+        let mem = Memory::new(&l, 1, Protocol::WriteBack);
+        let mut sim = Sim::new(mem, vec![Box::new(Spinner { v, started: false })]);
+        let cfg = RunConfig {
+            passages_per_proc: 1,
+            max_steps: 10_000,
+            stall_after: 50,
+        };
+        // Without a crash: the stall is not in a recovery window.
+        match run_round_robin(&mut sim.clone_world(), &cfg) {
+            Err(RunError::Stalled { in_recovery, .. }) => {
+                assert!(!in_recovery);
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+        // Crash the spinner first: the ensuing stall is inside recovery,
+        // and the diagnostic says so.
+        sim.crash(ProcId(0));
+        match run_round_robin(&mut sim, &cfg) {
+            Err(err @ RunError::Stalled { .. }) => {
+                let RunError::Stalled { in_recovery, .. } = err else {
+                    unreachable!()
+                };
+                assert!(in_recovery, "the spinner never completed a passage");
+                assert!(err.to_string().contains("inside a recovery window"));
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_stall_after_is_strict() {
+        assert_eq!(parse_stall_after(None), Ok(None));
+        assert_eq!(parse_stall_after(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_stall_after(Some("200000")), Ok(Some(200_000)));
+        for bad in ["0", "", " 5", "5 ", "+5", "-1", "0x10", "1e3", "five"] {
+            let err = parse_stall_after(Some(bad))
+                .expect_err(&format!("{bad:?} must be rejected, not defaulted"));
+            assert!(err.contains(STALL_AFTER_ENV), "diagnostic names the var");
+        }
     }
 
     #[test]

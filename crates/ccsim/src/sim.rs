@@ -42,7 +42,8 @@ pub struct ProcStats {
     pub rmrs_by_phase: [u64; 4],
     /// Completed passages.
     pub passages: u64,
-    /// Crashes suffered (see [`Sim::crash`]).
+    /// Crashes suffered (see [`Sim::crash`]), including system-wide
+    /// crashes ([`Sim::crash_all`]).
     pub crashes: u64,
     /// Memory operations executed while recovering (between a crash and
     /// the next completed passage). A subset of [`ProcStats::ops`].
@@ -51,6 +52,16 @@ pub struct ProcStats {
     /// the RMR cost of re-warming a crashed process's cold cache and
     /// re-running its passage.
     pub recovery_rmrs: u64,
+    /// Completed aborts: passages withdrawn via [`Sim::abort`] that
+    /// reached the remainder section (they do **not** count as
+    /// [`ProcStats::passages`]).
+    pub aborts: u64,
+    /// Memory operations executed inside abort windows (between an abort
+    /// request and the return to remainder). A subset of [`ProcStats::ops`].
+    pub abort_ops: u64,
+    /// RMRs incurred inside abort windows — the RMR cost of withdrawing.
+    /// A subset of [`ProcStats::rmrs`].
+    pub abort_rmrs: u64,
 }
 
 impl ProcStats {
@@ -128,6 +139,10 @@ pub struct Sim {
     /// Per process: crashed and not yet completed a fresh passage. Only
     /// affects metric attribution (recovery_* counters), never behaviour.
     recovering: Vec<bool>,
+    /// Per process: abort requested ([`Sim::abort`]) and not yet back in
+    /// the remainder section. Affects passage accounting (the withdrawal
+    /// counts as an abort, not a passage) and the abort_* counters.
+    aborting: Vec<bool>,
     /// Maintained [`proc_sig`] per process; `procs_fp` is their XOR.
     /// Re-derived only for the process that just stepped or crashed, so
     /// [`Sim::fingerprint`] is O(1) instead of a full-state rehash.
@@ -161,6 +176,7 @@ impl Sim {
             procs,
             stats: vec![ProcStats::default(); n],
             recovering: vec![false; n],
+            aborting: vec![false; n],
             proc_sigs,
             procs_fp,
             trace: None,
@@ -293,6 +309,12 @@ impl Sim {
                         st.recovery_rmrs += 1;
                     }
                 }
+                if self.aborting[p.0] {
+                    st.abort_ops += 1;
+                    if out.rmr {
+                        st.abort_rmrs += 1;
+                    }
+                }
                 StepKind::Op {
                     op,
                     response: out.response,
@@ -314,11 +336,17 @@ impl Sim {
         self.refresh_proc_sig(p);
         // Passage completion: the process just returned to the remainder
         // section (usually Exit -> Remainder; Cs -> Remainder when the exit
-        // section is empty, e.g. a 1-process tournament).
+        // section is empty, e.g. a 1-process tournament). A withdrawal
+        // requested via [`Sim::abort`] counts as an abort instead.
         if phase_before != Phase::Remainder && self.procs[p.0].phase() == Phase::Remainder {
-            self.stats[p.0].passages += 1;
-            // A full passage completed after the crash: recovery is over.
-            self.recovering[p.0] = false;
+            if self.aborting[p.0] {
+                self.stats[p.0].aborts += 1;
+                self.aborting[p.0] = false;
+            } else {
+                self.stats[p.0].passages += 1;
+                // A full passage completed after the crash: recovery is over.
+                self.recovering[p.0] = false;
+            }
         }
         let record = StepRecord {
             index: self.steps,
@@ -368,6 +396,8 @@ impl Sim {
         );
         self.stats[p.0].crashes += 1;
         self.recovering[p.0] = true;
+        // A crash obliterates any in-flight withdrawal too.
+        self.aborting[p.0] = false;
         let record = StepRecord {
             index: self.steps,
             proc: p,
@@ -382,9 +412,96 @@ impl Sim {
         record
     }
 
+    /// System-wide crash (the RME system-crash model, Jayanti–Jayanti–
+    /// Joshi; Golab–Hendler): **every** process loses its local state and
+    /// all cached lines in one event, while shared memory survives. Each
+    /// process is reset through [`Program::on_crash`] exactly as in
+    /// [`Sim::crash`], its crash count is incremented, and it enters a
+    /// recovery window. The whole event is one scheduled step: a single
+    /// [`StepKind::CrashAll`] record (conventionally against process 0)
+    /// with a single global step index.
+    ///
+    /// # Panics
+    /// Panics if any `on_crash` leaves its program outside the remainder
+    /// section.
+    pub fn crash_all(&mut self) -> StepRecord {
+        for i in 0..self.procs.len() {
+            let p = ProcId(i);
+            self.mem.crash_invalidate(p);
+            self.procs[i].on_crash();
+            self.refresh_proc_sig(p);
+            assert_eq!(
+                self.procs[i].phase(),
+                Phase::Remainder,
+                "on_crash must reset {p} to its remainder section"
+            );
+            self.stats[i].crashes += 1;
+            self.recovering[i] = true;
+            self.aborting[i] = false;
+        }
+        let record = StepRecord {
+            index: self.steps,
+            proc: ProcId(0),
+            role: self.procs.first().map_or(Role::Reader, |p| p.role()),
+            phase: Phase::Remainder,
+            kind: StepKind::CrashAll,
+        };
+        self.steps += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(record);
+        }
+        record
+    }
+
+    /// Request that process `p` abort its passage. If the program reports
+    /// [`Program::can_abort`], it is switched onto its withdrawal path via
+    /// [`Program::on_abort`]; until it reaches the remainder section its
+    /// ops/RMRs additionally accumulate in [`ProcStats::abort_ops`] /
+    /// [`ProcStats::abort_rmrs`], and the completed withdrawal counts as
+    /// an abort, not a passage. When the program cannot abort from its
+    /// current state this is a tolerated no-op returning `None` — which
+    /// keeps every subsequence of a schedule valid (the shrinker relies on
+    /// it).
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn abort(&mut self, p: ProcId) -> Option<StepRecord> {
+        if !self.procs[p.0].can_abort() {
+            return None;
+        }
+        let phase_before = self.procs[p.0].phase();
+        let role = self.procs[p.0].role();
+        self.procs[p.0].on_abort();
+        self.refresh_proc_sig(p);
+        if self.procs[p.0].phase() == Phase::Remainder {
+            // Nothing to undo: the withdrawal completed instantly.
+            self.stats[p.0].aborts += 1;
+        } else {
+            self.aborting[p.0] = true;
+        }
+        let record = StepRecord {
+            index: self.steps,
+            proc: p,
+            role,
+            phase: phase_before,
+            kind: StepKind::Abort,
+        };
+        self.steps += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(record);
+        }
+        Some(record)
+    }
+
     /// True if `p` has crashed and not yet completed a fresh passage.
     pub fn is_recovering(&self, p: ProcId) -> bool {
         self.recovering[p.0]
+    }
+
+    /// True if `p` has an abort in flight (requested via [`Sim::abort`]
+    /// and not yet back in the remainder section).
+    pub fn is_aborting(&self, p: ProcId) -> bool {
+        self.aborting[p.0]
     }
 
     /// All processes currently inside the critical section.
@@ -462,6 +579,7 @@ impl Sim {
             procs: self.procs.iter().map(|p| p.clone_box()).collect(),
             stats: self.stats.clone(),
             recovering: self.recovering.clone(),
+            aborting: self.aborting.clone(),
             proc_sigs: self.proc_sigs.clone(),
             procs_fp: self.procs_fp,
             trace: None,
@@ -490,6 +608,7 @@ impl Sim {
         }
         dst.stats.clone_from(&self.stats);
         dst.recovering.clone_from(&self.recovering);
+        dst.aborting.clone_from(&self.aborting);
         dst.proc_sigs.clone_from(&self.proc_sigs);
         dst.procs_fp = self.procs_fp;
         dst.trace = None;
@@ -554,6 +673,15 @@ mod tests {
             self.role
         }
         fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn can_abort(&self) -> bool {
+            // Abortable only before the flag write lands: nothing to undo,
+            // so the withdrawal is instantaneous. After the flag is set
+            // the passage is committed.
+            self.pc == 1
+        }
+        fn on_abort(&mut self) {
             self.pc = 0;
         }
         fn fingerprint(&self, h: &mut dyn Hasher) {
@@ -814,6 +942,76 @@ mod tests {
         a.step(ProcId(0)); // a: p0 in Entry, p1 in Remainder
         b.step(ProcId(1)); // b: p1 in Entry, p0 in Remainder
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn crash_all_resets_every_process_in_one_step() {
+        let mut sim = world(&[Role::Reader, Role::Writer, Role::Reader]);
+        sim.set_tracing(true);
+        for p in [ProcId(0), ProcId(1)] {
+            sim.step(p); // begin passage
+            sim.step(p); // entry write -> CS
+        }
+        let flag = VarId(0);
+        let before = sim.mem().peek(flag);
+        let steps_before = sim.total_steps();
+
+        let rec = sim.crash_all();
+        assert_eq!(rec.kind, StepKind::CrashAll);
+        assert_eq!(sim.total_steps(), steps_before + 1, "one scheduled event");
+        assert_eq!(sim.mem().peek(flag), before, "shared memory survives");
+        for p in [ProcId(0), ProcId(1), ProcId(2)] {
+            assert_eq!(sim.phase(p), Phase::Remainder, "{p} reset");
+            assert!(!sim.mem().cache(p).holds(flag), "{p} cache purged");
+            assert_eq!(sim.stats(p).crashes, 1);
+            assert!(sim.is_recovering(p), "{p} enters its recovery window");
+            assert_eq!(sim.stats(p).passages, 0);
+        }
+        assert!(matches!(
+            sim.trace().unwrap().records().last().unwrap().kind,
+            StepKind::CrashAll
+        ));
+        assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+    }
+
+    #[test]
+    fn abort_is_a_tolerated_noop_when_not_abortable() {
+        let mut sim = world(&[Role::Reader]);
+        let p = ProcId(0);
+        let f0 = sim.fingerprint();
+        assert!(
+            sim.abort(p).is_none(),
+            "remainder section: nothing to abort"
+        );
+        assert_eq!(sim.fingerprint(), f0);
+        assert_eq!(sim.total_steps(), 0, "a refused abort is not a step");
+        sim.step(p); // begin passage
+        sim.step(p); // entry write -> CS: committed, no longer abortable
+        assert!(sim.abort(p).is_none());
+        assert_eq!(sim.stats(p).aborts, 0);
+    }
+
+    #[test]
+    fn abort_before_commitment_counts_as_abort_not_passage() {
+        let mut sim = world(&[Role::Reader]);
+        let p = ProcId(0);
+        sim.set_tracing(true);
+        sim.step(p); // begin passage -> pc 1 (abortable)
+        let rec = sim.abort(p).expect("abortable at pc 1");
+        assert_eq!(rec.kind, StepKind::Abort);
+        assert_eq!(rec.phase, Phase::Entry, "record keeps the pre-abort phase");
+        assert_eq!(sim.phase(p), Phase::Remainder, "instant withdrawal");
+        assert!(!sim.is_aborting(p), "instant withdrawal completes at once");
+        let st = sim.stats(p);
+        assert_eq!(st.aborts, 1);
+        assert_eq!(st.passages, 0, "a withdrawn passage does not count");
+        assert_eq!(sim.fingerprint(), sim.fingerprint_full());
+        // The process is free to run a full passage afterwards.
+        for _ in 0..4 {
+            sim.step(p);
+        }
+        assert_eq!(sim.stats(p).passages, 1);
+        assert_eq!(sim.stats(p).aborts, 1);
     }
 
     #[test]

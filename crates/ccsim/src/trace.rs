@@ -30,6 +30,13 @@ pub enum StepKind {
     /// The process crashed: local state and cached lines lost, program
     /// reset to the remainder section (shared memory survives).
     Crash,
+    /// A system-wide crash: *every* process lost its local state and
+    /// cached lines in one event (shared memory survives). Recorded once,
+    /// conventionally against process 0.
+    CrashAll,
+    /// The process requested to abort its passage: its program switched
+    /// onto the withdrawal path (it still takes steps to unwind).
+    Abort,
 }
 
 /// One entry in a [`Trace`].
@@ -106,6 +113,20 @@ impl fmt::Display for StepRecord {
                 write!(
                     f,
                     "#{:<5} {} [{}] CRASHES in {} (local state and cache lost)",
+                    self.index, self.proc, self.role, self.phase
+                )
+            }
+            StepKind::CrashAll => {
+                write!(
+                    f,
+                    "#{:<5} SYSTEM-WIDE CRASH (every process loses local state and cache)",
+                    self.index
+                )
+            }
+            StepKind::Abort => {
+                write!(
+                    f,
+                    "#{:<5} {} [{}] ABORTS its passage in {} (withdrawing)",
                     self.index, self.proc, self.role, self.phase
                 )
             }

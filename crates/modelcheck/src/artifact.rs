@@ -15,7 +15,8 @@
 //! ```
 //!
 //! The `schedule:` line uses [`crate::SchedEntry`] tokens (`s<pid>` step,
-//! `c<pid>` crash). The `world:` line is free text naming the factory
+//! `c<pid>` crash, `ca` system-wide crash, `a<pid>` abort request). The
+//! `world:` line is free text naming the factory
 //! configuration — the parser carries it through untouched; pairing the
 //! right factory with the artifact is the caller's contract, checked at
 //! replay time against `fingerprint`.
@@ -141,6 +142,8 @@ mod tests {
                 SchedEntry::Step(ProcId(0)),
                 SchedEntry::Step(ProcId(1)),
                 SchedEntry::Crash(ProcId(0)),
+                SchedEntry::CrashAll,
+                SchedEntry::Abort(ProcId(1)),
                 SchedEntry::Step(ProcId(1)),
             ],
         }
@@ -151,7 +154,7 @@ mod tests {
         let a = sample();
         let text = a.render();
         assert!(text.starts_with(MAGIC));
-        assert!(text.contains("schedule: s0 s1 c0 s1"));
+        assert!(text.contains("schedule: s0 s1 c0 ca a1 s1"));
         let b = TraceArtifact::parse(&text).unwrap();
         assert_eq!(a, b);
     }
@@ -164,9 +167,14 @@ mod tests {
         assert!(TraceArtifact::parse(&missing)
             .unwrap_err()
             .contains("fingerprint"));
-        let bad_tok =
-            format!("{MAGIC}\nworld: w\nviolation: v\nfingerprint: 0x1\nschedule: s0 x9\n");
-        assert!(TraceArtifact::parse(&bad_tok).is_err());
+        for bad in ["x9", "ca1", "a", "CA", "a1x"] {
+            let text =
+                format!("{MAGIC}\nworld: w\nviolation: v\nfingerprint: 0x1\nschedule: s0 {bad}\n");
+            assert!(
+                TraceArtifact::parse(&text).is_err(),
+                "schedule token {bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

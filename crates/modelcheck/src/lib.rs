@@ -54,26 +54,40 @@ pub use par::{explore_par, explore_par_with};
 pub use shrink::{shrink, ShrinkOutcome};
 
 /// One entry of an explored (or replayed) schedule: a normal scheduled
-/// step of a process, or a crash event striking it.
+/// step of a process, a crash event striking it, a system-wide crash
+/// striking everyone, or an abort request withdrawing a waiting process.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SchedEntry {
     /// Process `.0` takes one scheduled step.
     Step(ProcId),
     /// Process `.0` crashes (see [`ccsim::Sim::crash`]).
     Crash(ProcId),
+    /// Every process crashes at once (see [`ccsim::Sim::crash_all`]) —
+    /// the RME system-wide crash model.
+    CrashAll,
+    /// Process `.0` is asked to abort its passage (see
+    /// [`ccsim::Sim::abort`]).
+    Abort(ProcId),
 }
 
 impl SchedEntry {
-    /// The process this entry concerns.
-    pub fn proc(self) -> ProcId {
+    /// The process this entry concerns (`None` for the system-wide
+    /// [`SchedEntry::CrashAll`], which concerns all of them).
+    pub fn proc(self) -> Option<ProcId> {
         match self {
-            SchedEntry::Step(p) | SchedEntry::Crash(p) => p,
+            SchedEntry::Step(p) | SchedEntry::Crash(p) | SchedEntry::Abort(p) => Some(p),
+            SchedEntry::CrashAll => None,
         }
     }
 
-    /// True if this entry is a crash event.
+    /// True if this entry is a crash event (individual or system-wide).
     pub fn is_crash(self) -> bool {
-        matches!(self, SchedEntry::Crash(_))
+        matches!(self, SchedEntry::Crash(_) | SchedEntry::CrashAll)
+    }
+
+    /// True if this entry is an abort request.
+    pub fn is_abort(self) -> bool {
+        matches!(self, SchedEntry::Abort(_))
     }
 
     /// Apply this entry to a world.
@@ -84,6 +98,12 @@ impl SchedEntry {
             }
             SchedEntry::Crash(p) => {
                 sim.crash(p);
+            }
+            SchedEntry::CrashAll => {
+                sim.crash_all();
+            }
+            SchedEntry::Abort(p) => {
+                sim.abort(p);
             }
         }
     }
@@ -96,12 +116,15 @@ impl From<ProcId> for SchedEntry {
 }
 
 /// The compact token form used in trace artifacts and replay commands:
-/// `s<pid>` for a step, `c<pid>` for a crash (e.g. `s0 s2 c0 s2`).
+/// `s<pid>` for a step, `c<pid>` for a crash, `ca` for a system-wide
+/// crash, `a<pid>` for an abort (e.g. `s0 s2 c0 ca a1 s2`).
 impl fmt::Display for SchedEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedEntry::Step(p) => write!(f, "s{}", p.0),
             SchedEntry::Crash(p) => write!(f, "c{}", p.0),
+            SchedEntry::CrashAll => write!(f, "ca"),
+            SchedEntry::Abort(p) => write!(f, "a{}", p.0),
         }
     }
 }
@@ -109,12 +132,16 @@ impl fmt::Display for SchedEntry {
 impl FromStr for SchedEntry {
     type Err = String;
 
-    /// Parse the strict `s<pid>` / `c<pid>` grammar of `artifact.rs`: a
-    /// kind byte followed by one or more ASCII digits, nothing else.
-    /// Tokens with trailing garbage (`"s1x"`) or signs (`"s+1"`, which
-    /// `usize::from_str` alone would admit) are rejected outright.
+    /// Parse the strict grammar of `artifact.rs`: the literal `ca`, or a
+    /// kind byte (`s`/`c`/`a`) followed by one or more ASCII digits,
+    /// nothing else. Tokens with trailing garbage (`"s1x"`, `"ca1"`) or
+    /// signs (`"s+1"`, which `usize::from_str` alone would admit) are
+    /// rejected outright.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || format!("bad schedule token {s:?}: expected s<pid> or c<pid>");
+        if s == "ca" {
+            return Ok(SchedEntry::CrashAll);
+        }
+        let err = || format!("bad schedule token {s:?}: expected s<pid>, c<pid>, ca, or a<pid>");
         let (&kind, num) = s.as_bytes().split_first().ok_or_else(err)?;
         if num.is_empty() || !num.iter().all(|b| b.is_ascii_digit()) {
             return Err(err());
@@ -127,6 +154,7 @@ impl FromStr for SchedEntry {
         match kind {
             b's' => Ok(SchedEntry::Step(ProcId(pid))),
             b'c' => Ok(SchedEntry::Crash(ProcId(pid))),
+            b'a' => Ok(SchedEntry::Abort(ProcId(pid))),
             _ => Err(err()),
         }
     }
@@ -151,6 +179,20 @@ pub struct CheckConfig {
     /// critical section. Off by default — the regime in which a
     /// non-recoverable lock should still preserve Mutual Exclusion.
     pub crash_in_cs: bool,
+    /// Total system-wide crash events ([`ccsim::Sim::crash_all`]) the
+    /// adversary may inject along any one schedule (`0` = none, the
+    /// default). A `CrashAll` is pruned when every process is in its
+    /// remainder section (observably a no-op) and — unless
+    /// [`CheckConfig::crash_in_cs`] — while anyone occupies the critical
+    /// section (a system-wide crash necessarily strikes the occupant
+    /// too).
+    pub crash_all_budget: u32,
+    /// Total abort requests ([`ccsim::Sim::abort`]) the adversary may
+    /// inject along any one schedule (`0` = none, the default). Aborts
+    /// are offered only to processes whose program reports
+    /// [`ccsim::Program::can_abort`] — elsewhere they are observable
+    /// no-ops and exploring them would only pad the state space.
+    pub abort_budget: u32,
     /// Explore with the pre-optimization discipline: state keys from a
     /// from-scratch SipHash walk over every variable and every process
     /// per visited state (instead of the maintained O(1) incremental
@@ -175,7 +217,52 @@ impl Default for CheckConfig {
             max_depth: 100_000,
             crash_budget: 0,
             crash_in_cs: false,
+            crash_all_budget: 0,
+            abort_budget: 0,
             full_rehash: false,
+        }
+    }
+}
+
+/// The adversary budgets remaining along one schedule: individual
+/// crashes, system-wide crashes, and abort requests are rationed
+/// separately, so the state key and the frame bookkeeping carry all
+/// three.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Budgets {
+    pub(crate) crashes: u32,
+    pub(crate) crash_alls: u32,
+    pub(crate) aborts: u32,
+}
+
+impl Budgets {
+    /// The full budgets a schedule starts with.
+    pub(crate) fn of(cfg: &CheckConfig) -> Self {
+        Budgets {
+            crashes: cfg.crash_budget,
+            crash_alls: cfg.crash_all_budget,
+            aborts: cfg.abort_budget,
+        }
+    }
+
+    /// The budgets remaining after spending `entry`. Callers only spend
+    /// entries that [`push_entries`] offered, so the subtraction cannot
+    /// underflow.
+    pub(crate) fn after(self, entry: SchedEntry) -> Self {
+        match entry {
+            SchedEntry::Step(_) => self,
+            SchedEntry::Crash(_) => Budgets {
+                crashes: self.crashes - 1,
+                ..self
+            },
+            SchedEntry::CrashAll => Budgets {
+                crash_alls: self.crash_alls - 1,
+                ..self
+            },
+            SchedEntry::Abort(_) => Budgets {
+                aborts: self.aborts - 1,
+                ..self
+            },
         }
     }
 }
@@ -285,8 +372,11 @@ impl CheckReport {
 
 /// Append every schedule entry available in a configuration to `out`:
 /// one step per enabled process (mid-passage, in the CS, or idle with
-/// passages remaining), plus — while crash budget remains — one crash
-/// per mid-passage process (the CS excluded unless `crash_in_cs`).
+/// passages remaining), plus — while the respective budget remains —
+/// one crash per mid-passage process (the CS excluded unless
+/// `crash_in_cs`), one system-wide crash (when anyone is mid-passage
+/// and the CS rule allows it), and one abort request per process whose
+/// program can withdraw from its current state.
 ///
 /// Appending to a caller-owned scratch buffer instead of returning a
 /// fresh `Vec` is what keeps the explorers allocation-free per state:
@@ -295,7 +385,7 @@ impl CheckReport {
 fn push_entries(
     sim: &Sim,
     quota: u64,
-    crashes_left: u32,
+    budgets: Budgets,
     crash_in_cs: bool,
     out: &mut Vec<SchedEntry>,
 ) {
@@ -308,7 +398,7 @@ fn push_entries(
             out.push(SchedEntry::Step(p));
         }
     }
-    if crashes_left > 0 {
+    if budgets.crashes > 0 {
         for p in sim.proc_ids() {
             let crashable = match sim.phase(p) {
                 Phase::Remainder => false, // pruned: observably a no-op
@@ -320,28 +410,62 @@ fn push_entries(
             }
         }
     }
+    if budgets.crash_alls > 0 {
+        let anyone_mid_passage = sim.proc_ids().any(|p| sim.phase(p) != Phase::Remainder);
+        let cs_rule_ok = crash_in_cs || sim.proc_ids().all(|p| sim.phase(p) != Phase::Cs);
+        if anyone_mid_passage && cs_rule_ok {
+            out.push(SchedEntry::CrashAll);
+        }
+    }
+    if budgets.aborts > 0 {
+        for p in sim.proc_ids() {
+            if sim.program(p).can_abort() {
+                out.push(SchedEntry::Abort(p));
+            }
+        }
+    }
 }
 
-/// Fingerprint a configuration *including* per-process passage counts and
-/// the remaining crash budget (two identical memory/pc states differ for
-/// exploration purposes if the remaining quotas or budget differ).
+/// Fingerprint a configuration *including* per-process passage counts,
+/// the remaining adversary budgets, and the in-flight abort flags (two
+/// identical memory/pc states differ for exploration purposes if the
+/// remaining quotas or budgets differ — and an aborting process's
+/// program can be pc-identical to a normally-exiting one while its
+/// completion is accounted differently, so the abort flags must key the
+/// state too).
 ///
 /// The fast path (`full_rehash == false`) reads [`Sim::fingerprint`] —
 /// maintained incrementally, O(1) — and folds the quotas through the
 /// in-tree [`FxHasher`]. The baseline path rehashes the entire
 /// configuration with SipHash, exactly as the explorer did before the
 /// incremental fingerprints landed.
-fn state_key(sim: &Sim, quota: u64, crashes_left: u32, full_rehash: bool) -> u64 {
+fn state_key(sim: &Sim, quota: u64, budgets: Budgets, full_rehash: bool) -> u64 {
     if full_rehash {
-        return state_key_full(sim, quota, crashes_left);
+        return state_key_full(sim, quota, budgets);
     }
     let mut h = FxHasher::default();
     h.write_u64(sim.fingerprint());
     for p in sim.proc_ids() {
         h.write_u64(sim.stats(p).passages.min(quota));
     }
-    h.write_u32(crashes_left);
+    h.write_u32(budgets.crashes);
+    h.write_u32(budgets.crash_alls);
+    h.write_u32(budgets.aborts);
+    h.write_u64(aborting_bits(sim));
     h.finish()
+}
+
+/// The in-flight abort flags packed into a bitmask (bit `p` set iff
+/// process `p` is aborting). Worlds are far smaller than 64 processes —
+/// exploration is exponential in them — but fold conservatively anyway.
+fn aborting_bits(sim: &Sim) -> u64 {
+    let mut bits = 0u64;
+    for p in sim.proc_ids() {
+        if sim.is_aborting(p) {
+            bits ^= 1u64.rotate_left(p.0 as u32);
+        }
+    }
+    bits
 }
 
 /// The pre-optimization baseline for [`state_key`]: a from-scratch
@@ -350,7 +474,7 @@ fn state_key(sim: &Sim, quota: u64, crashes_left: u32, full_rehash: bool) -> u64
 /// by this must partition states identically to the incremental path up
 /// to hash collisions — the determinism suite compares the two runs'
 /// [`CheckReport::counts`] as an aliasing oracle.
-fn state_key_full(sim: &Sim, quota: u64, crashes_left: u32) -> u64 {
+fn state_key_full(sim: &Sim, quota: u64, budgets: Budgets) -> u64 {
     let mut walk = DefaultHasher::new();
     sim.mem().hash_values(&mut walk);
     for p in sim.proc_ids() {
@@ -361,7 +485,10 @@ fn state_key_full(sim: &Sim, quota: u64, crashes_left: u32) -> u64 {
     for p in sim.proc_ids() {
         sim.stats(p).passages.min(quota).hash(&mut h);
     }
-    crashes_left.hash(&mut h);
+    budgets.crashes.hash(&mut h);
+    budgets.crash_alls.hash(&mut h);
+    budgets.aborts.hash(&mut h);
+    aborting_bits(sim).hash(&mut h);
     h.finish()
 }
 
@@ -400,7 +527,7 @@ pub fn explore_with(
         /// The entry that produced this frame's configuration (`None` for
         /// the root) — used to reconstruct schedules.
         chosen: Option<SchedEntry>,
-        crashes_left: u32,
+        budgets: Budgets,
     }
 
     fn schedule_of(stack: &[Frame], last: SchedEntry) -> Vec<SchedEntry> {
@@ -414,8 +541,9 @@ pub fn explore_with(
     let root = factory();
     let quota = cfg.passages_per_proc;
     let full = cfg.full_rehash;
+    let root_budgets = Budgets::of(cfg);
     let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
-    visited.insert(state_key(&root, quota, cfg.crash_budget, full));
+    visited.insert(state_key(&root, quota, root_budgets, full));
 
     let mut report = CheckReport {
         states_explored: 1,
@@ -427,7 +555,7 @@ pub fn explore_with(
     };
 
     let mut arena: Vec<SchedEntry> = Vec::new();
-    push_entries(&root, quota, cfg.crash_budget, cfg.crash_in_cs, &mut arena);
+    push_entries(&root, quota, root_budgets, cfg.crash_in_cs, &mut arena);
     if arena.is_empty() {
         report.terminal_states = 1;
         return Ok(report);
@@ -438,7 +566,7 @@ pub fn explore_with(
         next: 0,
         eend: arena.len(),
         chosen: None,
-        crashes_left: cfg.crash_budget,
+        budgets: root_budgets,
     }];
 
     // Popped and deduplicated worlds are recycled through this pool:
@@ -461,7 +589,7 @@ pub fn explore_with(
         }
         let entry = arena[top.next];
         top.next += 1;
-        let crashes_left = top.crashes_left - entry.is_crash() as u32;
+        let budgets = top.budgets.after(entry);
 
         let mut child = match pool.pop() {
             Some(mut spare) => {
@@ -489,7 +617,7 @@ pub fn explore_with(
             });
         }
 
-        if !visited.insert(state_key(&child, quota, crashes_left, full)) {
+        if !visited.insert(state_key(&child, quota, budgets, full)) {
             if !full {
                 pool.push(child);
             }
@@ -507,7 +635,7 @@ pub fn explore_with(
         }
 
         let estart = arena.len();
-        push_entries(&child, quota, crashes_left, cfg.crash_in_cs, &mut arena);
+        push_entries(&child, quota, budgets, cfg.crash_in_cs, &mut arena);
         if arena.len() == estart {
             report.terminal_states += 1;
             if !full {
@@ -521,7 +649,7 @@ pub fn explore_with(
             next: estart,
             eend: arena.len(),
             chosen: Some(entry),
-            crashes_left,
+            budgets,
         });
     }
 
@@ -558,6 +686,61 @@ pub fn bounded_exit_invariant(budget: u64) -> impl Fn(&Sim) -> Result<(), String
                      in {budget} solo steps"
                 ));
             }
+        }
+        Ok(())
+    }
+}
+
+/// A Bounded Abort invariant for [`explore_with`]: every process with an
+/// abort in flight ([`ccsim::Sim::is_aborting`]) must reach its remainder
+/// section *running solo* within `budget` of its own steps — withdrawal,
+/// like exit, contains no unbounded waiting (the abortable-lock analogue
+/// of the paper's Bounded Exit). Clones the world per check; use on
+/// small instances with [`CheckConfig::abort_budget`] > 0.
+pub fn bounded_abort_invariant(budget: u64) -> impl Fn(&Sim) -> Result<(), String> {
+    move |sim: &Sim| {
+        for p in sim.proc_ids() {
+            if !sim.is_aborting(p) {
+                continue;
+            }
+            let mut probe = sim.clone_world();
+            if ccsim::run_solo(&mut probe, p, budget, |s| s.phase(p) == Phase::Remainder).is_none()
+            {
+                return Err(format!(
+                    "Bounded Abort violated: aborting {p} cannot withdraw to \
+                     its remainder section in {budget} solo steps"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A post-crash acquirability invariant for [`explore_with`]: from any
+/// configuration in which some process is in its recovery window
+/// ([`ccsim::Sim::is_recovering`]), a fair failure-free continuation must
+/// still let every process complete a fresh passage — no crash (individual
+/// or system-wide) may leave the lock permanently lost. The probe is a
+/// round-robin run capped at `max_steps` scheduled steps; a stall,
+/// deadlock, or safety violation in the continuation is reported as an
+/// invariant failure. Clones the world per check (and only on post-crash
+/// configurations); use on small instances with a crash budget.
+pub fn post_crash_acquirability_invariant(max_steps: u64) -> impl Fn(&Sim) -> Result<(), String> {
+    move |sim: &Sim| {
+        if !sim.proc_ids().any(|p| sim.is_recovering(p)) {
+            return Ok(());
+        }
+        let mut probe = sim.clone_world();
+        let cfg = ccsim::RunConfig {
+            passages_per_proc: 1,
+            max_steps,
+            stall_after: max_steps,
+        };
+        if let Err(e) = ccsim::run_round_robin(&mut probe, &cfg) {
+            return Err(format!(
+                "post-crash acquirability violated: a fair failure-free \
+                 continuation cannot complete a passage per process: {e}"
+            ));
         }
         Ok(())
     }
@@ -795,15 +978,88 @@ mod tests {
     }
 
     #[test]
+    fn crash_all_augmented_tournament_exploration_is_safe() {
+        // A system-wide crash wipes every process's cache and pc at once;
+        // the tournament mutex must still never admit two into the CS.
+        let report = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                passages_per_proc: 1,
+                crash_all_budget: 1,
+                ..Default::default()
+            },
+        )
+        .expect("a system-wide crash must not break MX");
+        assert!(report.complete);
+        assert!(
+            report.crash_transitions > 0,
+            "the crash-all adversary must actually strike"
+        );
+    }
+
+    #[test]
+    fn abort_augmented_tournament_exploration_is_safe_and_bounded() {
+        // Every abort request mid-entry must withdraw to the remainder in
+        // bounded solo steps without breaking MX for the survivor.
+        let report = explore_with(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                passages_per_proc: 1,
+                abort_budget: 1,
+                ..Default::default()
+            },
+            bounded_abort_invariant(300),
+        )
+        .expect("aborts must cost neither MX nor boundedness");
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn crash_all_budget_grows_the_state_space() {
+        let base = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig::default(),
+        )
+        .unwrap();
+        let crashy = explore(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                crash_all_budget: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(crashy.states_explored > base.states_explored);
+    }
+
+    #[test]
+    fn post_crash_acquirability_holds_for_tournament_crash_all() {
+        explore_with(
+            || wmutex::mutex_world(2, Protocol::WriteBack),
+            &CheckConfig {
+                passages_per_proc: 1,
+                crash_all_budget: 1,
+                ..Default::default()
+            },
+            post_crash_acquirability_invariant(2_000),
+        )
+        .expect("the tournament lock must stay acquirable after a crash-all");
+    }
+
+    #[test]
     fn sched_entry_tokens_round_trip() {
         for e in [
             SchedEntry::Step(ProcId(0)),
             SchedEntry::Crash(ProcId(12)),
             SchedEntry::Step(ProcId(3)),
+            SchedEntry::CrashAll,
+            SchedEntry::Abort(ProcId(7)),
+            SchedEntry::Abort(ProcId(0)),
         ] {
             let tok = e.to_string();
             assert_eq!(tok.parse::<SchedEntry>().unwrap(), e);
         }
+        assert_eq!("ca".parse::<SchedEntry>().unwrap(), SchedEntry::CrashAll);
         assert!("x3".parse::<SchedEntry>().is_err());
         assert!("s".parse::<SchedEntry>().is_err());
         assert!("".parse::<SchedEntry>().is_err());
@@ -812,10 +1068,11 @@ mod tests {
     #[test]
     fn sched_entry_rejects_trailing_garbage_and_loose_integer_forms() {
         // `usize::from_str` alone would admit "+1"; a prefix-based parse
-        // would admit "s1x". The grammar is strictly kind + digits.
+        // would admit "s1x". The grammar is strictly kind + digits, with
+        // the literal "ca" (crash-all) carrying no pid at all.
         for bad in [
             "s1x", "c2 ", " s1", "s+1", "c-0", "s0x7", "s1c2", "s١", // Arabic-Indic digit
-            "sß", "c", "ss1",
+            "sß", "c", "ss1", "ca1", "ca ", "CA", "cA", "a", "aa1", "a1x", "a+1", "a-2",
         ] {
             assert!(
                 bad.parse::<SchedEntry>().is_err(),

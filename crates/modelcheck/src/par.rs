@@ -38,7 +38,7 @@
 //! order among the shortest — independent of worker count or timing.
 //! Shrink/replay artifacts built from it are therefore reproducible.
 
-use crate::{push_entries, state_key, CheckConfig, CheckError, CheckReport, SchedEntry};
+use crate::{push_entries, state_key, Budgets, CheckConfig, CheckError, CheckReport, SchedEntry};
 use ccsim::{FxBuildHasher, Sim};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -90,7 +90,7 @@ struct Job {
     /// labelling donations; violations never use it — see module docs).
     prefix: Vec<SchedEntry>,
     entries: Vec<SchedEntry>,
-    crashes_left: u32,
+    budgets: Budgets,
 }
 
 /// Per-worker counters, summed by the coordinator after the join.
@@ -186,7 +186,7 @@ struct WFrame {
     next: usize,
     eend: usize,
     chosen: Option<SchedEntry>,
-    crashes_left: u32,
+    budgets: Budgets,
 }
 
 /// Donate the bottom-most unexplored slice of the stack as a job, if
@@ -222,7 +222,7 @@ fn donate(
         sim: stack[i].sim.clone_world(),
         prefix: jp,
         entries: arena[dstart..dend].to_vec(),
-        crashes_left: stack[i].crashes_left,
+        budgets: stack[i].budgets,
     };
     stack[i].eend = dstart; // the donated range is no longer ours
     sh.push_job(job);
@@ -244,7 +244,7 @@ fn run_job(
         sim,
         prefix,
         entries,
-        crashes_left,
+        budgets,
     } = job;
     arena.clear();
     arena.extend_from_slice(&entries);
@@ -254,7 +254,7 @@ fn run_job(
         next: 0,
         eend: arena.len(),
         chosen: None,
-        crashes_left,
+        budgets,
     }];
     let mut cooldown = 0u32;
 
@@ -282,7 +282,7 @@ fn run_job(
         }
         let entry = arena[top.next];
         top.next += 1;
-        let crashes_left = top.crashes_left - entry.is_crash() as u32;
+        let budgets = top.budgets.after(entry);
 
         // Recycle worlds through the worker-local pool: in steady state
         // branching a configuration is an in-place copy, not a fresh
@@ -308,12 +308,10 @@ fn run_job(
             return;
         }
 
-        if !sh.visited.insert(state_key(
-            &child,
-            sh.quota,
-            crashes_left,
-            sh.cfg.full_rehash,
-        )) {
+        if !sh
+            .visited
+            .insert(state_key(&child, sh.quota, budgets, sh.cfg.full_rehash))
+        {
             if !sh.cfg.full_rehash {
                 pool.push(child);
             }
@@ -333,7 +331,7 @@ fn run_job(
         }
 
         let estart = arena.len();
-        push_entries(&child, sh.quota, crashes_left, sh.cfg.crash_in_cs, arena);
+        push_entries(&child, sh.quota, budgets, sh.cfg.crash_in_cs, arena);
         if arena.len() == estart {
             part.terminal += 1;
             if !sh.cfg.full_rehash {
@@ -347,7 +345,7 @@ fn run_job(
             next: estart,
             eend: arena.len(),
             chosen: Some(entry),
-            crashes_left,
+            budgets,
         });
     }
 }
@@ -384,18 +382,19 @@ fn min_violation(
 ) -> CheckError {
     let quota = cfg.passages_per_proc;
     let root = factory();
+    let root_budgets = Budgets::of(cfg);
     let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
-    visited.insert(state_key(&root, quota, cfg.crash_budget, cfg.full_rehash));
-    let mut level: Vec<(Sim, Vec<SchedEntry>, u32)> = vec![(root, Vec::new(), cfg.crash_budget)];
+    visited.insert(state_key(&root, quota, root_budgets, cfg.full_rehash));
+    let mut level: Vec<(Sim, Vec<SchedEntry>, Budgets)> = vec![(root, Vec::new(), root_budgets)];
     let mut entries: Vec<SchedEntry> = Vec::new();
 
     while !level.is_empty() {
         let mut next_level = Vec::new();
-        for (sim, prefix, crashes_left) in &level {
+        for (sim, prefix, budgets) in &level {
             entries.clear();
-            push_entries(sim, quota, *crashes_left, cfg.crash_in_cs, &mut entries);
+            push_entries(sim, quota, *budgets, cfg.crash_in_cs, &mut entries);
             for &entry in &entries {
-                let ncl = crashes_left - entry.is_crash() as u32;
+                let nb = budgets.after(entry);
                 let mut child = sim.clone_world();
                 entry.apply(&mut child);
                 let mut sched = Vec::with_capacity(prefix.len() + 1);
@@ -415,10 +414,10 @@ fn min_violation(
                         fingerprint: child.fingerprint(),
                     };
                 }
-                if visited.insert(state_key(&child, quota, ncl, cfg.full_rehash))
+                if visited.insert(state_key(&child, quota, nb, cfg.full_rehash))
                     && sched.len() < cfg.max_depth
                 {
-                    next_level.push((child, sched, ncl));
+                    next_level.push((child, sched, nb));
                 }
             }
         }
@@ -474,6 +473,7 @@ pub fn explore_par_with(
 
     let root = factory();
     let quota = cfg.passages_per_proc;
+    let root_budgets = Budgets::of(cfg);
     let sh = Shared {
         cfg,
         quota,
@@ -489,13 +489,13 @@ pub fn explore_par_with(
         capped: AtomicBool::new(false),
     };
     sh.visited
-        .insert(state_key(&root, quota, cfg.crash_budget, cfg.full_rehash));
+        .insert(state_key(&root, quota, root_budgets, cfg.full_rehash));
 
     let mut root_entries = Vec::new();
     push_entries(
         &root,
         quota,
-        cfg.crash_budget,
+        root_budgets,
         cfg.crash_in_cs,
         &mut root_entries,
     );
@@ -513,7 +513,7 @@ pub fn explore_par_with(
         sim: root,
         prefix: Vec::new(),
         entries: root_entries,
-        crashes_left: cfg.crash_budget,
+        budgets: root_budgets,
     });
 
     let partials: Vec<Partial> = std::thread::scope(|scope| {

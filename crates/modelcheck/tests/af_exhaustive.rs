@@ -6,8 +6,11 @@
 //! keep to sizes that finish quickly in debug builds.
 
 use ccsim::Protocol;
-use modelcheck::{explore, explore_par, replay, CheckConfig, CheckError};
-use rwcore::{af_world, af_world_with_order, AfConfig, FPolicy, HelpOrder};
+use modelcheck::{
+    bounded_abort_invariant, explore, explore_par, explore_par_with,
+    post_crash_acquirability_invariant, replay, shrink, CheckConfig, CheckError, TraceArtifact,
+};
+use rwcore::{af_world, af_world_seq_reuse_bug, af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
 fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn() -> ccsim::Sim {
     move || {
@@ -179,6 +182,110 @@ fn af_crash_augmented_exploration_is_safe() {
         report.crash_transitions > 0,
         "the crash adversary must actually strike"
     );
+}
+
+/// System-wide crash robustness: with the recoverable reader (counter
+/// drain on re-entry) and the writer's epoch burn, `A_f` survives a
+/// `CrashAll` adversary — Mutual Exclusion everywhere, every in-flight
+/// abort withdraws in bounded solo steps, and from every post-crash
+/// configuration a fair failure-free continuation still completes a
+/// passage per process (no permanently lost lock). Exhausted for n=1,
+/// m=1 with one system-wide crash and one abort along any schedule.
+#[test]
+fn af_crash_all_and_abort_exploration_holds_all_invariants() {
+    let bounded_abort = bounded_abort_invariant(400);
+    let acquirable = post_crash_acquirability_invariant(4_000);
+    let report = explore_par_with(
+        af_factory(1, 1, FPolicy::One, HelpOrder::WaitersFirst),
+        &CheckConfig {
+            passages_per_proc: 1,
+            crash_all_budget: 1,
+            abort_budget: 1,
+            ..Default::default()
+        },
+        0,
+        |sim| {
+            bounded_abort(sim)?;
+            acquirable(sim)
+        },
+    )
+    .expect("recoverable A_f must survive the crash-all + abort adversary");
+    assert!(report.complete, "augmented space must be exhausted");
+    assert!(
+        report.crash_transitions > 0,
+        "the crash-all adversary must actually strike"
+    );
+}
+
+/// The same adversary at n=2, m=1 (MX only — the probe invariants are
+/// quadratic in state count and stay on the n=1 instance).
+#[test]
+fn af_2readers_crash_all_augmented_exploration_is_safe() {
+    let report = explore_par(
+        af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
+        &CheckConfig {
+            passages_per_proc: 1,
+            crash_all_budget: 1,
+            abort_budget: 1,
+            ..Default::default()
+        },
+        0,
+    )
+    .expect("system-wide crashes must not break A_f's mutual exclusion");
+    assert!(report.complete);
+    assert!(report.crash_transitions > 0);
+}
+
+/// The catch-test for the fault-tolerance layer: re-enabling `WSEQ`
+/// reuse after a crash (skipping the recovery epoch burn) must be caught
+/// by crash-all-augmented exploration — a reader's stale helper signal,
+/// armed for the crashed passage's epoch, fires into the recovered
+/// writer's identically-numbered passage and walks it into an occupied
+/// critical section. A two-passage quota is essential: the stale signal
+/// needs a *second* reader passage to collide with (one-passage
+/// adversaries explore this bug safely — see
+/// `af_crash_augmented_exploration_is_safe`). The counterexample shrinks
+/// to a locally minimal schedule and survives the trace-artifact text
+/// format.
+#[test]
+fn seq_reuse_bug_is_caught_shrunk_and_replayable() {
+    let factory = || af_world_seq_reuse_bug(AfConfig::new(1, 1), Protocol::WriteBack).sim;
+    let err = explore(
+        factory,
+        &CheckConfig {
+            passages_per_proc: 2,
+            crash_all_budget: 1,
+            ..Default::default()
+        },
+    )
+    .expect_err("epoch reuse after a crash-all must violate mutual exclusion");
+    let CheckError::MutualExclusion { schedule, .. } = &err else {
+        panic!("expected an MX violation, got {err}");
+    };
+    assert!(
+        schedule.iter().any(|e| e.is_crash()),
+        "the violation must require a crash"
+    );
+
+    let violates = |s: &ccsim::Sim| s.check_mutual_exclusion().is_err();
+    let out = shrink(factory, schedule, violates);
+    let sim = replay(factory, &out.schedule);
+    assert!(violates(&sim), "shrunk schedule still reproduces");
+    assert_eq!(sim.fingerprint(), out.fingerprint);
+
+    // The shrunk counterexample round-trips through the artifact format
+    // (crash tokens included) and replays onto the same configuration.
+    let artifact = TraceArtifact {
+        world: "af-seq-reuse-bug n=1 m=1 writeback".into(),
+        violation: err.describe(),
+        fingerprint: out.fingerprint,
+        schedule: out.schedule,
+    };
+    let parsed = TraceArtifact::parse(&artifact.render()).expect("round trip");
+    assert_eq!(parsed, artifact);
+    let sim = replay(factory, &parsed.schedule);
+    assert!(violates(&sim));
+    assert_eq!(sim.fingerprint(), parsed.fingerprint);
 }
 
 /// The same configuration with the safe (waiters-first) order never

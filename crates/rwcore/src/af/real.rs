@@ -149,6 +149,44 @@ impl RawAfLock {
         }
     }
 
+    /// Bounded reader entry: like [`RawAfLock::reader_lock`], but give up
+    /// after `spins` failed re-reads of `RSIG` in the line-36 wait loop.
+    /// On timeout the reader *withdraws*: it retracts its waiting count
+    /// and runs the normal exit section (retracting `C[i]` and performing
+    /// the exit-signal duties), so to every other process the attempt
+    /// looks like a passage that never reached the CS. Returns whether
+    /// the lock was acquired; after `false`, do **not** call
+    /// [`RawAfLock::reader_unlock`].
+    ///
+    /// # Panics
+    /// Panics if `reader_id` is out of range.
+    pub fn try_reader_lock(&self, reader_id: usize, spins: u64) -> bool {
+        let slot = self.cfg.group_of(reader_id);
+        let (i, leaf) = (slot.group, slot.leaf);
+        self.c[i].add(leaf, 1); // line 31
+        let sig = self.rsig(); // line 32
+        if sig.op == Opcode::Wait {
+            self.w[i].add(leaf, 1); // line 34
+            self.help_wcs(sig.seq, i); // line 35
+            let wait_word = Signal::new(sig.seq, Opcode::Wait).pack();
+            let mut remaining = spins;
+            while self.rsig.load(Ordering::SeqCst) == wait_word {
+                if remaining == 0 {
+                    // Withdraw: W first (preserving the C ≥ W invariant),
+                    // then the whole exit section — its helping duties
+                    // make sure the writer we abandoned is not stranded.
+                    self.w[i].add(leaf, -1);
+                    self.reader_unlock(reader_id);
+                    return false;
+                }
+                remaining -= 1;
+                std::hint::spin_loop();
+            }
+            self.w[i].add(leaf, -1); // line 37
+        }
+        true
+    }
+
     /// Reader exit section (lines 40–49).
     ///
     /// # Panics
@@ -214,6 +252,62 @@ impl RawAfLock {
                 }
             }
         }
+    }
+
+    /// Bounded writer entry: like [`RawAfLock::writer_lock`], but spend at
+    /// most `spins` re-reads in any one wait loop (the `WL` tournament
+    /// nodes and the two per-group signal waits). On timeout the writer
+    /// withdraws; if it had already armed this passage's signals, the
+    /// withdrawal runs the normal exit section — burning the abandoned
+    /// epoch, since readers may already be parked on (or armed to help)
+    /// its sequence number — before releasing `WL`. Returns whether the
+    /// lock was acquired; after `false`, do **not** call
+    /// [`RawAfLock::writer_unlock`].
+    ///
+    /// # Panics
+    /// Panics if `writer_id` is out of range.
+    pub fn try_writer_lock(&self, writer_id: usize, spins: u64) -> bool {
+        if !self.wl.try_lock(writer_id, spins) {
+            return false; // line 6 timed out: no signal state touched yet
+        }
+        let seq = self.wseq.load(Ordering::SeqCst);
+        for i in 0..self.groups {
+            self.wsig[i].store(Signal::new(seq, Opcode::Bot).pack(), Ordering::SeqCst);
+        }
+        self.rsig
+            .store(Signal::new(seq, Opcode::Preentry).pack(), Ordering::SeqCst);
+        for i in 0..self.groups {
+            if self.c[i].read() > 0 {
+                let proceed = Signal::new(seq, Opcode::Proceed);
+                let mut remaining = spins;
+                while self.wsig(i) != proceed {
+                    if remaining == 0 {
+                        self.writer_unlock(writer_id); // burn epoch `seq`
+                        return false;
+                    }
+                    remaining -= 1;
+                    std::hint::spin_loop();
+                }
+            }
+            self.wsig[i].store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
+        }
+        self.rsig
+            .store(Signal::new(seq, Opcode::Wait).pack(), Ordering::SeqCst);
+        for i in 0..self.groups {
+            if self.c[i].read() > 0 {
+                let cs = Signal::new(seq, Opcode::Cs);
+                let mut remaining = spins;
+                while self.wsig(i) != cs {
+                    if remaining == 0 {
+                        self.writer_unlock(writer_id); // burn epoch `seq`
+                        return false;
+                    }
+                    remaining -= 1;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        true
     }
 
     /// Writer exit section (lines 25–27).

@@ -68,6 +68,7 @@
 //! cost `shards × Θ(f)` — the price of the sharded read path.
 
 use crate::af::real::RawAfLock;
+use crate::af::typed::DEADLINE_SPIN_SLICE;
 use crate::config::{AfConfig, FPolicy};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -285,9 +286,83 @@ impl ShardedAfRwLock {
         }
     }
 
+    /// Bounded reader entry on an explicit shard: like
+    /// [`Self::read_lock_shard`], but spend at most `spins` backoff
+    /// rounds waiting for admission (writer-pending flag clear, batch not
+    /// draining, gate CAS won). The attempt gives up only *before* it has
+    /// CASed into a batch — after a successful gate transition the
+    /// reader is committed (at worst it rides out the single writer
+    /// passage that slipped in behind its admission check), so a `false`
+    /// return leaves no residue anywhere. Pair a `true` with
+    /// [`Self::read_unlock_shard`] on the same shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn try_read_lock_shard(&self, shard: usize, spins: u64) -> bool {
+        let sh = &self.shards[shard];
+        let mut budget = spins;
+        let mut spin_state = 0u32;
+        loop {
+            let blocked =
+                sh.wp.load(Ordering::SeqCst) != 0 || sh.gate.load(Ordering::SeqCst) & DRAIN != 0;
+            if !blocked {
+                let w = sh.gate.load(Ordering::SeqCst);
+                if w == 0 {
+                    if sh
+                        .gate
+                        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        sh.inner.reader_lock(0); // committed: leader
+                        sh.gate.fetch_or(OPEN, Ordering::SeqCst);
+                        return true;
+                    }
+                } else if w & DRAIN == 0
+                    && sh
+                        .gate
+                        .compare_exchange(w, w + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    if w & OPEN == 0 {
+                        let mut fill_spins = 0u32;
+                        while sh.gate.load(Ordering::SeqCst) & OPEN == 0 {
+                            backoff(&mut fill_spins);
+                        }
+                    }
+                    return true; // committed: batch member
+                }
+            }
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            backoff(&mut spin_state);
+        }
+    }
+
     /// Reader entry on the calling thread's shard.
     pub fn read_lock(&self) {
         self.read_lock_shard(self.shard_of_current_thread());
+    }
+
+    /// Bounded reader entry on the calling thread's shard (see
+    /// [`Self::try_read_lock_shard`]).
+    pub fn try_read_lock(&self, spins: u64) -> bool {
+        self.try_read_lock_shard(self.shard_of_current_thread(), spins)
+    }
+
+    /// Deadline reader entry on the calling thread's shard: retry bounded
+    /// attempts until `deadline` passes.
+    pub fn read_lock_deadline(&self, deadline: std::time::Instant) -> bool {
+        let shard = self.shard_of_current_thread();
+        loop {
+            if self.try_read_lock_shard(shard, DEADLINE_SPIN_SLICE) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+        }
     }
 
     /// Reader exit on the calling thread's shard.
@@ -326,6 +401,57 @@ impl ShardedAfRwLock {
             sh.wp.store(0, Ordering::SeqCst);
         }
         self.wl.unlock(writer_id);
+    }
+
+    /// Bounded writer entry: spend at most `spins` rounds on the outer
+    /// gate and then on each shard's write lock. On any timeout the
+    /// attempt rolls itself back completely — shards already won are
+    /// released in reverse order, every writer-pending flag is cleared,
+    /// and the outer gate is dropped — so a `false` return leaves the
+    /// lock exactly as acquirable as before the call. Pair a `true` with
+    /// [`Self::write_unlock`].
+    ///
+    /// # Panics
+    /// Panics if `writer_id` is out of range.
+    pub fn try_write_lock(&self, writer_id: usize, spins: u64) -> bool {
+        if !self.wl.try_lock(writer_id, spins) {
+            return false;
+        }
+        for sh in &self.shards {
+            sh.wp.store(1, Ordering::SeqCst);
+        }
+        for (k, sh) in self.shards.iter().enumerate() {
+            if !sh.inner.try_writer_lock(0, spins) {
+                // Shard `k` timed out and already unwound itself (its
+                // `try_writer_lock` burns the epoch on the way out); the
+                // shards below it are fully held and need a real release.
+                for held in self.shards[..k].iter().rev() {
+                    held.inner.writer_unlock(0);
+                }
+                for flagged in &self.shards {
+                    flagged.wp.store(0, Ordering::SeqCst);
+                }
+                self.wl.unlock(writer_id);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deadline writer entry: retry bounded attempts until `deadline`
+    /// passes.
+    ///
+    /// # Panics
+    /// Panics if `writer_id` is out of range.
+    pub fn write_lock_deadline(&self, writer_id: usize, deadline: std::time::Instant) -> bool {
+        loop {
+            if self.try_write_lock(writer_id, DEADLINE_SPIN_SLICE) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+        }
     }
 }
 
@@ -555,5 +681,77 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedAfRwLock::new(0, 1);
+    }
+
+    #[test]
+    fn try_paths_uncontended() {
+        let lock = ShardedAfRwLock::new(2, 2);
+        assert!(lock.try_read_lock_shard(0, 64));
+        lock.read_unlock_shard(0);
+        assert!(lock.try_write_lock(1, 64));
+        lock.write_unlock(1);
+        assert!(lock.try_read_lock(64));
+        lock.read_unlock();
+    }
+
+    #[test]
+    fn try_write_times_out_on_a_reader_held_shard_and_rolls_back() {
+        let lock = ShardedAfRwLock::new(3, 2);
+        lock.read_lock_shard(2); // park a batch on the last shard
+
+        // The writer wins the outer gate and shards 0 and 1, then times
+        // out on shard 2 and must unwind everything.
+        assert!(!lock.try_write_lock(0, 256));
+        for s in 0..3 {
+            assert_eq!(
+                lock.shards[s].wp.load(Ordering::SeqCst),
+                0,
+                "writer-pending flag left raised on shard {s}"
+            );
+        }
+        // No residue: another reader batch can open on shard 0, and the
+        // parked batch is untouched.
+        assert!(lock.try_read_lock_shard(0, 1 << 16));
+        lock.read_unlock_shard(0);
+        lock.read_unlock_shard(2);
+
+        // With the reader gone, both a bounded and a plain writer pass.
+        assert!(lock.try_write_lock(0, 1 << 16));
+        lock.write_unlock(0);
+        lock.write_lock(1);
+        lock.write_unlock(1);
+    }
+
+    #[test]
+    fn try_read_times_out_while_a_writer_holds() {
+        let lock = ShardedAfRwLock::new(2, 1);
+        lock.write_lock(0);
+        assert!(!lock.try_read_lock_shard(0, 256));
+        assert!(!lock.try_read_lock_shard(1, 256));
+        assert!(!lock.read_lock_deadline(std::time::Instant::now()));
+        lock.write_unlock(0);
+        // A failed attempt left no trace on the gates.
+        lock.read_lock_shard(0);
+        lock.read_unlock_shard(0);
+    }
+
+    #[test]
+    fn deadline_write_succeeds_once_the_reader_leaves() {
+        let lock = Arc::new(ShardedAfRwLock::new(2, 1));
+        lock.read_lock_shard(1);
+        let writer = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                let ok = lock.write_lock_deadline(0, deadline);
+                if ok {
+                    lock.write_unlock(0);
+                }
+                ok
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        lock.read_unlock_shard(1);
+        assert!(writer.join().unwrap(), "deadline writer should get in");
     }
 }

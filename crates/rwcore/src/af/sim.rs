@@ -143,6 +143,13 @@ enum RPc {
     CasProceed { seq: i64 },
     /// Line 48: `HelpWCS(seq)` from the exit path.
     Help2 { m: HelpWcsMachine },
+    /// Withdrawal: `W[i].add(-1)` after aborting from a waiting state
+    /// (the reader had announced itself a waiter); continues into the
+    /// normal exit duties at `SubC`.
+    AbortSubW(GroupAddMachine),
+    /// Recovery: drain this leaf's stale `W` contribution in one add
+    /// before draining `C` and running the exit-signal duties.
+    RecoverSubW(GroupAddMachine),
 }
 
 impl RPc {
@@ -161,6 +168,8 @@ impl RPc {
             RPc::ReadCForSignal { .. } => 10,
             RPc::CasProceed { .. } => 11,
             RPc::Help2 { .. } => 12,
+            RPc::AbortSubW(_) => 13,
+            RPc::RecoverSubW(_) => 14,
         }
     }
 }
@@ -175,6 +184,10 @@ pub struct AfReaderSim {
     c_handle: GroupHandle,
     w_handle: GroupHandle,
     pc: RPc,
+    /// Set by a crash; the next passage starts with the recovery section
+    /// (drain the leaf's stale `C`/`W` contributions, run the exit-signal
+    /// duties) instead of a fresh entry.
+    recover: bool,
 }
 
 /// Manual `Clone` so `clone_from` (the model checker's recycling-pool hot
@@ -190,6 +203,7 @@ impl Clone for AfReaderSim {
             c_handle: self.c_handle.clone(),
             w_handle: self.w_handle.clone(),
             pc: self.pc.clone(),
+            recover: self.recover,
         }
     }
 
@@ -202,6 +216,7 @@ impl Clone for AfReaderSim {
         self.c_handle = src.c_handle.clone();
         self.w_handle = src.w_handle.clone();
         self.pc = src.pc.clone();
+        self.recover = src.recover;
     }
 }
 
@@ -221,6 +236,7 @@ impl AfReaderSim {
             c_handle,
             w_handle,
             pc: RPc::Remainder,
+            recover: false,
         }
     }
 
@@ -272,7 +288,11 @@ impl Program for AfReaderSim {
     fn poll(&self) -> Step {
         match &self.pc {
             RPc::Remainder => Step::Remainder,
-            RPc::AddC(m) | RPc::SubC(m) | RPc::SubW(m) => Step::Op(sub::poll_op(m)),
+            RPc::AddC(m)
+            | RPc::SubC(m)
+            | RPc::SubW(m)
+            | RPc::AbortSubW(m)
+            | RPc::RecoverSubW(m) => Step::Op(sub::poll_op(m)),
             RPc::AddW { m, .. } => Step::Op(sub::poll_op(m)),
             RPc::ReadRsig | RPc::ReadRsig2 | RPc::AwaitRsig { .. } => {
                 Step::Op(Op::Read(self.shared.rsig))
@@ -291,7 +311,24 @@ impl Program for AfReaderSim {
 
     fn resume(&mut self, response: Value) {
         self.pc = match std::mem::replace(&mut self.pc, RPc::Remainder) {
-            RPc::Remainder => RPc::AddC(self.c_handle.add(1)), // begin passage (line 31)
+            RPc::Remainder => {
+                if self.recover {
+                    // Recovery passage: drain the leaf's W then C
+                    // contributions, then run the exit-signal duties so no
+                    // writer waits forever on a count this dead passage
+                    // will never retract. The drain runs even on a zero
+                    // mirror: `add(-mirror)` writes the leaf *absolutely*
+                    // (leaf := new mirror, then double-refresh upward), so
+                    // it also repairs a leaf left stale by a crash that
+                    // struck between a prior `add`'s mirror update and its
+                    // leaf write.
+                    self.recover = false;
+                    let w = self.w_handle.mirror();
+                    RPc::RecoverSubW(self.w_handle.add(-w))
+                } else {
+                    RPc::AddC(self.c_handle.add(1)) // begin passage (line 31)
+                }
+            }
             RPc::AddC(mut m) => match sub::drive(&mut m, response) {
                 sub::Drive::Finished(_) => RPc::ReadRsig,
                 sub::Drive::Running => RPc::AddC(m),
@@ -362,6 +399,17 @@ impl Program for AfReaderSim {
                 sub::Drive::Finished(_) => RPc::Remainder,
                 sub::Drive::Running => RPc::Help2 { m },
             },
+            RPc::AbortSubW(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => RPc::SubC(self.c_handle.add(-1)),
+                sub::Drive::Running => RPc::AbortSubW(m),
+            },
+            RPc::RecoverSubW(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => {
+                    let c = self.c_handle.mirror();
+                    RPc::SubC(self.c_handle.add(-c)) // unconditional: see above
+                }
+                sub::Drive::Running => RPc::RecoverSubW(m),
+            },
         };
     }
 
@@ -379,7 +427,9 @@ impl Program for AfReaderSim {
             | RPc::ReadRsig2
             | RPc::ReadCForSignal { .. }
             | RPc::CasProceed { .. }
-            | RPc::Help2 { .. } => Phase::Exit,
+            | RPc::Help2 { .. }
+            | RPc::AbortSubW(_)
+            | RPc::RecoverSubW(_) => Phase::Exit,
         }
     }
 
@@ -393,8 +443,36 @@ impl Program for AfReaderSim {
         // single-writer, so recovery could restore the mirror by reading
         // it back, and a mirror that ran ahead of an interrupted add only
         // over-counts — conservative for Mutual Exclusion (an abandoned
-        // C/W increment can block writers, never admit one).
+        // C/W increment can block writers, never admit one). The next
+        // passage is a *recovery* passage that drains those stale
+        // contributions so no writer blocks on them forever.
         self.pc = RPc::Remainder;
+        self.recover = true;
+    }
+
+    fn can_abort(&self) -> bool {
+        // Abortable while merely announced (C incremented) or waiting
+        // (W incremented, possibly helping): nothing is mid-add, so the
+        // withdrawal retracts whole contributions. A reader that has
+        // passed the admission read into the CS is committed.
+        matches!(
+            self.pc,
+            RPc::ReadRsig | RPc::Help1 { .. } | RPc::AwaitRsig { .. }
+        )
+    }
+
+    fn on_abort(&mut self) {
+        let from_wait = matches!(self.pc, RPc::Help1 { .. } | RPc::AwaitRsig { .. });
+        debug_assert!(from_wait || matches!(self.pc, RPc::ReadRsig));
+        // Retract W (if announced as a waiter) then C, then run the normal
+        // exit-signal duties — a withdrawal looks to everyone else exactly
+        // like a passage that never reached the CS. An abandoned in-flight
+        // `HelpWCS` is harmless: the exit path re-helps if needed.
+        self.pc = if from_wait {
+            RPc::AbortSubW(self.w_handle.add(-1))
+        } else {
+            RPc::SubC(self.c_handle.add(-1))
+        };
     }
 
     fn clone_box(&self) -> Box<dyn Program> {
@@ -403,10 +481,15 @@ impl Program for AfReaderSim {
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.pc.discriminant().hash(&mut h);
+        self.recover.hash(&mut h);
         self.c_handle.mirror().hash(&mut h);
         self.w_handle.mirror().hash(&mut h);
         match &self.pc {
-            RPc::AddC(m) | RPc::SubC(m) | RPc::SubW(m) => m.fingerprint(h),
+            RPc::AddC(m)
+            | RPc::SubC(m)
+            | RPc::SubW(m)
+            | RPc::AbortSubW(m)
+            | RPc::RecoverSubW(m) => m.fingerprint(h),
             RPc::AddW { seq, m } => {
                 seq.hash(&mut h);
                 m.fingerprint(h);
@@ -508,6 +591,11 @@ enum WPc {
     RecoverRsigNop {
         seq: i64,
     },
+    /// Withdrawal: release the tournament nodes already won (see
+    /// [`wmutex::EnterMachine::abort`]). A writer is only abortable while
+    /// still competing for `WL` — it has touched no `A_f` signal state
+    /// yet, so the tournament unwind is the whole withdrawal.
+    AbortWl(wmutex::ExitMachine),
 }
 
 impl WPc {
@@ -532,6 +620,7 @@ impl WPc {
             WPc::RecoverReadWseq => 16,
             WPc::RecoverIncWseq { .. } => 17,
             WPc::RecoverRsigNop { .. } => 18,
+            WPc::AbortWl(_) => 19,
         }
     }
 }
@@ -545,6 +634,9 @@ pub struct AfWriterSim {
     /// Set by a crash; the next passage starts with the recovery section
     /// (the RME model lets a restarted process know it is recovering).
     recover: bool,
+    /// Whether recovery burns the interrupted epoch (always true outside
+    /// tests; see [`AfWriterSim::new_with_seq_reuse_bug`]).
+    burn_epoch: bool,
 }
 
 /// Manual `Clone` for the same reason as [`AfReaderSim`]'s: `clone_from`
@@ -557,6 +649,7 @@ impl Clone for AfWriterSim {
             id: self.id,
             pc: self.pc.clone(),
             recover: self.recover,
+            burn_epoch: self.burn_epoch,
         }
     }
 
@@ -567,6 +660,7 @@ impl Clone for AfWriterSim {
         self.id = src.id;
         self.pc = src.pc.clone();
         self.recover = src.recover;
+        self.burn_epoch = src.burn_epoch;
     }
 }
 
@@ -582,7 +676,22 @@ impl AfWriterSim {
             id,
             pc: WPc::Remainder,
             recover: false,
+            burn_epoch: true,
         }
+    }
+
+    /// Build a writer whose recovery section **reuses** the interrupted
+    /// passage's sequence number instead of burning it — deliberately
+    /// re-introducing the seq-reuse bug that the epoch burn exists to
+    /// prevent (stale reader helper CASes armed for the dead epoch fire
+    /// into the new passage). Exposed, hidden, so the test suite can
+    /// demonstrate the crash-augmented model checker catching the
+    /// violation with a replayable counterexample.
+    #[doc(hidden)]
+    pub fn new_with_seq_reuse_bug(shared: Arc<AfShared>, id: usize) -> Self {
+        let mut w = Self::new(shared, id);
+        w.burn_epoch = false;
+        w
     }
 
     /// This writer's id.
@@ -658,7 +767,7 @@ impl Program for AfWriterSim {
                 self.shared.rsig,
                 AfShared::sig_value(*seq + 1, Opcode::Nop),
             )),
-            WPc::WlExit(m) => Step::Op(sub::poll_op(m)),
+            WPc::WlExit(m) | WPc::AbortWl(m) => Step::Op(sub::poll_op(m)),
             WPc::RecoverWlEnter(m) => Step::Op(sub::poll_op(m)),
             WPc::RecoverReadWseq => Step::Op(Op::Read(self.shared.wseq)),
             WPc::RecoverIncWseq { seq } => Step::Op(Op::write(self.shared.wseq, *seq + 1)),
@@ -761,9 +870,17 @@ impl Program for AfWriterSim {
                 sub::Drive::Finished(_) => WPc::RecoverReadWseq,
                 sub::Drive::Running => WPc::RecoverWlEnter(m),
             },
-            WPc::RecoverReadWseq => WPc::RecoverIncWseq {
-                seq: response.expect_int(),
-            },
+            WPc::RecoverReadWseq => {
+                let seq = response.expect_int();
+                if self.burn_epoch {
+                    WPc::RecoverIncWseq { seq }
+                } else {
+                    // Deliberately broken recovery (tests only): reuse the
+                    // dead epoch — see `new_with_seq_reuse_bug`.
+                    self.recover = false;
+                    WPc::InitWsig { seq, i: 0 }
+                }
+            }
             WPc::RecoverIncWseq { seq } => WPc::RecoverRsigNop { seq },
             WPc::RecoverRsigNop { seq } => {
                 // The dead epoch is burned and stale waiters unparked;
@@ -772,6 +889,10 @@ impl Program for AfWriterSim {
                 self.recover = false;
                 WPc::InitWsig { seq: seq + 1, i: 0 }
             }
+            WPc::AbortWl(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => WPc::Remainder,
+                sub::Drive::Running => WPc::AbortWl(m),
+            },
         };
     }
 
@@ -780,12 +901,32 @@ impl Program for AfWriterSim {
             WPc::Remainder => Phase::Remainder,
             WPc::Cs { .. } => Phase::Cs,
             WPc::IncWseq { .. } | WPc::RsigNop { .. } | WPc::WlExit(_) => Phase::Exit,
+            // AbortWl stays Entry: the withdrawal is the tail of a failed
+            // entry attempt (the writer never reached the CS).
             _ => Phase::Entry,
         }
     }
 
     fn role(&self) -> Role {
         Role::Writer
+    }
+
+    fn can_abort(&self) -> bool {
+        // Only while still competing for WL: past that point the writer
+        // has published signal state and the passage is committed.
+        matches!(self.pc, WPc::WlEnter(_))
+    }
+
+    fn on_abort(&mut self) {
+        let WPc::WlEnter(m) = &self.pc else {
+            unreachable!("on_abort called without can_abort");
+        };
+        let exit = m.abort();
+        self.pc = if matches!(exit.poll(), SubStep::Done(_)) {
+            WPc::Remainder // no flag set yet: instant withdrawal
+        } else {
+            WPc::AbortWl(exit)
+        };
     }
 
     fn on_crash(&mut self) {
@@ -795,7 +936,9 @@ impl Program for AfWriterSim {
         // epoch burn, re-entering with the same WSEQ lets stale reader
         // helper CASes (armed for the abandoned passage) fire into the
         // new one — a real mutual-exclusion violation the crash-augmented
-        // model checker finds at n=2, m=1.
+        // model checker finds at n=1, m=1 with a two-passage quota (the
+        // stale helper signal needs a second identically-numbered
+        // passage to fire into).
         self.pc = WPc::Remainder;
         self.recover = true;
     }
@@ -809,7 +952,7 @@ impl Program for AfWriterSim {
         self.recover.hash(&mut h);
         match &self.pc {
             WPc::WlEnter(m) | WPc::RecoverWlEnter(m) => m.fingerprint(h),
-            WPc::WlExit(m) => m.fingerprint(h),
+            WPc::WlExit(m) | WPc::AbortWl(m) => m.fingerprint(h),
             WPc::InitWsig { seq, i }
             | WPc::L1Await { seq, i }
             | WPc::L1WriteWsig { seq, i }
@@ -948,6 +1091,167 @@ mod tests {
         // ...and the writer sails into the CS.
         run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs)
             .expect("writer proceeds after PROCEED signal");
+    }
+
+    #[test]
+    fn reader_abort_from_waiting_retracts_counts_and_keeps_lock_live() {
+        // Writer into the CS; reader parks in the waiting states; the
+        // reader then aborts and must retract both its W and C
+        // contributions, leaving the lock fully functional.
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r, w) = (world.pids.reader(0), world.pids.writer(0));
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
+        assert_eq!(
+            run_solo(&mut world.sim, r, 3_000, |s| s.phase(r) == Phase::Cs),
+            None
+        );
+        assert_eq!(world.shared.peek_w(world.sim.mem(), 0), 1);
+
+        assert!(
+            world.sim.abort(r).is_some(),
+            "a waiting reader is abortable"
+        );
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Remainder).unwrap();
+        assert_eq!(world.sim.stats(r).aborts, 1);
+        assert_eq!(world.sim.stats(r).passages, 0, "an abort is not a passage");
+        assert_eq!(world.shared.peek_w(world.sim.mem(), 0), 0, "W retracted");
+        assert_eq!(world.shared.peek_c(world.sim.mem(), 0), 0, "C retracted");
+
+        // Everyone still makes progress afterwards.
+        run_solo(&mut world.sim, w, 1_000, |s| s.phase(w) == Phase::Remainder).unwrap();
+        run_solo(&mut world.sim, r, 1_000, |s| s.stats(r).passages == 1).unwrap();
+        run_solo(&mut world.sim, w, 1_000, |s| s.stats(w).passages == 2).unwrap();
+    }
+
+    #[test]
+    fn reader_abort_is_refused_in_cs_and_exit() {
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let r = world.pids.reader(0);
+        assert!(world.sim.abort(r).is_none(), "remainder is not abortable");
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
+        assert!(world.sim.abort(r).is_none(), "the CS is committed");
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Remainder).unwrap();
+        assert_eq!(world.sim.stats(r).passages, 1);
+        assert_eq!(world.sim.stats(r).aborts, 0);
+    }
+
+    #[test]
+    fn crashed_reader_recovery_drains_counts_and_unblocks_writers() {
+        // Reader crashes inside the CS with C[0] = 1 published. Its
+        // recovery passage must drain the stale count; a writer can then
+        // complete a full passage (no permanently lost lock).
+        let cfg = AfConfig {
+            readers: 2,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (r, w) = (world.pids.reader(0), world.pids.writer(0));
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
+        assert_eq!(world.shared.peek_c(world.sim.mem(), 0), 1);
+        world.sim.crash(r);
+        assert!(world.sim.is_recovering(r));
+
+        // The recovery passage drains C back to 0 in bounded steps.
+        run_solo(&mut world.sim, r, 1_000, |s| s.stats(r).passages == 1).unwrap();
+        assert!(!world.sim.is_recovering(r));
+        assert_eq!(
+            world.shared.peek_c(world.sim.mem(), 0),
+            0,
+            "stale C drained"
+        );
+        run_solo(&mut world.sim, w, 2_000, |s| s.stats(w).passages == 1)
+            .expect("writer acquires after the crashed reader recovered");
+    }
+
+    #[test]
+    fn crash_mid_exit_leaves_no_stale_leaf_after_recovery() {
+        // Crash the reader partway through its exit-path SubC: the mirror
+        // already reads 0 but the leaf write may not have landed. The
+        // unconditional recovery drain must still zero the tree.
+        let cfg = AfConfig {
+            readers: 2,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let r = world.pids.reader(0);
+        run_solo(&mut world.sim, r, 1_000, |s| s.phase(r) == Phase::Cs).unwrap();
+        world.sim.step(r); // Cs -> SubC (machine created, mirror now 0)
+        assert_eq!(world.sim.phase(r), Phase::Exit);
+        world.sim.crash(r); // leaf still holds the stale 1
+        assert_eq!(world.shared.peek_c(world.sim.mem(), 0), 1);
+        run_solo(&mut world.sim, r, 1_000, |s| s.stats(r).passages == 1).unwrap();
+        assert_eq!(world.shared.peek_c(world.sim.mem(), 0), 0, "leaf repaired");
+    }
+
+    #[test]
+    fn writer_abort_releases_tournament_nodes() {
+        // w0 holds WL (in CS); w1 parks in the tournament, aborts, and
+        // must leave the tree clean: w0 re-acquires, then w1 completes a
+        // full passage.
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 2,
+            policy: FPolicy::One,
+        };
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        let (w0, w1) = (world.pids.writer(0), world.pids.writer(1));
+        run_solo(&mut world.sim, w0, 1_000, |s| s.phase(w0) == Phase::Cs).unwrap();
+        assert_eq!(
+            run_solo(&mut world.sim, w1, 2_000, |s| s.phase(w1) == Phase::Cs),
+            None
+        );
+        assert!(
+            world.sim.abort(w1).is_some(),
+            "a WL-competing writer is abortable"
+        );
+        run_solo(&mut world.sim, w1, 100, |s| s.phase(w1) == Phase::Remainder)
+            .expect("withdrawal is bounded");
+        assert_eq!(world.sim.stats(w1).aborts, 1);
+
+        run_solo(&mut world.sim, w0, 2_000, |s| s.stats(w0).passages == 2).unwrap();
+        run_solo(&mut world.sim, w1, 2_000, |s| s.stats(w1).passages == 1).unwrap();
+        assert!(world.sim.abort(w0).is_none(), "remainder is not abortable");
+    }
+
+    #[test]
+    fn seq_reuse_bug_constructor_skips_the_epoch_burn() {
+        // The deliberately broken writer reuses the dead epoch: after a
+        // crash-recovery round trip WSEQ must still read the old value
+        // (a correct writer would have burned it to seq + 1).
+        let cfg = AfConfig {
+            readers: 1,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let mut layout = ccsim::Layout::new();
+        let shared = crate::af::shared::AfShared::allocate(&mut layout, cfg);
+        let mem = ccsim::Memory::new(&layout, 2, Protocol::WriteBack);
+        let procs: Vec<Box<dyn Program>> = vec![
+            Box::new(AfReaderSim::new(Arc::clone(&shared), 0)),
+            Box::new(AfWriterSim::new_with_seq_reuse_bug(Arc::clone(&shared), 0)),
+        ];
+        let mut sim = ccsim::Sim::new(mem, procs);
+        let w = ccsim::ProcId(1);
+        run_solo(&mut sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
+        sim.crash(w);
+        run_solo(&mut sim, w, 1_000, |s| s.phase(w) == Phase::Cs).unwrap();
+        assert_eq!(
+            sim.mem().peek(shared.wseq),
+            ccsim::Value::Int(0),
+            "the broken recovery must reuse epoch 0"
+        );
     }
 
     #[test]

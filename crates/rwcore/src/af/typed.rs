@@ -154,6 +154,11 @@ impl<T: fmt::Debug> fmt::Debug for AfRwLock<T> {
     }
 }
 
+/// Spins per bounded attempt inside the deadline loops: long enough that
+/// an uncontended pass never retries, short enough that the deadline is
+/// checked with useful granularity.
+pub(crate) const DEADLINE_SPIN_SLICE: u64 = 1 << 12;
+
 /// A claimed reader process id. `read` requires `&mut self`, so one handle
 /// cannot start overlapping passages.
 #[derive(Debug)]
@@ -169,6 +174,37 @@ impl<'a, T> ReaderHandle<'a, T> {
         ReadGuard {
             lock: self.lock,
             id: self.id,
+        }
+    }
+
+    /// Bounded acquisition: like [`ReaderHandle::read`], but withdraw and
+    /// return `None` after `spins` failed re-reads of the admission word
+    /// (see [`RawAfLock::try_reader_lock`]). A `None` leaves no residue —
+    /// the attempt looks like a passage that never reached the CS.
+    pub fn try_read(&mut self, spins: u64) -> Option<ReadGuard<'_, T>> {
+        self.lock
+            .raw
+            .try_reader_lock(self.id, spins)
+            .then(|| ReadGuard {
+                lock: self.lock,
+                id: self.id,
+            })
+    }
+
+    /// Deadline acquisition: retry [`ReaderHandle::try_read`]-style
+    /// bounded attempts until `deadline`. Returns `None` once the
+    /// deadline has passed without an acquisition.
+    pub fn read_deadline(&mut self, deadline: std::time::Instant) -> Option<ReadGuard<'_, T>> {
+        loop {
+            if self.lock.raw.try_reader_lock(self.id, DEADLINE_SPIN_SLICE) {
+                return Some(ReadGuard {
+                    lock: self.lock,
+                    id: self.id,
+                });
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
         }
     }
 
@@ -198,6 +234,36 @@ impl<'a, T> WriterHandle<'a, T> {
         WriteGuard {
             lock: self.lock,
             id: self.id,
+        }
+    }
+
+    /// Bounded acquisition: like [`WriterHandle::write`], but spend at
+    /// most `spins` re-reads in any one wait loop and withdraw on timeout
+    /// (see [`RawAfLock::try_writer_lock`]).
+    pub fn try_write(&mut self, spins: u64) -> Option<WriteGuard<'_, T>> {
+        self.lock
+            .raw
+            .try_writer_lock(self.id, spins)
+            .then(|| WriteGuard {
+                lock: self.lock,
+                id: self.id,
+            })
+    }
+
+    /// Deadline acquisition: retry bounded attempts until `deadline`.
+    /// Returns `None` once the deadline has passed without an
+    /// acquisition.
+    pub fn write_deadline(&mut self, deadline: std::time::Instant) -> Option<WriteGuard<'_, T>> {
+        loop {
+            if self.lock.raw.try_writer_lock(self.id, DEADLINE_SPIN_SLICE) {
+                return Some(WriteGuard {
+                    lock: self.lock,
+                    id: self.id,
+                });
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
         }
     }
 
@@ -347,6 +413,72 @@ mod tests {
             }
         });
         assert_eq!(lock.into_inner(), 400);
+    }
+
+    #[test]
+    fn try_read_and_try_write_uncontended() {
+        let lock = AfRwLock::new(AfConfig::new(2, 1), 7u64);
+        let mut w = lock.writer(0).unwrap();
+        {
+            let mut g = w.try_write(1_000).expect("uncontended try_write");
+            *g += 1;
+        }
+        let mut r = lock.reader(0).unwrap();
+        assert_eq!(*r.try_read(1_000).expect("uncontended try_read"), 8);
+    }
+
+    #[test]
+    fn try_write_times_out_while_a_reader_holds() {
+        let lock = AfRwLock::new(AfConfig::new(2, 1), ());
+        let mut r = lock.reader(0).unwrap();
+        let g = r.read();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = lock.writer(0).unwrap();
+                assert!(w.try_write(200).is_none(), "reader in CS: must time out");
+                assert!(
+                    w.write_deadline(std::time::Instant::now()).is_none(),
+                    "expired deadline: must give up"
+                );
+            });
+        });
+        drop(g);
+        // The withdrawals left no residue: a normal write still succeeds.
+        let mut w = lock.writer(0).unwrap();
+        drop(w.write());
+    }
+
+    #[test]
+    fn try_read_times_out_while_a_writer_holds() {
+        let lock = AfRwLock::new(AfConfig::new(2, 1), ());
+        let mut w = lock.writer(0).unwrap();
+        let g = w.write();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut r = lock.reader(0).unwrap();
+                assert!(r.try_read(200).is_none(), "writer in CS: must time out");
+            });
+        });
+        drop(g);
+        let mut r = lock.reader(0).unwrap();
+        drop(r.read());
+    }
+
+    #[test]
+    fn deadline_read_succeeds_once_the_writer_leaves() {
+        let lock = AfRwLock::new(AfConfig::new(2, 1), ());
+        let mut w = lock.writer(0).unwrap();
+        let g = w.write();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| {
+                let mut r = lock.reader(0).unwrap();
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                assert!(r.read_deadline(deadline).is_some());
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(g);
+            t.join().unwrap();
+        });
     }
 
     #[test]

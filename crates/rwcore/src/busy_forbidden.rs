@@ -193,6 +193,62 @@ mod tests {
         });
     }
 
+    /// Satellite test: seeded randomized stress. Each thread draws its
+    /// op mix from a per-seed [`ccsim::Prng`], so a failure reproduces
+    /// by seed. Writers bump a generation counter inside the CS; readers
+    /// snapshot it at entry and exit — a torn generation means a writer
+    /// overlapped a reader (the same oracle the sharded `A_f` stress
+    /// uses, so the two locks are held to an identical bar).
+    #[test]
+    fn seeded_randomized_generation_stress() {
+        use ccsim::Prng;
+        for seed in [0x5eed_b1f0u64, 0x5eed_b1f1, 0x5eed_b1f2] {
+            let lock = Arc::new(BusyForbiddenLock::new(3, 2));
+            let generation = Arc::new(Oracle::new(0));
+            std::thread::scope(|scope| {
+                for r in 0..3usize {
+                    let (lock, generation) = (Arc::clone(&lock), Arc::clone(&generation));
+                    scope.spawn(move || {
+                        let mut rng = Prng::new(seed ^ (r as u64).wrapping_mul(0x9e37_79b9));
+                        for _ in 0..400 {
+                            lock.reader_lock(r);
+                            let at_entry = generation.load(Ordering::SeqCst);
+                            for _ in 0..rng.below(32) {
+                                std::hint::spin_loop();
+                            }
+                            let at_exit = generation.load(Ordering::SeqCst);
+                            lock.reader_unlock(r);
+                            assert_eq!(
+                                at_entry, at_exit,
+                                "generation moved mid-read (seed {seed:#x}, reader {r})"
+                            );
+                        }
+                    });
+                }
+                for w in 0..2usize {
+                    let (lock, generation) = (Arc::clone(&lock), Arc::clone(&generation));
+                    scope.spawn(move || {
+                        let mut rng = Prng::new(seed ^ !(w as u64));
+                        for _ in 0..200 {
+                            lock.writer_lock(w);
+                            let before = generation.fetch_add(1, Ordering::SeqCst);
+                            for _ in 0..rng.below(32) {
+                                std::hint::spin_loop();
+                            }
+                            let after = generation.fetch_add(1, Ordering::SeqCst);
+                            lock.writer_unlock(w);
+                            assert_eq!(
+                                after,
+                                before + 1,
+                                "another writer overlapped the CS (seed {seed:#x}, writer {w})"
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+
     #[test]
     fn readers_are_concurrent() {
         // All readers in the CS at once: no writer, so nothing forbids.

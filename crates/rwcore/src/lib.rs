@@ -54,4 +54,6 @@ pub use baselines::sim::{centralized_world, faa_world, mutex_rw_world, BaselineW
 pub use busy_forbidden::BusyForbiddenLock;
 pub use config::{AfConfig, FPolicy, GroupSlot};
 pub use sig::{Opcode, Signal};
-pub use world::{af_world, af_world_custom, af_world_with_order, AfWorld, PidMap};
+pub use world::{
+    af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order, AfWorld, PidMap,
+};

@@ -127,6 +127,40 @@ pub fn af_world_custom(
     }
 }
 
+/// [`af_world`] with the writers' crash-recovery epoch burn disabled —
+/// recovery re-enters with the *same* `WSEQ` the crashed passage used
+/// (see [`AfWriterSim::new_with_seq_reuse_bug`]). Deliberately broken:
+/// exists so the model checker's catch-tests can prove the crash-all and
+/// crash-augmented exploration actually detects the resulting
+/// mutual-exclusion hole.
+#[doc(hidden)]
+pub fn af_world_seq_reuse_bug(cfg: AfConfig, protocol: Protocol) -> AfWorld {
+    let mut layout = Layout::new();
+    let shared = AfShared::allocate_custom(
+        &mut layout,
+        cfg,
+        HelpOrder::WaitersFirst,
+        CounterKind::FArray,
+    );
+    let pids = PidMap::from(cfg);
+    let mem = Memory::new(&layout, pids.total(), protocol);
+    let mut procs: Vec<Box<dyn Program>> = Vec::with_capacity(pids.total());
+    for r in 0..cfg.readers {
+        procs.push(Box::new(AfReaderSim::new(Arc::clone(&shared), r)));
+    }
+    for w in 0..cfg.writers {
+        procs.push(Box::new(AfWriterSim::new_with_seq_reuse_bug(
+            Arc::clone(&shared),
+            w,
+        )));
+    }
+    AfWorld {
+        sim: Sim::new(mem, procs),
+        shared,
+        pids,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

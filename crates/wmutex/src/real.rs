@@ -58,6 +58,26 @@ impl Node {
         }
     }
 
+    /// Like [`Node::acquire`], but give up after `spins` failed re-reads
+    /// of the rival's `(flag, turn)` pair. On timeout our flag is cleared
+    /// again (so the rival — who re-reads it on every spin iteration —
+    /// proceeds exactly as after a normal release) and `false` is
+    /// returned; the caller must not treat the node as held.
+    fn try_acquire(&self, side: usize, spins: u64) -> bool {
+        self.flag[side].store(true, Ordering::SeqCst);
+        self.turn.store(side, Ordering::SeqCst);
+        for _ in 0..spins {
+            if !(self.flag[1 - side].load(Ordering::SeqCst)
+                && self.turn.load(Ordering::SeqCst) == side)
+            {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        self.flag[side].store(false, Ordering::SeqCst);
+        false
+    }
+
     fn release(&self, side: usize) {
         self.flag[side].store(false, Ordering::SeqCst);
     }
@@ -112,6 +132,31 @@ impl TournamentLock {
     fn arena(&self, p: usize, level: usize) -> (usize, usize) {
         let leaf = self.width + p;
         (leaf >> (level + 1), (leaf >> level) & 1)
+    }
+
+    /// Bounded acquisition: climb the tree as in [`IdMutex::lock`], but
+    /// spend at most `spins` re-reads waiting at any one node. On timeout,
+    /// withdraw — release every node already won, top-down — and return
+    /// `false` with no residue in shared memory. The abort path is bounded:
+    /// one flag-clear write per level won plus the timed-out node's own.
+    ///
+    /// # Panics
+    /// Panics if `id >= processes()`.
+    pub fn try_lock(&self, id: usize, spins: u64) -> bool {
+        assert!(id < self.m, "process id {id} out of range");
+        for level in 0..self.levels() {
+            let (node, side) = self.arena(id, level);
+            if !self.nodes[node].try_acquire(side, spins) {
+                // `try_acquire` already cleared the timed-out node; release
+                // the won levels below it in top-down order.
+                for lower in (0..level).rev() {
+                    let (n, s) = self.arena(id, lower);
+                    self.nodes[n].release(s);
+                }
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -308,6 +353,69 @@ mod tests {
     #[test]
     fn ticket_mutual_exclusion() {
         hammer(Arc::new(TicketLock::new(4)), 4, 5_000);
+    }
+
+    #[test]
+    fn try_lock_times_out_against_a_holder_and_leaves_no_residue() {
+        let m = Arc::new(TournamentLock::new(4));
+        m.lock(0);
+        // p3 sits in the other subtree: it wins its level-0 node and times
+        // out at the root, so the withdrawal must unwind a won level too.
+        assert!(!m.try_lock(3, 1_000), "holder present: must time out");
+        m.unlock(0);
+        // No stale flag left behind: every process can still pass.
+        for id in 0..4 {
+            assert!(m.try_lock(id, 1_000), "uncontended try_lock must win");
+            m.unlock(id);
+        }
+    }
+
+    #[test]
+    fn try_lock_withdrawal_unparks_a_blocked_rival() {
+        // p1 holds; p0 times out; p1's release then lets p0 through — and
+        // a thread blocked *behind* p0's aborted attempt is not stranded.
+        let m = Arc::new(TournamentLock::new(2));
+        m.lock(1);
+        assert!(!m.try_lock(0, 100));
+        let contender = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                m.lock(0);
+                m.unlock(0);
+            })
+        };
+        m.unlock(1);
+        contender.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_excludes_like_lock_under_contention() {
+        struct SendCell(UnsafeCell<u64>);
+        unsafe impl Send for SendCell {}
+        unsafe impl Sync for SendCell {}
+        let lock = Arc::new(TournamentLock::new(4));
+        let counter = Arc::new(SendCell(UnsafeCell::new(0)));
+        let mut handles = Vec::new();
+        for id in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut acquired = 0u64;
+                while acquired < 500 {
+                    if lock.try_lock(id, 50) {
+                        unsafe {
+                            *counter.0.get() += 1;
+                        }
+                        lock.unlock(id);
+                        acquired += 1;
+                    }
+                }
+                acquired
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(unsafe { *counter.0.get() }, total, "lost updates");
+        assert_eq!(total, 4 * 500);
     }
 
     #[test]

@@ -136,6 +136,35 @@ impl EnterMachine {
         }
     }
 
+    /// Withdraw from the tournament: an [`ExitMachine`] that clears
+    /// exactly the flags this acquisition has already set, highest level
+    /// first. Bounded (one write per set level) and wakeup-safe: a rival
+    /// parked at this node re-reads our flag on every spin iteration, so
+    /// clearing it unparks the rival exactly as a normal release would.
+    /// Aborting before the first flag write yields an already-done
+    /// machine.
+    pub fn abort(&self) -> ExitMachine {
+        // Levels with our flag set: everything below the current pc, plus
+        // the current level once its WriteFlag has executed.
+        let set = match self.pc {
+            EnterPc::WriteFlag { lvl } => lvl,
+            EnterPc::WriteTurn { lvl } | EnterPc::ReadRival { lvl } | EnterPc::ReadTurn { lvl } => {
+                lvl + 1
+            }
+            EnterPc::Done => self.path.len(),
+        };
+        let mut path: Vec<(SimNode, usize)> = self.path[..set].to_vec();
+        path.reverse(); // clear top-down, like a normal release
+        ExitMachine {
+            pc: if path.is_empty() {
+                ExitPc::Done
+            } else {
+                ExitPc::Clear { idx: 0 }
+            },
+            path,
+        }
+    }
+
     /// Injective word encoding of the pc — the dynamic state is one of
     /// five variants plus a level index (< 64 for any conceivable `m`).
     fn pc_code(&self) -> u64 {
@@ -286,6 +315,10 @@ enum ClientState {
     Entering(EnterMachine),
     Cs,
     Exiting(ExitMachine),
+    /// Withdrawing from a not-yet-won tournament (see
+    /// [`EnterMachine::abort`]): clearing the flags already set, after
+    /// which the client returns to the remainder *without* a passage.
+    Aborting(ExitMachine),
 }
 
 /// Manual `Clone` so same-variant `clone_from` reuses the contained
@@ -299,6 +332,7 @@ impl Clone for ClientState {
             ClientState::Entering(m) => ClientState::Entering(m.clone()),
             ClientState::Cs => ClientState::Cs,
             ClientState::Exiting(m) => ClientState::Exiting(m.clone()),
+            ClientState::Aborting(m) => ClientState::Aborting(m.clone()),
         }
     }
 
@@ -308,7 +342,8 @@ impl Clone for ClientState {
                 dst.path.clone_from(&s.path);
                 dst.pc = s.pc;
             }
-            (ClientState::Exiting(dst), ClientState::Exiting(s)) => {
+            (ClientState::Exiting(dst), ClientState::Exiting(s))
+            | (ClientState::Aborting(dst), ClientState::Aborting(s)) => {
                 dst.path.clone_from(&s.path);
                 dst.pc = s.pc;
             }
@@ -346,6 +381,7 @@ impl Program for MutexClient {
             ClientState::Entering(m) => Step::Op(sub::poll_op(m)),
             ClientState::Cs => Step::Cs,
             ClientState::Exiting(m) => Step::Op(sub::poll_op(m)),
+            ClientState::Aborting(m) => Step::Op(sub::poll_op(m)),
         }
     }
 
@@ -375,6 +411,10 @@ impl Program for MutexClient {
                 sub::Drive::Finished(_) => ClientState::Remainder,
                 sub::Drive::Running => ClientState::Exiting(m),
             },
+            ClientState::Aborting(mut m) => match sub::drive(&mut m, response) {
+                sub::Drive::Finished(_) => ClientState::Remainder,
+                sub::Drive::Running => ClientState::Aborting(m),
+            },
         };
     }
 
@@ -384,6 +424,9 @@ impl Program for MutexClient {
             ClientState::Entering(_) => Phase::Entry,
             ClientState::Cs => Phase::Cs,
             ClientState::Exiting(_) => Phase::Exit,
+            // Withdrawal is still part of the (failed) entry attempt: the
+            // client has never reached the CS, so it is not "exiting".
+            ClientState::Aborting(_) => Phase::Entry,
         }
     }
 
@@ -396,6 +439,24 @@ impl Program for MutexClient {
         // its flags in shared memory; the client restarts from the
         // remainder section.
         self.state = ClientState::Remainder;
+    }
+
+    fn can_abort(&self) -> bool {
+        // Withdrawal is only meaningful while still competing for the
+        // lock; once the tournament is won the passage is committed.
+        matches!(self.state, ClientState::Entering(_))
+    }
+
+    fn on_abort(&mut self) {
+        let ClientState::Entering(m) = &self.state else {
+            unreachable!("on_abort called without can_abort");
+        };
+        let exit = m.abort();
+        self.state = if matches!(exit.poll(), SubStep::Done(_)) {
+            ClientState::Remainder // nothing set yet: instant withdrawal
+        } else {
+            ClientState::Aborting(exit)
+        };
     }
 
     fn clone_box(&self) -> Box<dyn Program> {
@@ -414,6 +475,10 @@ impl Program for MutexClient {
                 3u8.hash(&mut h);
                 m.fingerprint(h);
             }
+            ClientState::Aborting(m) => {
+                4u8.hash(&mut h);
+                m.fingerprint(h);
+            }
         }
     }
 
@@ -428,6 +493,9 @@ impl Program for MutexClient {
             ClientState::Entering(m) => 1 | (m.pc_code() << 2),
             ClientState::Cs => 2,
             ClientState::Exiting(m) => 3 | (m.pc_code() << 2),
+            // ≡ 4 (mod 8): disjoint from 0, 2, the ≡1 (mod 4) Entering
+            // codes and the ≡3 (mod 4) Exiting codes.
+            ClientState::Aborting(m) => 4 | (m.pc_code() << 3),
         };
         ccsim::mix64(code)
     }
@@ -512,7 +580,7 @@ mod tests {
         // The hand-rolled `fingerprint64` must be a function of exactly
         // the state `fingerprint` hashes: associate each fast digest with
         // the full hasher-walk digest and demand the mapping stays 1:1
-        // across a long random execution (including crashes).
+        // across a long random execution (including crashes and aborts).
         use std::collections::HashMap;
         let mut seen: HashMap<u64, u64> = HashMap::new();
         let mut sim = mutex_world(3, Protocol::WriteBack);
@@ -522,6 +590,8 @@ mod tests {
             let p = ProcId(rng.below(3));
             if i % 97 == 96 {
                 sim.crash(p);
+            } else if i % 53 == 52 {
+                sim.abort(p); // tolerated no-op unless mid-entry
             } else {
                 sim.step(p);
             }
@@ -540,6 +610,80 @@ mod tests {
             }
         }
         assert!(distinct > 10, "execution explored too few distinct states");
+    }
+
+    /// Drive `p` alone until it reaches the remainder section, returning
+    /// the number of steps taken. Panics after `limit` steps.
+    fn drive_to_remainder(sim: &mut ccsim::Sim, p: ProcId, limit: u64) -> u64 {
+        ccsim::run_solo(sim, p, limit, |s| s.phase(p) == Phase::Remainder)
+            .unwrap_or_else(|| panic!("{p} did not return to remainder within {limit} steps"))
+    }
+
+    #[test]
+    fn abort_mid_entry_is_bounded_and_counts_as_abort() {
+        let mut sim = mutex_world(4, Protocol::WriteBack);
+        let p = ProcId(0);
+        // Step into the entry section (past the first flag write).
+        for _ in 0..4 {
+            sim.step(p);
+        }
+        assert_eq!(sim.phase(p), Phase::Entry);
+        assert!(sim.abort(p).is_some(), "entry section must be abortable");
+        let levels = 2; // m = 4
+        let steps = drive_to_remainder(&mut sim, p, 2 * levels + 2);
+        assert!(
+            steps <= levels + 1,
+            "withdrawal must clear at most one flag per set level, took {steps}"
+        );
+        assert_eq!(sim.stats(p).aborts, 1);
+        assert_eq!(sim.stats(p).passages, 0, "an abort is not a passage");
+    }
+
+    #[test]
+    fn abort_releases_a_parked_rival_without_losing_wakeups() {
+        // p0 owns the lock; p1 parks in the tree behind it; p1 aborts.
+        // p0 must then complete a *second* passage, and p1 a fresh one —
+        // the withdrawal left no stale flag that blocks anyone.
+        let mut sim = mutex_world(2, Protocol::WriteBack);
+        let (p0, p1) = (ProcId(0), ProcId(1));
+        ccsim::run_solo(&mut sim, p0, 1_000, |s| s.phase(p0) == Phase::Cs).unwrap();
+        // p1 sets its flag and starts spinning on the rival's.
+        for _ in 0..8 {
+            sim.step(p1);
+        }
+        assert_eq!(sim.phase(p1), Phase::Entry);
+        assert!(sim.abort(p1).is_some());
+        drive_to_remainder(&mut sim, p1, 16);
+        assert_eq!(sim.stats(p1).aborts, 1);
+        // Both processes still make progress after the withdrawal.
+        ccsim::run_solo(&mut sim, p0, 1_000, |s| s.stats(p0).passages == 2).unwrap();
+        ccsim::run_solo(&mut sim, p1, 1_000, |s| s.stats(p1).passages == 1).unwrap();
+    }
+
+    #[test]
+    fn abort_is_refused_outside_the_entry_section() {
+        let mut sim = mutex_world(2, Protocol::WriteBack);
+        let p = ProcId(0);
+        assert!(sim.abort(p).is_none(), "remainder is not abortable");
+        ccsim::run_solo(&mut sim, p, 1_000, |s| s.phase(p) == Phase::Cs).unwrap();
+        assert!(sim.abort(p).is_none(), "the CS is committed");
+        sim.step(p); // start exiting
+        assert_eq!(sim.phase(p), Phase::Exit);
+        assert!(sim.abort(p).is_none(), "the exit section is committed");
+        drive_to_remainder(&mut sim, p, 16);
+        assert_eq!(sim.stats(p).passages, 1);
+        assert_eq!(sim.stats(p).aborts, 0);
+    }
+
+    #[test]
+    fn abort_before_first_flag_write_is_instant() {
+        let mut sim = mutex_world(4, Protocol::WriteBack);
+        let p = ProcId(2);
+        sim.step(p); // Remainder -> Entering, first flag write still pending
+        assert_eq!(sim.phase(p), Phase::Entry);
+        assert!(sim.abort(p).is_some());
+        assert_eq!(sim.phase(p), Phase::Remainder, "nothing set: instant");
+        assert_eq!(sim.stats(p).aborts, 1);
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //! counterexample schedule, then contrasts it with the verified `A_f`.
 
 use rwlock_repro::{
-    explore, replay, shrink, AfConfig, CheckConfig, CheckError, FPolicy, Layout, Memory, Op, Phase,
-    Program, Protocol, Role, Sim, Step, TraceArtifact, Value, VarId,
+    af_world_seq_reuse_bug, explore, replay, shrink, AfConfig, CheckConfig, CheckError, FPolicy,
+    Layout, Memory, Op, Phase, Program, Protocol, Role, Sim, Step, TraceArtifact, Value, VarId,
 };
 use std::hash::Hasher;
+
+/// The `world:` tag under which the crash-all counterexample below is
+/// persisted; `--replay` keys the factory choice on it.
+const SEQ_REUSE_WORLD: &str = "af-seq-reuse-bug n=1 m=1 writeback";
 
 /// A DIY reader: checks the writer flag, then announces itself, then
 /// enters. (The classic bug: check-then-announce is not atomic — a
@@ -172,7 +176,17 @@ fn main() {
             artifact.schedule.len(),
             artifact.world
         );
-        let sim = replay(|| diy_world(2), &artifact.schedule);
+        // The world tag picks the factory: the crashy A_f variant's
+        // schedules carry `ca` (system-wide crash) tokens that only make
+        // sense against the recoverable world they were found in.
+        let sim = if artifact.world == SEQ_REUSE_WORLD {
+            replay(
+                || af_world_seq_reuse_bug(AfConfig::new(1, 1), Protocol::WriteBack).sim,
+                &artifact.schedule,
+            )
+        } else {
+            replay(|| diy_world(2), &artifact.schedule)
+        };
         assert_eq!(
             sim.fingerprint(),
             artifact.fingerprint,
@@ -242,6 +256,52 @@ fn main() {
                 "\nThe bug: the reader's writer-check and its flag-set are two\n\
                  separate steps; a writer can raise its flag and finish its\n\
                  scan inside that gap, so both conclude the coast is clear.\n"
+            );
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("Model-checking a crash-unsafe A_f variant under a system-wide crash adversary...\n");
+    let crashy = || af_world_seq_reuse_bug(AfConfig::new(1, 1), Protocol::WriteBack).sim;
+    match explore(
+        crashy,
+        &CheckConfig {
+            passages_per_proc: 2,
+            crash_all_budget: 1,
+            ..Default::default()
+        },
+    ) {
+        Err(err @ CheckError::MutualExclusion { .. }) => {
+            let out = shrink(crashy, err.schedule(), |sim| {
+                sim.check_mutual_exclusion().is_err()
+            });
+            let tokens: Vec<String> = out.schedule.iter().map(|e| e.to_string()).collect();
+            println!(
+                "VIOLATION (shrunk {} -> {} entries), schedule with crash-all token:",
+                err.schedule().len(),
+                out.schedule.len()
+            );
+            println!("  {}", tokens.join(" "));
+            let artifact = TraceArtifact {
+                world: SEQ_REUSE_WORLD.into(),
+                violation: err.describe(),
+                fingerprint: out.fingerprint,
+                schedule: out.schedule,
+            };
+            match artifact.write_to("results") {
+                Ok(path) => println!(
+                    "replayable trace written to {}; replay with:\n  cargo run --release \
+                     --example verify_your_lock -- --replay {}\n",
+                    path.display(),
+                    path.display()
+                ),
+                Err(e) => println!("could not write trace artifact: {e}\n"),
+            }
+            println!(
+                "The bug: recovery re-enters with the crashed passage's WSEQ; a\n\
+                 helper signal armed for the dead epoch fires into the recovered\n\
+                 writer's identically-numbered passage. The fixed writer burns\n\
+                 the epoch on recovery, so the stale signal falls on the floor.\n"
             );
         }
         other => println!("unexpected: {other:?}"),

@@ -61,13 +61,14 @@ pub use knowledge::{
     analyze_trace, run_lower_bound, AdversarySetup, KnowledgeTracker, LowerBoundReport, ProcSet,
 };
 pub use modelcheck::{
-    bounded_exit_invariant, explore, explore_par, explore_par_with, explore_with, replay, shrink,
-    CheckConfig, CheckError, CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
+    bounded_abort_invariant, bounded_exit_invariant, explore, explore_par, explore_par_with,
+    explore_with, post_crash_acquirability_invariant, replay, shrink, CheckConfig, CheckError,
+    CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
 };
 pub use rwcore::{
-    af_world, af_world_with_order, centralized_world, faa_world, gated_af_world, mutex_rw_world,
-    AfConfig, AfRwLock, AfShared, AfWorld, CentralizedRwLock, FPolicy, FaaRwLock, GatedAfLock,
-    HandleError, HelpOrder, MutexRwLock, Opcode, PidMap, RawAfLock, RawRwLock, ReadGuard,
-    ReaderHandle, Signal, WriteGuard, WriterHandle,
+    af_world, af_world_seq_reuse_bug, af_world_with_order, centralized_world, faa_world,
+    gated_af_world, mutex_rw_world, AfConfig, AfRwLock, AfShared, AfWorld, CentralizedRwLock,
+    FPolicy, FaaRwLock, GatedAfLock, HandleError, HelpOrder, MutexRwLock, Opcode, PidMap,
+    RawAfLock, RawRwLock, ReadGuard, ReaderHandle, Signal, WriteGuard, WriterHandle,
 };
 pub use wmutex::{ClhLock, IdMutex, TicketLock, TournamentLock};

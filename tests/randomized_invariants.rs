@@ -29,6 +29,8 @@ fn schedule_from_trace(trace: &Trace) -> Vec<SchedEntry> {
         .iter()
         .map(|r| match r.kind {
             StepKind::Crash => SchedEntry::Crash(r.proc),
+            StepKind::CrashAll => SchedEntry::CrashAll,
+            StepKind::Abort => SchedEntry::Abort(r.proc),
             _ => SchedEntry::Step(r.proc),
         })
         .collect()
@@ -150,6 +152,86 @@ fn af_random_schedules_with_crashes_keep_mx() {
                 &world.sim,
             ),
         }
+    }
+}
+
+/// Random schedules with seeded system-wide crash points: a `CrashAll`
+/// wipes every cache and pc at once, so the run may stall on the wedged
+/// remains (liveness is the recovery paths' job, measured in E17), but
+/// Mutual Exclusion must survive every total-step trigger the plan
+/// draws.
+#[test]
+fn af_random_schedules_with_crash_alls_keep_mx() {
+    let mut gen = Prng::new(0xaf_ca11 + seed_offset());
+    for _case in 0..32 {
+        let cfg = random_config(&mut gen);
+        let seed = gen.next_u64();
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        world.sim.set_tracing(true);
+        let plan = FaultPlan::random_crash_alls(seed, 1 + gen.below(2), 200);
+        let mut rng = Prng::new(seed);
+        let rc = RunConfig {
+            passages_per_proc: 2,
+            max_steps: 100_000,
+            stall_after: 10_000,
+        };
+        match run_random_with_faults(&mut world.sim, &mut rng, &rc, &plan) {
+            Ok(_) | Err(RunError::Stalled { .. }) | Err(RunError::StepBudgetExhausted { .. }) => {}
+            Err(e @ RunError::MutualExclusion(_)) => fail_with_artifact(
+                &format!("af {cfg:?} writeback crash-all seed={seed:#x}"),
+                &e,
+                &world.sim,
+            ),
+        }
+    }
+}
+
+/// Random schedules with random abort injection: whenever a process is
+/// abortable the adversary may withdraw it, and every granted abort must
+/// reach the remainder in bounded solo steps (bounded abort) without
+/// ever breaking Mutual Exclusion for the processes that stay.
+#[test]
+fn af_random_schedules_with_aborts_stay_safe_and_bounded() {
+    let mut gen = Prng::new(0xaf_ab047 + seed_offset());
+    for _case in 0..24 {
+        let cfg = random_config(&mut gen);
+        let seed = gen.next_u64();
+        let mut world = af_world(cfg, Protocol::WriteBack);
+        world.sim.set_tracing(true);
+        let n_procs = world.sim.n_procs();
+        let mut rng = Prng::new(seed);
+        let mut granted = 0u64;
+        for _ in 0..600 {
+            let p = ProcId(rng.below(n_procs));
+            // 1-in-8 turns the adversary tries to abort instead of step;
+            // a refusal (non-abortable pc) falls through to a step.
+            if rng.below(8) == 0 && world.sim.abort(p).is_some() {
+                granted += 1;
+                let solo = run_solo(&mut world.sim, p, 10_000, |s| {
+                    s.phase(p) == Phase::Remainder
+                });
+                assert!(
+                    solo.is_some(),
+                    "af {cfg:?} seed={seed:#x}: abort of {p} did not reach the remainder"
+                );
+            } else {
+                world.sim.step(p);
+            }
+            if let Err(e) = world.sim.check_mutual_exclusion() {
+                fail_with_artifact(
+                    &format!("af {cfg:?} writeback aborty seed={seed:#x}"),
+                    &RunError::MutualExclusion(e),
+                    &world.sim,
+                );
+            }
+        }
+        let aborts: u64 = (0..n_procs)
+            .map(|i| world.sim.stats(ProcId(i)).aborts)
+            .sum();
+        assert_eq!(
+            aborts, granted,
+            "af {cfg:?} seed={seed:#x}: abort accounting drifted"
+        );
     }
 }
 
