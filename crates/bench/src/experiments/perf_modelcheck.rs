@@ -1,25 +1,41 @@
 //! perf_modelcheck — states/sec of the exhaustive explorer across its
-//! three operating points: the pre-PR-3 `full_rehash` SipHash baseline,
-//! the O(1) incremental Zobrist keys (sequential), and the parallel
-//! explorer. All runs must report byte-identical state counts (two
-//! independent hash families agreeing is the aliasing oracle).
+//! operating points: the pre-PR-3 `Symmetry::FullRehash` SipHash
+//! baseline, the O(1) incremental Zobrist keys (sequential), the
+//! parallel explorer, and the `Symmetry::Quotient` symmetry-reduced
+//! visited set on the CAS-loop `A_f` world (the lock family that
+//! declares reader symmetry classes). Concrete-key runs must report
+//! byte-identical state counts (two independent hash families agreeing
+//! is the aliasing oracle); the quotient run must land inside the
+//! orbit-counting bounds and hold the ≥ 1.8× reduction floor.
 //!
-//! Full mode times everything, closes with the previously infeasible
-//! two-crash `A_f` instance (historically 8.75M states, ~3.7M since the
-//! recoverable recovery paths prune the wedged branches),
-//! asserts the PR-3 speedup floors, and writes `BENCH_modelcheck.json`
-//! (override: `BENCH_MODELCHECK_OUT`); its wall-clock content makes the
-//! report non-byte-stable, so [`Experiment::deterministic`] is false
-//! there. Smoke mode runs the crash-free space once per operating point
-//! and reports only the deterministic state counts.
+//! Full mode times everything, closes with two headline instances —
+//! the historical two-crash f-array space (past the checker's default
+//! 5M-state cap before PR 3) and the **newly feasible** two-crash
+//! n=3-reader CAS-loop space (8.87M concrete states, exhausted here as
+//! ~1.59M quotient orbits) — asserts the perf floors, and writes
+//! `BENCH_modelcheck.json` (override: `BENCH_MODELCHECK_OUT`); its
+//! wall-clock content makes the report non-byte-stable, so
+//! [`Experiment::deterministic`] is false there. Smoke mode runs the
+//! crash-free spaces once per operating point and reports only the
+//! deterministic state counts (the reduction-floor check is a pure
+//! count ratio, so it gates in smoke too).
+//!
+//! `BENCH_MODELCHECK_SYMMETRY` overrides the backend of the
+//! newly-feasible lane (default `quotient`) for manual A/B runs;
+//! malformed values abort loudly, mirroring `BENCH_THREADS`.
 
 use super::prelude::*;
 use crate::par;
-use modelcheck::{explore, explore_par, CheckConfig, CheckReport};
-use rwcore::af_world;
+use modelcheck::{explore, explore_par, CheckConfig, CheckReport, Symmetry};
+use rwcore::{af_world, af_world_custom, CounterKind, HelpOrder};
+use std::str::FromStr;
 use std::time::Instant;
 
 const SAMPLES: usize = 5;
+
+/// The symmetry-reduction floor the quotient must hold on the
+/// one-class two-reader worlds (2! = 2 is the ceiling).
+const REDUCTION_FLOOR: f64 = 1.8;
 
 fn af_factory(crash_budget: u32) -> (impl Fn() -> ccsim::Sim + Sync, CheckConfig) {
     let cfg = AfConfig {
@@ -34,6 +50,71 @@ fn af_factory(crash_budget: u32) -> (impl Fn() -> ccsim::Sim + Sync, CheckConfig
         ..Default::default()
     };
     (move || af_world(cfg, Protocol::WriteBack).sim, check)
+}
+
+/// The CAS-loop `A_f` world: single-CAS-word group counters, so the
+/// world declares one reader symmetry class per group (see
+/// `rwcore::reader_symmetry_classes`) and the quotient backend has
+/// orbits to merge.
+fn casloop_factory(
+    readers: usize,
+    crash_budget: u32,
+) -> (impl Fn() -> ccsim::Sim + Sync, CheckConfig) {
+    let cfg = AfConfig {
+        readers,
+        writers: 1,
+        policy: FPolicy::One,
+    };
+    let check = CheckConfig {
+        passages_per_proc: 1,
+        crash_budget,
+        max_states: 50_000_000,
+        ..Default::default()
+    };
+    (
+        move || {
+            af_world_custom(
+                cfg,
+                Protocol::WriteBack,
+                HelpOrder::WaitersFirst,
+                CounterKind::CasLoop,
+            )
+            .sim
+        },
+        check,
+    )
+}
+
+/// Parse a `BENCH_MODELCHECK_SYMMETRY` setting (the backend override
+/// for the newly-feasible instance lane).
+///
+/// `None` (the variable is unset) means "use the default
+/// [`Symmetry::Quotient`]" and returns `Ok(None)`. Anything else must
+/// be an exact [`Symmetry`] token (`off`, `quotient`, `full_rehash`);
+/// malformed values are errors so a typo'd override fails loudly
+/// instead of silently benchmarking the wrong backend — which would
+/// quietly void the A/B comparison the variable exists for.
+pub(crate) fn parse_bench_symmetry(raw: Option<&str>) -> Result<Option<Symmetry>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    Symmetry::from_str(raw)
+        .map(Some)
+        .map_err(|e| format!("BENCH_MODELCHECK_SYMMETRY: {e}"))
+}
+
+/// The backend for the newly-feasible lane: `BENCH_MODELCHECK_SYMMETRY`
+/// if set, [`Symmetry::Quotient`] otherwise.
+///
+/// # Panics
+/// Panics with a clear message on a malformed override (see
+/// [`parse_bench_symmetry`]).
+fn headline_symmetry() -> Symmetry {
+    let raw = std::env::var_os("BENCH_MODELCHECK_SYMMETRY");
+    let raw = raw.as_deref().map(|s| s.to_str().unwrap_or("<non-utf8>"));
+    match parse_bench_symmetry(raw) {
+        Ok(Some(s)) => s,
+        Ok(None) => Symmetry::Quotient,
+        Err(msg) => panic!("{msg}"),
+    }
 }
 
 /// One timed run of an exploration mode.
@@ -52,11 +133,11 @@ impl Experiment for PerfModelcheck {
     }
 
     fn title(&self) -> &'static str {
-        "explorer states/sec: full-rehash vs incremental vs parallel"
+        "explorer states/sec: full-rehash vs incremental vs parallel vs symmetry quotient"
     }
 
     fn claim(&self) -> &'static str {
-        "PR-3 perf floors: incremental fingerprints >= 2x the full-rehash baseline; parallel >= 3x with >= 4 workers; all modes count identical states"
+        "PR-3 perf floors (incremental >= 2x full-rehash, parallel >= 3x with >= 4 workers, identical counts) plus the symmetry quotient: >= 1.8x state reduction on the CAS-loop world and the previously infeasible n=3 two-crash space exhausted"
     }
 
     fn deterministic(&self, mode: Mode) -> bool {
@@ -67,14 +148,24 @@ impl Experiment for PerfModelcheck {
 
     fn run(&self, ctx: &Ctx) -> Report {
         let workers = par::worker_count(usize::MAX);
-        // Smoke explores the crash-free space (a fraction of the
-        // crash_budget=1 space) once per mode, counts only.
+        // Validate the backend override up front: a typo'd
+        // BENCH_MODELCHECK_SYMMETRY must abort before the minutes of
+        // timed runs that precede its only consumer (the full-mode
+        // newly-feasible lane).
+        let new_symmetry = headline_symmetry();
+        // Smoke explores the crash-free spaces (a fraction of the
+        // crash_budget=1 spaces) once per mode, counts only.
         let crash_budget = if ctx.smoke() { 0 } else { 1 };
         let samples = if ctx.smoke() { 1 } else { SAMPLES };
         let (factory, check) = af_factory(crash_budget);
         let full_cfg = CheckConfig {
-            full_rehash: true,
+            symmetry: Symmetry::FullRehash,
             ..check.clone()
+        };
+        let (sym_factory, sym_check) = casloop_factory(2, crash_budget);
+        let quo_cfg = CheckConfig {
+            symmetry: Symmetry::Quotient,
+            ..sym_check.clone()
         };
 
         // Best-of-samples per mode, with the modes *interleaved*
@@ -84,6 +175,8 @@ impl Experiment for PerfModelcheck {
         let (mut full_secs, mut inc_secs, mut par_secs) =
             (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         let (mut full_report, mut inc_report, mut par_report) = (None, None, None);
+        let (mut off_secs, mut quo_secs) = (f64::INFINITY, f64::INFINITY);
+        let (mut off_report, mut quo_report) = (None, None);
         for _ in 0..samples {
             let (s, r) = timed(|| explore(&factory, &full_cfg).expect("A_f crash space is safe"));
             full_secs = full_secs.min(s);
@@ -95,14 +188,30 @@ impl Experiment for PerfModelcheck {
                 timed(|| explore_par(&factory, &check, workers).expect("A_f crash space is safe"));
             par_secs = par_secs.min(s);
             par_report = Some(r);
+            let (s, r) =
+                timed(|| explore(&sym_factory, &sym_check).expect("CAS-loop crash space is safe"));
+            off_secs = off_secs.min(s);
+            off_report = Some(r);
+            let (s, r) =
+                timed(|| explore(&sym_factory, &quo_cfg).expect("CAS-loop crash space is safe"));
+            quo_secs = quo_secs.min(s);
+            quo_report = Some(r);
         }
         let (full_report, inc_report, par_report) = (
             full_report.expect("samples >= 1"),
             inc_report.expect("samples >= 1"),
             par_report.expect("samples >= 1"),
         );
+        let (off_report, quo_report) = (
+            off_report.expect("samples >= 1"),
+            quo_report.expect("samples >= 1"),
+        );
 
-        let all_complete = full_report.complete && inc_report.complete && par_report.complete;
+        let all_complete = full_report.complete
+            && inc_report.complete
+            && par_report.complete
+            && off_report.complete
+            && quo_report.complete;
         let counts_agree = full_report.counts() == inc_report.counts()
             && inc_report.counts() == par_report.counts();
 
@@ -113,12 +222,30 @@ impl Experiment for PerfModelcheck {
         let inc_speedup = inc_sps / full_sps;
         let par_speedup = par_sps / full_sps;
 
+        let off_states = off_report.states_explored;
+        let quo_states = quo_report.states_explored;
+        let reduction = off_states as f64 / quo_states as f64;
+        // One class of two readers: orbits hold 1 or 2 concrete states,
+        // so any reduction outside (1, 2] is a quotient-key bug.
+        let bounds_hold = quo_states <= off_states && off_states <= quo_states * 2;
+        let off_sps = off_states as f64 / off_secs;
+        let quo_sps = quo_states as f64 / quo_secs;
+
         let workload = format!("A_f n=2 m=1 passages=1 crash_budget={crash_budget} writeback");
+        let sym_workload =
+            format!("A_f(CasLoop) n=2 m=1 passages=1 crash_budget={crash_budget} writeback");
         let mut report = Report::new(self, ctx);
         let mut table = if ctx.smoke() {
-            Table::new(["mode", "states", "complete"])
+            Table::new(["mode", "states", "visited", "complete"])
         } else {
-            Table::new(["mode", "states", "states/s", "speedup"])
+            Table::new([
+                "mode",
+                "states",
+                "states/s",
+                "speedup",
+                "visited",
+                "resident_bytes",
+            ])
         };
         let par_label = format!("parallel({workers})");
         let rows: [(&str, &CheckReport, f64, f64); 3] = [
@@ -131,6 +258,7 @@ impl Experiment for PerfModelcheck {
                 table.row([
                     label.to_string(),
                     r.states_explored.to_string(),
+                    r.visited.entries.to_string(),
                     r.complete.to_string(),
                 ]);
             } else {
@@ -139,13 +267,47 @@ impl Experiment for PerfModelcheck {
                     r.states_explored.to_string(),
                     format!("{sps:.0}"),
                     format!("{speedup:.2}x"),
+                    r.visited.entries.to_string(),
+                    r.visited.resident_bytes.to_string(),
                 ]);
             }
         }
         report.section(workload.clone(), table);
+
+        // The symmetry A/B on the class-declaring world: same backend
+        // storage, concrete vs canonical keys.
+        let mut sym_table = if ctx.smoke() {
+            Table::new(["backend", "states", "visited", "complete"])
+        } else {
+            Table::new(["backend", "states", "states/s", "visited", "resident_bytes"])
+        };
+        let sym_rows: [(&str, &CheckReport, f64); 2] = [
+            ("off (concrete)", &off_report, off_sps),
+            ("quotient", &quo_report, quo_sps),
+        ];
+        for (label, r, sps) in sym_rows {
+            if ctx.smoke() {
+                sym_table.row([
+                    label.to_string(),
+                    r.states_explored.to_string(),
+                    r.visited.entries.to_string(),
+                    r.complete.to_string(),
+                ]);
+            } else {
+                sym_table.row([
+                    label.to_string(),
+                    r.states_explored.to_string(),
+                    format!("{sps:.0}"),
+                    r.visited.entries.to_string(),
+                    r.visited.resident_bytes.to_string(),
+                ]);
+            }
+        }
+        report.section(sym_workload.clone(), sym_table);
+
         report
             .check(Check::new(
-                "all exploration modes exhaust the space",
+                "all exploration modes exhaust their spaces",
                 "complete = true in every mode",
                 if all_complete {
                     "complete"
@@ -156,9 +318,21 @@ impl Experiment for PerfModelcheck {
             ))
             .check(Check::new(
                 "incremental Zobrist keys and the SipHash walk partition the space identically",
-                "state counts equal across modes",
+                "state counts equal across concrete-key modes",
                 if counts_agree { "equal" } else { "DIVERGED" },
                 counts_agree,
+            ))
+            .check(Check::new(
+                "quotient orbit counts sit inside the 2-reader orbit bounds",
+                "quotient <= concrete <= 2 x quotient",
+                format!("{quo_states} orbits vs {off_states} states"),
+                bounds_hold,
+            ))
+            .check(Check::new(
+                "symmetry quotient holds the reduction floor on the CAS-loop world",
+                format!(">= {REDUCTION_FLOOR:.2}x fewer stored states"),
+                format!("{reduction:.2}x"),
+                reduction >= REDUCTION_FLOOR,
             ));
 
         if !ctx.smoke() {
@@ -179,22 +353,50 @@ impl Experiment for PerfModelcheck {
                 ));
             }
 
-            // The previously infeasible instance, once, with the full
-            // pool.
+            // The historical previously-infeasible instance, once, with
+            // the full pool.
             let (big_factory, big_check) = af_factory(2);
             let start = Instant::now();
             let big = explore_par(&big_factory, &big_check, workers)
                 .expect("A_f two-crash space is safe");
             let big_secs = start.elapsed().as_secs_f64();
             let big_sps = big.states_explored as f64 / big_secs;
-            let mut big_table = Table::new(["workload", "states", "seconds", "states/s"]);
+
+            // The *newly* feasible instance: three readers, two crashes,
+            // CAS-loop counters — 8.87M concrete states (past the
+            // checker's default 5M cap), exhausted as ~1.59M orbits
+            // under the quotient. `BENCH_MODELCHECK_SYMMETRY` swaps the
+            // backend for manual A/B runs against the same floor.
+            let (new_factory, new_check) = casloop_factory(3, 2);
+            let new_cfg = CheckConfig {
+                symmetry: new_symmetry,
+                ..new_check
+            };
+            let start = Instant::now();
+            let new = explore_par(&new_factory, &new_cfg, workers)
+                .expect("CAS-loop n=3 two-crash space is safe");
+            let new_secs = start.elapsed().as_secs_f64();
+            let new_sps = new.states_explored as f64 / new_secs;
+            let new_workload =
+                "A_f(CasLoop) n=3 m=1 passages=1 crash_budget=2 writeback".to_string();
+
+            let mut big_table =
+                Table::new(["workload", "backend", "states", "seconds", "states/s"]);
             big_table.row([
                 "A_f n=2 m=1 passages=1 crash_budget=2 writeback".to_string(),
+                "off (concrete)".to_string(),
                 big.states_explored.to_string(),
                 format!("{big_secs:.1}"),
                 format!("{big_sps:.0}"),
             ]);
-            report.section("previously infeasible instance", big_table);
+            big_table.row([
+                new_workload.clone(),
+                new_symmetry.to_string(),
+                new.states_explored.to_string(),
+                format!("{new_secs:.1}"),
+                format!("{new_sps:.0}"),
+            ]);
+            report.section("previously / newly infeasible instances", big_table);
             // Historically 8.75M states (past the default 5M cap); the
             // recoverable A_f recovery paths prune the wedged branches,
             // so the same instance now closes at ~3.7M states. The floor
@@ -213,6 +415,23 @@ impl Experiment for PerfModelcheck {
                 ),
                 big.complete && big.states_explored > 2_000_000,
             ));
+            // The n=3 floor is phrased to hold under any backend
+            // override: the space has 8.87M concrete states and ~1.59M
+            // orbits, both past 1.2M.
+            report.check(Check::new(
+                "the n=3 two-crash CAS-loop space is exhausted (newly feasible)",
+                "complete, > 1,200,000 states",
+                format!(
+                    "{}, {} states under {new_symmetry}",
+                    if new.complete {
+                        "complete"
+                    } else {
+                        "INCOMPLETE"
+                    },
+                    new.states_explored
+                ),
+                new.complete && new.states_explored > 1_200_000,
+            ));
 
             // Preserve the historical side artifact for trend tracking.
             let unix_secs = std::time::SystemTime::now()
@@ -227,11 +446,33 @@ impl Experiment for PerfModelcheck {
                  \"incremental_states_per_sec\": {inc_sps:.0},\n  \
                  \"parallel_states_per_sec\": {par_sps:.0},\n  \
                  \"incremental_speedup\": {inc_speedup:.2},\n  \
-                 \"parallel_speedup\": {par_speedup:.2},\n  \"infeasible_instance\": {{\n    \
+                 \"parallel_speedup\": {par_speedup:.2},\n  \
+                 \"symmetry_workload\": \"{sym_workload}\",\n  \
+                 \"concrete_states\": {off_states},\n  \
+                 \"quotient_states\": {quo_states},\n  \
+                 \"symmetry_reduction\": {reduction:.2},\n  \
+                 \"concrete_states_per_sec\": {off_sps:.0},\n  \
+                 \"quotient_states_per_sec\": {quo_sps:.0},\n  \
+                 \"concrete_resident_bytes\": {},\n  \
+                 \"quotient_resident_bytes\": {},\n  \"infeasible_instance\": {{\n    \
                  \"workload\": \"A_f n=2 m=1 passages=1 crash_budget=2 writeback\",\n    \
                  \"states\": {},\n    \"seconds\": {big_secs:.1},\n    \
-                 \"states_per_sec\": {big_sps:.0},\n    \"complete\": {}\n  }}\n}}\n",
-                inc_report.states_explored, big.states_explored, big.complete
+                 \"states_per_sec\": {big_sps:.0},\n    \"complete\": {}\n  }},\n  \
+                 \"newly_feasible_instance\": {{\n    \
+                 \"workload\": \"{new_workload}\",\n    \
+                 \"symmetry\": \"{new_symmetry}\",\n    \
+                 \"states\": {},\n    \"visited_entries\": {},\n    \
+                 \"resident_bytes\": {},\n    \"seconds\": {new_secs:.1},\n    \
+                 \"states_per_sec\": {new_sps:.0},\n    \"complete\": {}\n  }}\n}}\n",
+                inc_report.states_explored,
+                off_report.visited.resident_bytes,
+                quo_report.visited.resident_bytes,
+                big.states_explored,
+                big.complete,
+                new.states_explored,
+                new.visited.entries,
+                new.visited.resident_bytes,
+                new.complete
             );
             let path = std::env::var("BENCH_MODELCHECK_OUT")
                 .unwrap_or_else(|_| "BENCH_modelcheck.json".to_string());
@@ -241,5 +482,56 @@ impl Experiment for PerfModelcheck {
             };
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_symmetry_unset_uses_default() {
+        assert_eq!(parse_bench_symmetry(None), Ok(None));
+    }
+
+    #[test]
+    fn bench_symmetry_accepts_exact_tokens() {
+        assert_eq!(parse_bench_symmetry(Some("off")), Ok(Some(Symmetry::Off)));
+        assert_eq!(
+            parse_bench_symmetry(Some("quotient")),
+            Ok(Some(Symmetry::Quotient))
+        );
+        assert_eq!(
+            parse_bench_symmetry(Some("full_rehash")),
+            Ok(Some(Symmetry::FullRehash))
+        );
+    }
+
+    #[test]
+    fn bench_symmetry_rejects_malformed_values() {
+        for bad in [
+            "",
+            "Off",
+            "OFF",
+            " off",
+            "off ",
+            "Quotient",
+            "QUOTIENT",
+            "full-rehash",
+            "fullrehash",
+            "FullRehash",
+            "on",
+            "true",
+            "false",
+            "0",
+            "1",
+            "sym",
+            "none",
+        ] {
+            let err =
+                parse_bench_symmetry(Some(bad)).expect_err(&format!("{bad:?} should be rejected"));
+            assert!(err.contains("BENCH_MODELCHECK_SYMMETRY"), "{bad:?}: {err}");
+            assert!(err.contains("bad symmetry mode"), "{bad:?}: {err}");
+        }
     }
 }

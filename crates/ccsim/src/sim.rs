@@ -5,7 +5,7 @@ use crate::memory::Memory;
 use crate::op::Op;
 use crate::program::{Phase, Program, Role, Step};
 use crate::trace::{StepKind, StepRecord, Trace};
-use crate::value::{ProcId, Value};
+use crate::value::{ProcId, Value, VarId};
 use std::error::Error;
 use std::fmt;
 
@@ -13,24 +13,115 @@ use std::fmt;
 /// lives in `memory.rs` with a different salt).
 const PROC_SALT: u64 = 0x5eed_0000_0000_0002;
 
+/// Salt for the *index-free* member signatures of the symmetry-quotient
+/// canonical fingerprint ([`Sim::fingerprint_canonical`]). Distinct from
+/// [`PROC_SALT`] so a canonical member bundle can never collide with a
+/// concrete process-slot signature.
+const MEMBER_SALT: u64 = 0x5eed_0000_0000_0003;
+
+/// Sentinel hashed in place of a [`Value::Proc`] self-reference inside a
+/// member bundle: "this slot holds *its own owner's* id" is the
+/// index-free fact, whichever concrete process that is.
+const SELF_REF_SENTINEL: u64 = 0x5e1f_5e1f_5e1f_5e1f;
+
 /// The Zobrist signature of "process `i` has this local state": the
 /// program's 64-bit digest fed through a hasher *seeded* by the process
 /// index. The sim's process fingerprint is the XOR of one signature per
 /// process, so a step or crash of one process is an O(1) patch.
 ///
-/// The digest must enter through the hasher's multiply, never a bare
-/// XOR with the index term: programs commonly implement
+/// This is the *concrete* (index-salted) mix: swapping the local states
+/// of two processes always changes [`Sim::fingerprint`]. The
+/// symmetry-quotient mode ([`Sim::fingerprint_canonical`]) deliberately
+/// drops the index salt for processes declared interchangeable in a
+/// [`SymmetryClass`] and re-combines their digests as a *sorted multiset*
+/// instead, so a pure swap of class members hashes identically.
+///
+/// In **both** mixes the digest must enter through a hasher's multiply,
+/// never a bare XOR with the other terms: programs commonly implement
 /// [`Program::fingerprint64`] as `mix64(small_code)`, the same family as
 /// `mix64(i)`, and a plain `mix64(salt ^ mix64(i) ^ digest)` then makes
 /// "process 0 in state 1" and "process 1 in state 0" produce *identical*
 /// signatures (their XOR contributions cancel pairwise), silently
-/// merging mirror configurations in the model checker's visited set.
+/// merging mirror configurations in the model checker's visited set —
+/// the PR-3 injectivity regression. The canonical mode has the same
+/// hazard between a member's digest and its owned-value slots, which is
+/// why the bundle feeds everything through one seeded [`FxHasher`].
 #[inline]
 fn proc_sig(i: usize, prog: &dyn Program) -> u64 {
     use std::hash::Hasher;
     let mut h = FxHasher::with_seed(PROC_SALT ^ mix64(i as u64));
     h.write_u64(prog.fingerprint64());
     h.finish()
+}
+
+/// A set of processes declared interchangeable for the symmetry-quotient
+/// canonical fingerprint: permuting the *local states* of the members
+/// (together with their per-member `owned` shared-variable slices) maps
+/// reachable configurations to reachable configurations with identical
+/// observable behaviour.
+///
+/// Declaring a class is a **soundness claim by the world builder**: the
+/// permutation must be a true automorphism of the transition system.
+/// That requires (a) the members run identical programs whose
+/// [`Program::fingerprint`] is index-free (no process ids, no absolute
+/// variable ids that differ between members), (b) every shared variable
+/// whose value distinguishes the members appears in their `owned` slice
+/// (position `k` of member `j`'s slice corresponds to position `k` of
+/// every other member's slice), and (c) no *other* process or shared
+/// variable observes a member's identity. See DESIGN.md "Symmetry
+/// quotient" for a worked non-example: f-array tree counters fail (c) —
+/// the refresh's fixed left-then-right child reads sample swapped leaves
+/// at different moments, so even sibling-leaf readers are not
+/// interchangeable mid-refresh.
+#[derive(Clone, Debug)]
+pub struct SymmetryClass {
+    members: Vec<ProcId>,
+    /// Per member, the shared-variable slice only it writes (parallel to
+    /// `members`; all slices have equal length, position-aligned).
+    owned: Vec<Vec<VarId>>,
+}
+
+impl SymmetryClass {
+    /// A class of interchangeable processes with no owned shared
+    /// variables (e.g. CAS-loop counter readers: all shared state they
+    /// touch is common to the whole class).
+    pub fn new(members: Vec<ProcId>) -> Self {
+        let owned = vec![Vec::new(); members.len()];
+        SymmetryClass { members, owned }
+    }
+
+    /// A class whose members each own a position-aligned slice of shared
+    /// variables (member `j` owns `owned[j]`; swapping members `j` and
+    /// `k` swaps the values of `owned[j][i]` and `owned[k][i]` for every
+    /// position `i`).
+    ///
+    /// # Panics
+    /// Panics if `owned` is not parallel to `members` or the slices have
+    /// unequal lengths.
+    pub fn with_owned(members: Vec<ProcId>, owned: Vec<Vec<VarId>>) -> Self {
+        assert_eq!(
+            members.len(),
+            owned.len(),
+            "one owned slice per class member"
+        );
+        if let Some(first) = owned.first() {
+            assert!(
+                owned.iter().all(|s| s.len() == first.len()),
+                "owned slices must be position-aligned (equal lengths)"
+            );
+        }
+        SymmetryClass { members, owned }
+    }
+
+    /// The interchangeable processes.
+    pub fn members(&self) -> &[ProcId] {
+        &self.members
+    }
+
+    /// The per-member owned variable slices (parallel to `members`).
+    pub fn owned(&self) -> &[Vec<VarId>] {
+        &self.owned
+    }
 }
 
 /// Per-process execution metrics, split by passage section.
@@ -148,6 +239,10 @@ pub struct Sim {
     /// [`Sim::fingerprint`] is O(1) instead of a full-state rehash.
     proc_sigs: Vec<u64>,
     procs_fp: u64,
+    /// Interchangeable-process classes declared by the world builder via
+    /// [`Sim::declare_symmetry`]; consulted only by the canonical
+    /// fingerprint ([`Sim::fingerprint_canonical`]), never by stepping.
+    symmetry: Vec<SymmetryClass>,
     trace: Option<Trace>,
     steps: u64,
 }
@@ -179,6 +274,7 @@ impl Sim {
             aborting: vec![false; n],
             proc_sigs,
             procs_fp,
+            symmetry: Vec::new(),
             trace: None,
             steps: 0,
         }
@@ -552,7 +648,7 @@ impl Sim {
     /// Recompute [`Sim::fingerprint`] from scratch — rehash every variable
     /// and every process. This is the oracle the maintained incremental
     /// hash is checked against (debug assertions here and dedicated
-    /// randomized-walk tests); the model checker's `full_rehash` baseline
+    /// randomized-walk tests); the model checker's `Symmetry::FullRehash`
     /// mode also measures against it.
     pub fn fingerprint_full(&self) -> u64 {
         let vals = self.mem.values_fingerprint_full();
@@ -562,6 +658,143 @@ impl Sim {
             .enumerate()
             .fold(0u64, |acc, (i, p)| acc ^ proc_sig(i, &**p));
         vals ^ procs
+    }
+
+    /// Declare the interchangeable-process classes of this world.
+    /// Replaces any previous declaration. Stepping and the concrete
+    /// [`Sim::fingerprint`] are unaffected; only
+    /// [`Sim::fingerprint_canonical`] (and the model checker's quotient
+    /// visited-set backend built on it) consult the classes.
+    ///
+    /// # Panics
+    /// Panics loudly on a malformed declaration: a class with fewer than
+    /// two members, an out-of-range or repeated member, a repeated owned
+    /// variable, or members whose current local-state digests or owned
+    /// values differ (classes must be declared on a freshly built,
+    /// symmetric world).
+    pub fn declare_symmetry(&mut self, classes: Vec<SymmetryClass>) {
+        let mut seen_procs = vec![false; self.procs.len()];
+        let mut seen_vars = vec![false; self.mem.n_vars()];
+        for class in &classes {
+            assert!(
+                class.members.len() >= 2,
+                "a symmetry class needs at least two members"
+            );
+            assert!(
+                class.members.len() <= 64,
+                "symmetry classes are limited to 64 members"
+            );
+            for &p in &class.members {
+                assert!(p.0 < self.procs.len(), "symmetry member {p} out of range");
+                assert!(
+                    !seen_procs[p.0],
+                    "process {p} appears in more than one symmetry class"
+                );
+                seen_procs[p.0] = true;
+            }
+            for slice in &class.owned {
+                for &v in slice {
+                    assert!(v.0 < self.mem.n_vars(), "owned variable {v} out of range");
+                    assert!(!seen_vars[v.0], "variable {v} owned twice");
+                    seen_vars[v.0] = true;
+                }
+            }
+            let d0 = self.procs[class.members[0].0].fingerprint64();
+            let vals0: Vec<Value> = class.owned[0].iter().map(|&v| self.mem.peek(v)).collect();
+            for (j, &p) in class.members.iter().enumerate() {
+                assert_eq!(
+                    self.procs[p.0].fingerprint64(),
+                    d0,
+                    "symmetry members must start in identical local states \
+                     (member {p} differs — declare classes on a fresh world)"
+                );
+                let vals: Vec<Value> = class.owned[j].iter().map(|&v| self.mem.peek(v)).collect();
+                assert_eq!(
+                    vals, vals0,
+                    "symmetry members must start with identical owned values \
+                     (member {p} differs)"
+                );
+            }
+        }
+        self.symmetry = classes;
+    }
+
+    /// The declared interchangeable-process classes (empty unless the
+    /// world builder called [`Sim::declare_symmetry`]).
+    pub fn symmetry_classes(&self) -> &[SymmetryClass] {
+        &self.symmetry
+    }
+
+    /// The index-free signature of one class member: its program digest
+    /// plus its owned shared-variable values, keyed by *position in the
+    /// owned slice* (not by absolute variable id) with [`Value::Proc`]
+    /// self-references canonicalized to a sentinel. Two members whose
+    /// local states and owned values are a pure swap of each other
+    /// produce equal signatures.
+    pub fn symmetry_member_sig(&self, class: usize, member: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let c = &self.symmetry[class];
+        let p = c.members[member];
+        let mut h = FxHasher::with_seed(MEMBER_SALT);
+        h.write_u64(self.procs[p.0].fingerprint64());
+        for (k, &v) in c.owned[member].iter().enumerate() {
+            h.write_usize(k);
+            match self.mem.peek(v) {
+                Value::Proc(q) if q == p => h.write_u64(SELF_REF_SENTINEL),
+                val => val.hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
+    /// The symmetric part of the configuration: [`Sim::fingerprint`] with
+    /// the index-salted contributions of every class member (its
+    /// [`proc_sig`] and its owned variable slots) XORed back out. What
+    /// remains covers exactly the variables and processes *outside* the
+    /// declared classes, and is the base the sorted member bundles are
+    /// mixed onto. O(class members + owned variables) per call.
+    pub fn fingerprint_canonical_base(&self) -> u64 {
+        let mut fp = self.fingerprint();
+        for class in &self.symmetry {
+            for &p in &class.members {
+                fp ^= self.proc_sigs[p.0];
+            }
+            fp ^= self
+                .mem
+                .slots_signature(class.owned.iter().flatten().copied());
+        }
+        fp
+    }
+
+    /// The symmetry-quotient canonical fingerprint: equal for any two
+    /// configurations that differ only by permuting the members of a
+    /// declared [`SymmetryClass`] (local states and owned variable values
+    /// swapped together). Built from [`Sim::fingerprint_canonical_base`]
+    /// plus, per class, the **sorted multiset** of member signatures —
+    /// sorting erases which member holds which state, which is the whole
+    /// point. With no classes declared this degenerates to a rehash of
+    /// the concrete fingerprint (same partition of configurations).
+    ///
+    /// This is intentionally *coarser* than [`Sim::fingerprint`] and must
+    /// only be used for visited-set deduplication in worlds whose
+    /// declared classes are genuine automorphisms; it is never an
+    /// identity oracle.
+    pub fn fingerprint_canonical(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = FxHasher::with_seed(MEMBER_SALT);
+        h.write_u64(self.fingerprint_canonical_base());
+        let mut sigs: Vec<u64> = Vec::new();
+        for ci in 0..self.symmetry.len() {
+            sigs.clear();
+            for j in 0..self.symmetry[ci].members.len() {
+                sigs.push(self.symmetry_member_sig(ci, j));
+            }
+            sigs.sort_unstable();
+            for &s in &sigs {
+                h.write_u64(s);
+            }
+        }
+        h.finish()
     }
 
     /// True if every process is in its remainder section (a *quiescent*
@@ -582,6 +815,7 @@ impl Sim {
             aborting: self.aborting.clone(),
             proc_sigs: self.proc_sigs.clone(),
             procs_fp: self.procs_fp,
+            symmetry: self.symmetry.clone(),
             trace: None,
             steps: self.steps,
         }
@@ -611,6 +845,7 @@ impl Sim {
         dst.aborting.clone_from(&self.aborting);
         dst.proc_sigs.clone_from(&self.proc_sigs);
         dst.procs_fp = self.procs_fp;
+        dst.symmetry.clone_from(&self.symmetry);
         dst.trace = None;
         dst.steps = self.steps;
     }
@@ -1012,6 +1247,124 @@ mod tests {
         }
         assert_eq!(sim.stats(p).passages, 1);
         assert_eq!(sim.stats(p).aborts, 1);
+    }
+
+    /// A world of `n` readers where each process writes its **own** flag
+    /// variable (never anyone else's): permuting processes together with
+    /// their flags is a true automorphism, so the whole set is one
+    /// symmetry class with position-aligned owned slices.
+    fn per_slot_world(n: usize) -> Sim {
+        let mut l = Layout::new();
+        let flags: Vec<VarId> = (0..n)
+            .map(|i| l.var(format!("flag{i}"), Value::Nil))
+            .collect();
+        let mem = Memory::new(&l, n, Protocol::WriteBack);
+        let procs: Vec<Box<dyn Program>> = (0..n)
+            .map(|i| {
+                Box::new(FlagClient {
+                    flag: flags[i],
+                    me: ProcId(i),
+                    role: Role::Reader,
+                    pc: 0,
+                }) as Box<dyn Program>
+            })
+            .collect();
+        let mut sim = Sim::new(mem, procs);
+        sim.declare_symmetry(vec![SymmetryClass::with_owned(
+            (0..n).map(ProcId).collect(),
+            flags.into_iter().map(|f| vec![f]).collect(),
+        )]);
+        sim
+    }
+
+    #[test]
+    fn canonical_fingerprint_merges_swapped_symmetric_members() {
+        let mut a = per_slot_world(3);
+        let mut b = per_slot_world(3);
+        // a: p0 runs to its CS (flag0 = Proc(0)); b: the mirror via p2.
+        a.step(ProcId(0));
+        a.step(ProcId(0));
+        b.step(ProcId(2));
+        b.step(ProcId(2));
+        // Concrete fingerprints distinguish the swap; canonical merges it.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint_canonical(), b.fingerprint_canonical());
+        // The quotient is not degenerate: a genuinely different state
+        // (nobody in the CS) keeps a different canonical fingerprint.
+        let fresh = per_slot_world(3);
+        assert_ne!(a.fingerprint_canonical(), fresh.fingerprint_canonical());
+        // With no classes declared the canonical partition is concrete.
+        let mut c = per_slot_world(3);
+        c.declare_symmetry(Vec::new());
+        c.step(ProcId(2));
+        c.step(ProcId(2));
+        assert_ne!(b.fingerprint_canonical(), c.fingerprint_canonical());
+    }
+
+    #[test]
+    fn canonical_fingerprint_keeps_identity_leaks_distinct() {
+        // Two readers share ONE flag variable and write their own id into
+        // it. The flag is shared (not owned by either member), so after
+        // p0's entry it holds Proc(0) and after p1's it holds Proc(1):
+        // the states are observably different and must NOT merge, even
+        // with the processes declared interchangeable.
+        let mut a = world(&[Role::Reader, Role::Reader]);
+        let mut b = world(&[Role::Reader, Role::Reader]);
+        a.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0), ProcId(1)])]);
+        b.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0), ProcId(1)])]);
+        a.step(ProcId(0));
+        a.step(ProcId(0));
+        b.step(ProcId(1));
+        b.step(ProcId(1));
+        assert_ne!(a.fingerprint_canonical(), b.fingerprint_canonical());
+    }
+
+    #[test]
+    fn canonical_fingerprint_survives_world_cloning() {
+        let mut a = per_slot_world(2);
+        a.step(ProcId(1));
+        let clone = a.clone_world();
+        assert_eq!(clone.fingerprint_canonical(), a.fingerprint_canonical());
+        let mut dst = per_slot_world(2);
+        dst.step(ProcId(0));
+        a.clone_world_into(&mut dst);
+        assert_eq!(dst.fingerprint_canonical(), a.fingerprint_canonical());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn declare_symmetry_rejects_singleton_classes() {
+        let mut sim = world(&[Role::Reader, Role::Reader]);
+        sim.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one symmetry class")]
+    fn declare_symmetry_rejects_overlapping_classes() {
+        let mut sim = world(&[Role::Reader, Role::Reader, Role::Reader]);
+        sim.declare_symmetry(vec![
+            SymmetryClass::new(vec![ProcId(0), ProcId(1)]),
+            SymmetryClass::new(vec![ProcId(1), ProcId(2)]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical local states")]
+    fn declare_symmetry_rejects_asymmetric_start_states() {
+        let mut sim = world(&[Role::Reader, Role::Reader]);
+        sim.step(ProcId(0)); // p0 leaves its remainder section
+        sim.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0), ProcId(1)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "owned twice")]
+    fn declare_symmetry_rejects_shared_owned_variables() {
+        let mut sim = world(&[Role::Reader, Role::Reader]);
+        let flag = VarId(0);
+        sim.declare_symmetry(vec![SymmetryClass::with_owned(
+            vec![ProcId(0), ProcId(1)],
+            vec![vec![flag], vec![flag]],
+        )]);
     }
 
     #[test]

@@ -37,9 +37,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use ccsim::{FxBuildHasher, FxHasher, MutualExclusionViolation, Phase, ProcId, Sim, Step};
+use ccsim::{FxHasher, MutualExclusionViolation, Phase, ProcId, Sim, Step};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -48,10 +47,12 @@ use std::str::FromStr;
 mod artifact;
 mod par;
 mod shrink;
+mod visited;
 
 pub use artifact::TraceArtifact;
 pub use par::{explore_par, explore_par_with};
 pub use shrink::{shrink, ShrinkOutcome};
+pub use visited::VisitedStats;
 
 /// One entry of an explored (or replayed) schedule: a normal scheduled
 /// step of a process, a crash event striking it, a system-wide crash
@@ -160,6 +161,73 @@ impl FromStr for SchedEntry {
     }
 }
 
+/// Which visited-set backend deduplicates configurations — the
+/// fingerprint discipline of an exploration (see
+/// [`CheckConfig::symmetry`]).
+///
+/// Parsed strictly from `"off"`, `"quotient"`, or `"full_rehash"`
+/// (exact, lowercase); anything else is a loud [`Err`], matching the
+/// `BENCH_THREADS`/`CCSIM_STALL_AFTER` env-knob discipline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Symmetry {
+    /// Concrete incremental fingerprints (the default): one visited-set
+    /// entry per reachable configuration, keyed by the O(1) maintained
+    /// [`Sim::fingerprint`].
+    #[default]
+    Off,
+    /// Symmetry-quotient deduplication: configurations are keyed by
+    /// [`Sim::fingerprint_canonical`], so states differing only by a
+    /// permutation of a declared [`ccsim::SymmetryClass`] share one
+    /// entry and each orbit is expanded once, from whichever concrete
+    /// representative reaches it first. Sound **only** for worlds whose
+    /// declared classes are genuine automorphisms (see the
+    /// `SymmetryClass` docs); with no classes declared it partitions the
+    /// space exactly like [`Symmetry::Off`]. Counterexamples are still
+    /// found on concrete states — schedules, fingerprints, and replay
+    /// artifacts are unaffected.
+    Quotient,
+    /// The pre-optimization baseline: state keys from a from-scratch
+    /// SipHash walk over every variable and every process per visited
+    /// state, and a freshly allocated world per transition (no recycling
+    /// pool). Kept for two reasons: it is the honest baseline
+    /// `perf_modelcheck` measures the exploration speedup against —
+    /// exactly how the explorer behaved before the incremental
+    /// fingerprints and the world-recycling pool landed — and its keys
+    /// are an independent hash family: a run in each mode must report
+    /// identical [`CheckReport`] counts, which the determinism suite
+    /// uses as a cross-check oracle against fingerprint aliasing.
+    FullRehash,
+}
+
+impl fmt::Display for Symmetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Symmetry::Off => "off",
+            Symmetry::Quotient => "quotient",
+            Symmetry::FullRehash => "full_rehash",
+        })
+    }
+}
+
+impl FromStr for Symmetry {
+    type Err = String;
+
+    /// Strict parse: exactly `"off"`, `"quotient"`, or `"full_rehash"`.
+    /// No case folding, no trimming, no prefixes — a malformed backend
+    /// selection must abort loudly, never silently fall back to a mode
+    /// that explores a different number of states.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Symmetry::Off),
+            "quotient" => Ok(Symmetry::Quotient),
+            "full_rehash" => Ok(Symmetry::FullRehash),
+            other => Err(format!(
+                "bad symmetry mode {other:?}: expected \"off\", \"quotient\", or \"full_rehash\""
+            )),
+        }
+    }
+}
+
 /// Exploration limits and quotas.
 #[derive(Clone, Debug)]
 pub struct CheckConfig {
@@ -193,20 +261,13 @@ pub struct CheckConfig {
     /// [`ccsim::Program::can_abort`] — elsewhere they are observable
     /// no-ops and exploring them would only pad the state space.
     pub abort_budget: u32,
-    /// Explore with the pre-optimization discipline: state keys from a
-    /// from-scratch SipHash walk over every variable and every process
-    /// per visited state (instead of the maintained O(1) incremental
-    /// fingerprint), and a freshly allocated world per transition
-    /// (instead of the recycling pool). Off by default.
-    ///
-    /// Kept for two reasons: it is the honest baseline `perf_modelcheck`
-    /// measures the exploration speedup against — exactly how the
-    /// explorer behaved before the incremental fingerprints and the
-    /// world-recycling pool landed — and its keys are an independent
-    /// hash family: an exploration run in each mode must report
-    /// identical [`CheckReport`] counts, which the determinism suite
-    /// uses as a cross-check oracle against fingerprint aliasing.
-    pub full_rehash: bool,
+    /// The visited-set backend: concrete incremental fingerprints
+    /// ([`Symmetry::Off`], the default), the symmetry-quotient canonical
+    /// fingerprint ([`Symmetry::Quotient`]), or the full-rehash SipHash
+    /// oracle ([`Symmetry::FullRehash`]). All three preserve exactly-once
+    /// expansion (per key) and deterministic BFS-minimal counterexamples;
+    /// they differ in which configurations share a key and in cost.
+    pub symmetry: Symmetry,
 }
 
 impl Default for CheckConfig {
@@ -219,7 +280,7 @@ impl Default for CheckConfig {
             crash_in_cs: false,
             crash_all_budget: 0,
             abort_budget: 0,
-            full_rehash: false,
+            symmetry: Symmetry::Off,
         }
     }
 }
@@ -348,6 +409,13 @@ pub struct CheckReport {
     pub terminal_states: u64,
     /// Whether the whole state space was exhausted (no cap was hit).
     pub complete: bool,
+    /// End-of-run visited-set occupancy ([`VisitedStats`]): distinct
+    /// keys stored and approximate resident bytes of the backing tables.
+    /// The set only grows, so these are also the peak. **Not** part of
+    /// [`CheckReport::counts`]: under [`Symmetry::Quotient`] the entry
+    /// count is the number of *orbits*, deliberately smaller than the
+    /// concrete modes' state count.
+    pub visited: VisitedStats,
 }
 
 impl CheckReport {
@@ -355,10 +423,15 @@ impl CheckReport {
     /// same world: on a *complete* run every unique configuration is
     /// expanded exactly once, so these are identical whatever the visit
     /// order — sequential DFS, [`explore_par`] at any worker count, or
-    /// either [`CheckConfig::full_rehash`] mode. Excludes
+    /// the [`Symmetry::Off`] vs [`Symmetry::FullRehash`] key family.
+    /// ([`Symmetry::Quotient`] expands one representative per *orbit*,
+    /// so its counts are intentionally smaller on symmetric worlds; its
+    /// violation *verdicts* still agree.) Excludes
     /// [`CheckReport::max_depth_seen`], which is a discovery-order
     /// diagnostic (DFS reaches depth along its first branch; a parallel
-    /// run's per-worker depths depend on how jobs were donated).
+    /// run's per-worker depths depend on how jobs were donated), and
+    /// [`CheckReport::visited`], which differs between backends by
+    /// design.
     pub fn counts(&self) -> (u64, u64, u64, u64, bool) {
         (
             self.states_explored,
@@ -434,15 +507,15 @@ fn push_entries(
 /// completion is accounted differently, so the abort flags must key the
 /// state too).
 ///
-/// The fast path (`full_rehash == false`) reads [`Sim::fingerprint`] —
+/// The fast path ([`Symmetry::Off`]) reads [`Sim::fingerprint`] —
 /// maintained incrementally, O(1) — and folds the quotas through the
-/// in-tree [`FxHasher`]. The baseline path rehashes the entire
-/// configuration with SipHash, exactly as the explorer did before the
-/// incremental fingerprints landed.
-fn state_key(sim: &Sim, quota: u64, budgets: Budgets, full_rehash: bool) -> u64 {
-    if full_rehash {
-        return state_key_full(sim, quota, budgets);
-    }
+/// in-tree [`FxHasher`]. The [`Symmetry::FullRehash`] baseline rehashes
+/// the entire configuration with SipHash, exactly as the explorer did
+/// before the incremental fingerprints landed; [`Symmetry::Quotient`]
+/// keys orbits via the canonical fingerprint instead. The explorers
+/// reach these through the [`visited::Visited`] backend for the
+/// configured mode.
+fn state_key_concrete(sim: &Sim, quota: u64, budgets: Budgets) -> u64 {
     let mut h = FxHasher::default();
     h.write_u64(sim.fingerprint());
     for p in sim.proc_ids() {
@@ -452,6 +525,54 @@ fn state_key(sim: &Sim, quota: u64, budgets: Budgets, full_rehash: bool) -> u64 
     h.write_u32(budgets.crash_alls);
     h.write_u32(budgets.aborts);
     h.write_u64(aborting_bits(sim));
+    h.finish()
+}
+
+/// The symmetry-quotient state key: [`Sim::fingerprint_canonical_base`]
+/// (everything outside the declared classes, plus the quotas, budgets
+/// and abort flags of non-class processes, keyed exactly as in
+/// [`state_key_concrete`]) mixed with, per class, the **sorted multiset**
+/// of member bundles.
+///
+/// A member's bundle folds its index-free signature together with its
+/// own capped passage count and in-flight abort flag. Folding those
+/// per-index *outside* the bundles would be unsound: the exploration
+/// semantics of a member (is it enabled? does completing count as abort
+/// or passage?) travel with its local state under a permutation, so they
+/// must be erased-and-sorted with it — keying them by index would merge
+/// states whose permuted members disagree on quota or abort status.
+fn state_key_canonical(sim: &Sim, quota: u64, budgets: Budgets) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(sim.fingerprint_canonical_base());
+    let mut class_procs = 0u64;
+    // `declare_symmetry` caps classes at 64 members, so a fixed scratch
+    // array keeps this allocation-free on the hot path.
+    let mut sigs = [0u64; 64];
+    for (ci, class) in sim.symmetry_classes().iter().enumerate() {
+        let members = class.members();
+        for (j, &p) in members.iter().enumerate() {
+            let mut mh = FxHasher::default();
+            mh.write_u64(sim.symmetry_member_sig(ci, j));
+            mh.write_u64(sim.stats(p).passages.min(quota));
+            mh.write_u8(sim.is_aborting(p) as u8);
+            sigs[j] = mh.finish();
+            class_procs |= 1u64.rotate_left(p.0 as u32);
+        }
+        let k = members.len();
+        sigs[..k].sort_unstable();
+        for &s in &sigs[..k] {
+            h.write_u64(s);
+        }
+    }
+    for p in sim.proc_ids() {
+        if class_procs & 1u64.rotate_left(p.0 as u32) == 0 {
+            h.write_u64(sim.stats(p).passages.min(quota));
+        }
+    }
+    h.write_u32(budgets.crashes);
+    h.write_u32(budgets.crash_alls);
+    h.write_u32(budgets.aborts);
+    h.write_u64(aborting_bits(sim) & !class_procs);
     h.finish()
 }
 
@@ -468,7 +589,7 @@ fn aborting_bits(sim: &Sim) -> u64 {
     bits
 }
 
-/// The pre-optimization baseline for [`state_key`]: a from-scratch
+/// The pre-optimization baseline for [`state_key_concrete`]: a from-scratch
 /// SipHash (`DefaultHasher`) walk over every variable value and every
 /// process's local state. Being an independent hash family, a run keyed
 /// by this must partition states identically to the incremental path up
@@ -540,10 +661,10 @@ pub fn explore_with(
 
     let root = factory();
     let quota = cfg.passages_per_proc;
-    let full = cfg.full_rehash;
+    let full = cfg.symmetry == Symmetry::FullRehash;
     let root_budgets = Budgets::of(cfg);
-    let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
-    visited.insert(state_key(&root, quota, root_budgets, full));
+    let visited = visited::backend(cfg.symmetry);
+    visited.insert(visited.key(&root, quota, root_budgets));
 
     let mut report = CheckReport {
         states_explored: 1,
@@ -552,12 +673,14 @@ pub fn explore_with(
         max_depth_seen: 0,
         terminal_states: 0,
         complete: true,
+        visited: VisitedStats::default(),
     };
 
     let mut arena: Vec<SchedEntry> = Vec::new();
     push_entries(&root, quota, root_budgets, cfg.crash_in_cs, &mut arena);
     if arena.is_empty() {
         report.terminal_states = 1;
+        report.visited = visited.stats();
         return Ok(report);
     }
     let mut stack = vec![Frame {
@@ -572,9 +695,9 @@ pub fn explore_with(
     // Popped and deduplicated worlds are recycled through this pool:
     // `clone_world_into` overwrites a spare world in place, so steady-state
     // branching allocates nothing (see `Sim::clone_world_into`). The
-    // `full_rehash` baseline keeps the pre-optimization discipline — a
-    // fresh allocation per transition — so the measured speedup reflects
-    // the whole optimization, not just the key function.
+    // `Symmetry::FullRehash` baseline keeps the pre-optimization
+    // discipline — a fresh allocation per transition — so the measured
+    // speedup reflects the whole optimization, not just the key function.
     let mut pool: Vec<Sim> = Vec::new();
 
     while let Some(top) = stack.last_mut() {
@@ -617,7 +740,7 @@ pub fn explore_with(
             });
         }
 
-        if !visited.insert(state_key(&child, quota, budgets, full)) {
+        if !visited.insert(visited.key(&child, quota, budgets)) {
             if !full {
                 pool.push(child);
             }
@@ -653,6 +776,7 @@ pub fn explore_with(
         });
     }
 
+    report.visited = visited.stats();
     Ok(report)
 }
 
@@ -1063,6 +1187,86 @@ mod tests {
         assert!("x3".parse::<SchedEntry>().is_err());
         assert!("s".parse::<SchedEntry>().is_err());
         assert!("".parse::<SchedEntry>().is_err());
+    }
+
+    #[test]
+    fn symmetry_mode_tokens_round_trip() {
+        for mode in [Symmetry::Off, Symmetry::Quotient, Symmetry::FullRehash] {
+            assert_eq!(mode.to_string().parse::<Symmetry>().unwrap(), mode);
+        }
+        assert_eq!(Symmetry::default(), Symmetry::Off);
+        assert_eq!(CheckConfig::default().symmetry, Symmetry::Off);
+    }
+
+    #[test]
+    fn symmetry_mode_parse_is_strict() {
+        // A malformed backend selection must abort loudly, never fall
+        // back silently: the chosen mode decides how many states a run
+        // explores, so a typo that "defaults to off" would corrupt A/B
+        // measurements without a trace.
+        for bad in [
+            "",
+            "Off",
+            "OFF",
+            " off",
+            "off ",
+            "on",
+            "quotient ",
+            "Quotient",
+            "QUOTIENT",
+            "quot",
+            "sym",
+            "symmetry",
+            "full-rehash",
+            "fullrehash",
+            "full_rehash ",
+            "FullRehash",
+            "full",
+            "rehash",
+            "true",
+            "false",
+            "0",
+            "1",
+        ] {
+            let err = bad
+                .parse::<Symmetry>()
+                .expect_err(&format!("mode {bad:?} must be rejected"));
+            assert!(err.contains("bad symmetry mode"), "unhelpful error: {err}");
+        }
+    }
+
+    #[test]
+    fn quotient_without_declared_classes_partitions_like_concrete() {
+        // With no SymmetryClass declared, the canonical fingerprint is a
+        // rehash of the concrete one: the quotient backend must visit
+        // exactly the same number of states, and the full-rehash oracle
+        // (an independent hash family) must agree with both.
+        let factory = || wmutex::mutex_world(2, Protocol::WriteBack);
+        let base = CheckConfig {
+            passages_per_proc: 1,
+            crash_budget: 1,
+            ..Default::default()
+        };
+        let mut counts = Vec::new();
+        for symmetry in [Symmetry::Off, Symmetry::Quotient, Symmetry::FullRehash] {
+            let cfg = CheckConfig {
+                symmetry,
+                ..base.clone()
+            };
+            let report = explore(factory, &cfg).expect("tournament is safe");
+            assert!(report.complete);
+            assert_eq!(
+                report.visited.entries, report.states_explored,
+                "{symmetry}: one visited entry per expanded state"
+            );
+            assert!(
+                report.visited.resident_bytes >= report.visited.entries * 9,
+                "{symmetry}: resident bytes cover at least the stored keys"
+            );
+            counts.push(report.counts());
+        }
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
     }
 
     #[test]

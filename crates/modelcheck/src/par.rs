@@ -12,12 +12,13 @@
 //! scheme of parallel SPIN) — subtree-sized work units, handed out from
 //! the root end where they are biggest.
 //!
-//! Deduplication goes through a visited set sharded across 64 striped
-//! `Mutex<HashSet>` shards selected by the top bits of the state key, so
-//! concurrent inserts rarely contend; keys are produced by the O(1)
-//! incremental [`Sim::fingerprint`] and the in-tree Fx hasher (see
-//! [`crate::CheckConfig::full_rehash`] for the measured-against
-//! baseline).
+//! Deduplication goes through a [`crate::visited::Visited`] backend — a
+//! visited set sharded across 64 striped `Mutex<HashSet>` shards
+//! selected by the top bits of the state key, so concurrent inserts
+//! rarely contend. The backend is chosen by
+//! [`crate::CheckConfig::symmetry`]: concrete O(1) incremental keys,
+//! symmetry-quotient canonical keys, or the full-rehash SipHash
+//! baseline the perf suite measures against.
 //!
 //! ## Determinism
 //!
@@ -38,49 +39,17 @@
 //! order among the shortest — independent of worker count or timing.
 //! Shrink/replay artifacts built from it are therefore reproducible.
 
-use crate::{push_entries, state_key, Budgets, CheckConfig, CheckError, CheckReport, SchedEntry};
+use crate::visited::{self, Visited};
+use crate::{push_entries, Budgets, CheckConfig, CheckError, CheckReport, SchedEntry, Symmetry};
 use ccsim::{FxBuildHasher, Sim};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-/// Shard count for the striped visited set. 64 keeps the per-shard
-/// mutexes essentially uncontended for any plausible worker count while
-/// the selector stays a single shift.
-const SHARDS: usize = 64;
-
 /// Iterations a worker waits after a failed donation attempt before
 /// rescanning its stack (the scan is O(depth); failure means the stack
 /// had nothing spare, which a few pushes can change).
 const DONATE_COOLDOWN: u32 = 32;
-
-/// A visited set striped across [`SHARDS`] mutex-protected shards,
-/// selected by the key's top bits (the keys are full-avalanche hashes,
-/// so any fixed bit range balances).
-struct ShardedSet {
-    shards: Vec<Mutex<HashSet<u64, FxBuildHasher>>>,
-}
-
-impl ShardedSet {
-    fn new() -> Self {
-        ShardedSet {
-            shards: (0..SHARDS)
-                .map(|_| Mutex::new(HashSet::default()))
-                .collect(),
-        }
-    }
-
-    /// Insert `key`, returning true if it was new. The per-shard lock is
-    /// held only for the probe itself.
-    fn insert(&self, key: u64) -> bool {
-        let shard = (key >> 58) as usize & (SHARDS - 1);
-        self.shards[shard].lock().unwrap().insert(key)
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
-    }
-}
 
 /// A batched frame: one configuration plus the branch entries a worker
 /// should explore from it.
@@ -108,7 +77,11 @@ struct Shared<'a> {
     cfg: &'a CheckConfig,
     quota: u64,
     workers: usize,
-    visited: ShardedSet,
+    /// The visited-set backend for [`CheckConfig::symmetry`].
+    visited: &'a dyn Visited,
+    /// `cfg.symmetry == Symmetry::FullRehash`, cached: the baseline also
+    /// disables the world-recycling pool.
+    full: bool,
     queue: Mutex<VecDeque<Job>>,
     ready: Condvar,
     /// Jobs queued or currently being processed. Strictly positive while
@@ -274,7 +247,7 @@ fn run_job(
         if top.next >= top.eend {
             arena.truncate(top.estart);
             if let Some(frame) = stack.pop() {
-                if !sh.cfg.full_rehash {
+                if !sh.full {
                     pool.push(frame.sim);
                 }
             }
@@ -286,10 +259,10 @@ fn run_job(
 
         // Recycle worlds through the worker-local pool: in steady state
         // branching a configuration is an in-place copy, not a fresh
-        // allocation (see `Sim::clone_world_into`). In the `full_rehash`
-        // baseline the pool stays empty (nothing is ever recycled into
-        // it), preserving the pre-optimization allocation-per-transition
-        // behaviour the bench measures against.
+        // allocation (see `Sim::clone_world_into`). In the
+        // `Symmetry::FullRehash` baseline the pool stays empty (nothing
+        // is ever recycled into it), preserving the pre-optimization
+        // allocation-per-transition behaviour the bench measures against.
         let mut child = match pool.pop() {
             Some(mut spare) => {
                 top.sim.clone_world_into(&mut spare);
@@ -308,11 +281,8 @@ fn run_job(
             return;
         }
 
-        if !sh
-            .visited
-            .insert(state_key(&child, sh.quota, budgets, sh.cfg.full_rehash))
-        {
-            if !sh.cfg.full_rehash {
+        if !sh.visited.insert(sh.visited.key(&child, sh.quota, budgets)) {
+            if !sh.full {
                 pool.push(child);
             }
             continue; // rejoined a known configuration
@@ -324,7 +294,7 @@ fn run_job(
         let total = sh.states.fetch_add(1, Ordering::Relaxed) + 1;
         if total >= sh.cfg.max_states || depth >= sh.cfg.max_depth {
             sh.capped.store(true, Ordering::Relaxed);
-            if !sh.cfg.full_rehash {
+            if !sh.full {
                 pool.push(child);
             }
             continue; // stop deepening; keep scanning siblings
@@ -334,7 +304,7 @@ fn run_job(
         push_entries(&child, sh.quota, budgets, sh.cfg.crash_in_cs, arena);
         if arena.len() == estart {
             part.terminal += 1;
-            if !sh.cfg.full_rehash {
+            if !sh.full {
                 pool.push(child);
             }
             continue;
@@ -383,8 +353,15 @@ fn min_violation(
     let quota = cfg.passages_per_proc;
     let root = factory();
     let root_budgets = Budgets::of(cfg);
+    // BFS-local dedup, but through the *configured* key function: under
+    // Symmetry::Quotient each orbit is expanded once here too, and the
+    // breadth-first level structure still yields a shortest violating
+    // schedule on concrete states (a violation at concrete depth d has
+    // its orbit reached at quotient depth <= d, because class
+    // permutations map offered entries to offered entries).
+    let keys = visited::backend(cfg.symmetry);
     let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
-    visited.insert(state_key(&root, quota, root_budgets, cfg.full_rehash));
+    visited.insert(keys.key(&root, quota, root_budgets));
     let mut level: Vec<(Sim, Vec<SchedEntry>, Budgets)> = vec![(root, Vec::new(), root_budgets)];
     let mut entries: Vec<SchedEntry> = Vec::new();
 
@@ -414,9 +391,7 @@ fn min_violation(
                         fingerprint: child.fingerprint(),
                     };
                 }
-                if visited.insert(state_key(&child, quota, nb, cfg.full_rehash))
-                    && sched.len() < cfg.max_depth
-                {
+                if visited.insert(keys.key(&child, quota, nb)) && sched.len() < cfg.max_depth {
                     next_level.push((child, sched, nb));
                 }
             }
@@ -474,11 +449,13 @@ pub fn explore_par_with(
     let root = factory();
     let quota = cfg.passages_per_proc;
     let root_budgets = Budgets::of(cfg);
+    let backend = visited::backend(cfg.symmetry);
     let sh = Shared {
         cfg,
         quota,
         workers,
-        visited: ShardedSet::new(),
+        visited: &*backend,
+        full: cfg.symmetry == Symmetry::FullRehash,
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         pending: AtomicUsize::new(0),
@@ -489,7 +466,7 @@ pub fn explore_par_with(
         capped: AtomicBool::new(false),
     };
     sh.visited
-        .insert(state_key(&root, quota, root_budgets, cfg.full_rehash));
+        .insert(sh.visited.key(&root, quota, root_budgets));
 
     let mut root_entries = Vec::new();
     push_entries(
@@ -507,6 +484,7 @@ pub fn explore_par_with(
             max_depth_seen: 0,
             terminal_states: 1,
             complete: true,
+            visited: sh.visited.stats(),
         });
     }
     sh.push_job(Job {
@@ -537,6 +515,7 @@ pub fn explore_par_with(
         max_depth_seen: 0,
         terminal_states: 0,
         complete: !sh.capped.load(Ordering::Relaxed),
+        visited: sh.visited.stats(),
     };
     for p in &partials {
         report.states_explored += p.states;
@@ -547,7 +526,7 @@ pub fn explore_par_with(
     }
     debug_assert_eq!(
         report.states_explored,
-        sh.visited.len() as u64,
+        sh.visited.len(),
         "every visited-set insert must be counted exactly once"
     );
     Ok(report)

@@ -1,0 +1,152 @@
+//! Pluggable visited-set backends for the explorers.
+//!
+//! The explorers deduplicate configurations through one [`Visited`]
+//! object: the backend chooses both the **key function** (which
+//! fingerprint partitions the space) and the **storage** (a 64-way
+//! striped hash set shared by all of them). Three backends implement the
+//! [`crate::Symmetry`] modes:
+//!
+//! * [`Symmetry::Off`] — concrete keys from the O(1) incremental
+//!   [`ccsim::Sim::fingerprint`]. One entry per reachable configuration.
+//! * [`Symmetry::Quotient`] — canonical keys from
+//!   [`ccsim::Sim::fingerprint_canonical`]: configurations differing
+//!   only by a permutation of a declared
+//!   [`ccsim::SymmetryClass`] share a key, so each orbit is stored
+//!   (and expanded) once.
+//! * [`Symmetry::FullRehash`] — the pre-optimization SipHash walk over
+//!   the whole configuration, kept as the independent-hash-family oracle
+//!   and the honest perf baseline.
+//!
+//! The same sharded storage backs the sequential explorer (where the
+//! striping is simply uncontended) and the parallel one, so
+//! [`Visited::stats`] reports comparable occupancy numbers in either.
+
+use crate::{state_key_canonical, state_key_concrete, state_key_full, Budgets, Symmetry};
+use ccsim::{FxBuildHasher, Sim};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Shard count for the striped visited set. 64 keeps the per-shard
+/// mutexes essentially uncontended for any plausible worker count while
+/// the selector stays a single shift.
+const SHARDS: usize = 64;
+
+/// Occupancy statistics of a visited-set backend, reported at the end of
+/// an exploration in [`crate::CheckReport`]. The set only ever grows, so
+/// the end-of-run numbers are also the peak.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct VisitedStats {
+    /// Distinct keys stored (equals `states_explored` after a run).
+    pub entries: u64,
+    /// Approximate resident bytes of the backing tables: allocated
+    /// capacity (not occupancy) at 9 bytes per slot — an 8-byte key plus
+    /// one control byte, the std hash-table layout.
+    pub resident_bytes: u64,
+}
+
+/// A visited set striped across [`SHARDS`] mutex-protected shards,
+/// selected by the key's top bits (the keys are full-avalanche hashes,
+/// so any fixed bit range balances).
+struct ShardedSet {
+    shards: Vec<Mutex<HashSet<u64, FxBuildHasher>>>,
+}
+
+impl ShardedSet {
+    fn new() -> Self {
+        ShardedSet {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashSet::default()))
+                .collect(),
+        }
+    }
+
+    /// Insert `key`, returning true if it was new. The per-shard lock is
+    /// held only for the probe itself.
+    fn insert(&self, key: u64) -> bool {
+        let shard = (key >> 58) as usize & (SHARDS - 1);
+        self.shards[shard].lock().unwrap().insert(key)
+    }
+
+    fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum()
+    }
+
+    fn stats(&self) -> VisitedStats {
+        let (mut entries, mut resident) = (0u64, 0u64);
+        for s in &self.shards {
+            let set = s.lock().unwrap();
+            entries += set.len() as u64;
+            resident += set.capacity() as u64 * 9;
+        }
+        VisitedStats {
+            entries,
+            resident_bytes: resident,
+        }
+    }
+}
+
+/// The visited-set abstraction both explorers deduplicate through: the
+/// backend pairs a key function (which fingerprint partitions the state
+/// space) with shared storage. Exactly-once expansion rests on
+/// [`Visited::insert`] being atomic per key, which the striped mutexes
+/// provide.
+pub(crate) trait Visited: Sync {
+    /// The deduplication key of a configuration: its (concrete,
+    /// canonical, or full-rehash) fingerprint mixed with the per-process
+    /// passage quotas, the remaining adversary budgets, and the in-flight
+    /// abort flags.
+    fn key(&self, sim: &Sim, quota: u64, budgets: Budgets) -> u64;
+
+    /// Insert a key, returning true if it was new.
+    fn insert(&self, key: u64) -> bool;
+
+    /// Distinct keys stored.
+    fn len(&self) -> u64;
+
+    /// End-of-run occupancy (also the peak — the set only grows).
+    fn stats(&self) -> VisitedStats;
+}
+
+/// Concrete incremental keys ([`Symmetry::Off`]).
+struct Concrete(ShardedSet);
+
+/// Canonical symmetry-quotient keys ([`Symmetry::Quotient`]).
+struct Quotient(ShardedSet);
+
+/// From-scratch SipHash oracle keys ([`Symmetry::FullRehash`]).
+struct Oracle(ShardedSet);
+
+macro_rules! impl_visited_storage {
+    ($ty:ty, $keyfn:path) => {
+        impl Visited for $ty {
+            fn key(&self, sim: &Sim, quota: u64, budgets: Budgets) -> u64 {
+                $keyfn(sim, quota, budgets)
+            }
+            fn insert(&self, key: u64) -> bool {
+                self.0.insert(key)
+            }
+            fn len(&self) -> u64 {
+                self.0.len()
+            }
+            fn stats(&self) -> VisitedStats {
+                self.0.stats()
+            }
+        }
+    };
+}
+
+impl_visited_storage!(Concrete, state_key_concrete);
+impl_visited_storage!(Quotient, state_key_canonical);
+impl_visited_storage!(Oracle, state_key_full);
+
+/// Construct the backend for a [`Symmetry`] mode.
+pub(crate) fn backend(symmetry: Symmetry) -> Box<dyn Visited> {
+    match symmetry {
+        Symmetry::Off => Box::new(Concrete(ShardedSet::new())),
+        Symmetry::Quotient => Box::new(Quotient(ShardedSet::new())),
+        Symmetry::FullRehash => Box::new(Oracle(ShardedSet::new())),
+    }
+}

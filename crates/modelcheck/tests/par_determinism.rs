@@ -10,12 +10,14 @@
 //! function of the world, independent of worker timing.
 //!
 //! The suite also cross-checks the incremental-fingerprint state keys
-//! against the `full_rehash` SipHash walk: two independent hash families
-//! agreeing on the partition size is strong evidence neither aliases.
+//! against the [`Symmetry::FullRehash`] SipHash walk: two independent
+//! hash families agreeing on the partition size is strong evidence
+//! neither aliases.
 
 use ccsim::{Phase, Protocol, Sim};
 use modelcheck::{
     explore, explore_par, explore_par_with, explore_with, replay, shrink, CheckConfig, CheckError,
+    Symmetry,
 };
 use rwcore::{af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
@@ -47,7 +49,7 @@ fn assert_all_explorers_agree(factory: &(impl Fn() -> Sim + Sync), cfg: &CheckCo
     );
 
     let full_cfg = CheckConfig {
-        full_rehash: true,
+        symmetry: Symmetry::FullRehash,
         ..cfg.clone()
     };
     let full = explore(factory, &full_cfg).unwrap_or_else(|e| panic!("{label}: full_rehash: {e}"));

@@ -55,5 +55,6 @@ pub use busy_forbidden::BusyForbiddenLock;
 pub use config::{AfConfig, FPolicy, GroupSlot};
 pub use sig::{Opcode, Signal};
 pub use world::{
-    af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order, AfWorld, PidMap,
+    af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order,
+    reader_symmetry_classes, AfWorld, PidMap,
 };

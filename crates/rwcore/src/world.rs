@@ -4,7 +4,7 @@ use crate::af::counters::CounterKind;
 use crate::af::shared::{AfShared, HelpOrder};
 use crate::af::sim::{AfReaderSim, AfWriterSim};
 use crate::config::AfConfig;
-use ccsim::{Layout, Memory, ProcId, Program, Protocol, Sim};
+use ccsim::{Layout, Memory, ProcId, Program, Protocol, Sim, SymmetryClass};
 use std::sync::Arc;
 
 /// Process-id convention for lock worlds: readers first, then writers.
@@ -103,6 +103,15 @@ pub fn af_world_with_order(cfg: AfConfig, protocol: Protocol, order: HelpOrder) 
 
 /// Fully parameterised world: `HelpWCS` read order and group-counter
 /// implementation (the E13 ablation runs `CounterKind::CasLoop`).
+///
+/// `CasLoop` worlds additionally declare one [`SymmetryClass`] per reader
+/// group with at least two members (see [`reader_symmetry_classes`]), so
+/// the model checker's `Symmetry::Quotient` mode collapses reader
+/// permutations. `FArray` worlds declare none: a tree counter's refresh
+/// machine reads its *absolute* left/right heap children in program
+/// order, so swapping two leaf values mid-refresh changes which partial
+/// sum the machine has already latched — reader swaps are not transition
+/// automorphisms there, and merging those states would be unsound.
 pub fn af_world_custom(
     cfg: AfConfig,
     protocol: Protocol,
@@ -120,11 +129,40 @@ pub fn af_world_custom(
     for w in 0..cfg.writers {
         procs.push(Box::new(AfWriterSim::new(Arc::clone(&shared), w)));
     }
-    AfWorld {
-        sim: Sim::new(mem, procs),
-        shared,
-        pids,
+    let mut sim = Sim::new(mem, procs);
+    sim.declare_symmetry(reader_symmetry_classes(cfg, counters));
+    AfWorld { sim, shared, pids }
+}
+
+/// The interchangeable-reader classes of an `A_f` world: one class per
+/// reader group of size ≥ 2, `CasLoop` counters only.
+///
+/// Within a group, `CasLoop` readers are *identical* machines — the
+/// group's `C`/`W` counters are single CAS words shared by the whole
+/// group (the per-reader leaf slot is ignored, see
+/// [`crate::af::counters::GroupHandle::CasLoop`]), reader code never
+/// writes a process id to shared memory, and
+/// [`AfReaderSim`]'s fingerprint is index-free. Swapping two same-group
+/// readers therefore maps every configuration to one with an identical
+/// successor structure, which is exactly the soundness obligation of
+/// [`ccsim::SymmetryClass`]. Readers in *different* groups touch
+/// different counters and are not interchangeable. Writers are never
+/// symmetric: the tournament-mutex entry protocol stores writer ids in
+/// its tree nodes.
+pub fn reader_symmetry_classes(cfg: AfConfig, counters: CounterKind) -> Vec<SymmetryClass> {
+    if counters != CounterKind::CasLoop {
+        return Vec::new();
     }
+    let groups = cfg.groups();
+    let mut members: Vec<Vec<ProcId>> = vec![Vec::new(); groups];
+    for r in 0..cfg.readers {
+        members[cfg.group_of(r).group].push(ProcId(r));
+    }
+    members
+        .into_iter()
+        .filter(|m| m.len() >= 2)
+        .map(SymmetryClass::new)
+        .collect()
 }
 
 /// [`af_world`] with the writers' crash-recovery epoch burn disabled —
@@ -293,6 +331,55 @@ mod tests {
             "all readers in CS together"
         );
         assert!(world.sim.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn casloop_worlds_declare_reader_symmetry_farray_worlds_do_not() {
+        // f=1 over 3 readers: one class holding all readers.
+        let cfg = AfConfig {
+            readers: 3,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let world = af_world_custom(
+            cfg,
+            Protocol::WriteBack,
+            HelpOrder::WaitersFirst,
+            CounterKind::CasLoop,
+        );
+        let classes = world.sim.symmetry_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members(), [ProcId(0), ProcId(1), ProcId(2)]);
+
+        // The same config with f-array counters must declare nothing:
+        // tree-counter refresh is not permutation-invariant.
+        let farray = af_world(cfg, Protocol::WriteBack);
+        assert!(farray.sim.symmetry_classes().is_empty());
+
+        // Two groups of two: two classes, disjoint, group-aligned.
+        let cfg4 = AfConfig {
+            readers: 4,
+            writers: 1,
+            policy: FPolicy::Groups(2),
+        };
+        let world4 = af_world_custom(
+            cfg4,
+            Protocol::WriteBack,
+            HelpOrder::WaitersFirst,
+            CounterKind::CasLoop,
+        );
+        let classes4 = world4.sim.symmetry_classes();
+        assert_eq!(classes4.len(), 2);
+        assert_eq!(classes4[0].members(), [ProcId(0), ProcId(1)]);
+        assert_eq!(classes4[1].members(), [ProcId(2), ProcId(3)]);
+
+        // Singleton trailing groups are dropped (3 readers, groups of 2).
+        let cfg3 = AfConfig {
+            readers: 3,
+            writers: 1,
+            policy: FPolicy::Groups(2),
+        };
+        assert_eq!(reader_symmetry_classes(cfg3, CounterKind::CasLoop).len(), 1);
     }
 
     #[test]

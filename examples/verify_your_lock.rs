@@ -13,14 +13,37 @@
 //! counterexample schedule, then contrasts it with the verified `A_f`.
 
 use rwlock_repro::{
-    af_world_seq_reuse_bug, explore, replay, shrink, AfConfig, CheckConfig, CheckError, FPolicy,
-    Layout, Memory, Op, Phase, Program, Protocol, Role, Sim, Step, TraceArtifact, Value, VarId,
+    af_world_custom, af_world_seq_reuse_bug, explore, replay, shrink, AfConfig, CheckConfig,
+    CheckError, CounterKind, FPolicy, HelpOrder, Layout, Memory, Op, Phase, Program, Protocol,
+    Role, Sim, Step, Symmetry, TraceArtifact, Value, VarId,
 };
 use std::hash::Hasher;
 
 /// The `world:` tag under which the crash-all counterexample below is
 /// persisted; `--replay` keys the factory choice on it.
 const SEQ_REUSE_WORLD: &str = "af-seq-reuse-bug n=1 m=1 writeback";
+
+/// The `world:` tag of the symmetry-quotient counterexample: the
+/// paper-literal HelpWCS read order on the CAS-loop n=3 world, found
+/// with `Symmetry::Quotient` deduplication (the three readers form one
+/// symmetry class, so the explorer visits one representative per
+/// reader-permutation orbit — the counterexample itself is concrete).
+const CASLOOP_LITERAL_WORLD: &str = "af-casloop-paper-literal n=3 m=1 writeback";
+
+/// The factory behind [`CASLOOP_LITERAL_WORLD`].
+fn casloop_literal_world() -> Sim {
+    af_world_custom(
+        AfConfig {
+            readers: 3,
+            writers: 1,
+            policy: FPolicy::One,
+        },
+        Protocol::WriteBack,
+        HelpOrder::PaperLiteral,
+        CounterKind::CasLoop,
+    )
+    .sim
+}
 
 /// A DIY reader: checks the writer flag, then announces itself, then
 /// enters. (The classic bug: check-then-announce is not atomic — a
@@ -184,6 +207,8 @@ fn main() {
                 || af_world_seq_reuse_bug(AfConfig::new(1, 1), Protocol::WriteBack).sim,
                 &artifact.schedule,
             )
+        } else if artifact.world == CASLOOP_LITERAL_WORLD {
+            replay(casloop_literal_world, &artifact.schedule)
         } else {
             replay(|| diy_world(2), &artifact.schedule)
         };
@@ -302,6 +327,60 @@ fn main() {
                  helper signal armed for the dead epoch fires into the recovered\n\
                  writer's identically-numbered passage. The fixed writer burns\n\
                  the epoch on recovery, so the stale signal falls on the floor.\n"
+            );
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!(
+        "Model-checking the paper-literal HelpWCS order at n=3 under the symmetry quotient...\n"
+    );
+    match explore(
+        casloop_literal_world,
+        &CheckConfig {
+            passages_per_proc: 1,
+            symmetry: Symmetry::Quotient,
+            ..Default::default()
+        },
+    ) {
+        Err(err @ CheckError::MutualExclusion { .. }) => {
+            let out = shrink(casloop_literal_world, err.schedule(), |sim| {
+                sim.check_mutual_exclusion().is_err()
+            });
+            let tokens: Vec<String> = out.schedule.iter().map(|e| e.to_string()).collect();
+            println!(
+                "VIOLATION under Symmetry::Quotient (shrunk {} -> {} entries):",
+                err.schedule().len(),
+                out.schedule.len()
+            );
+            println!("  {}", tokens.join(" "));
+            // A quotient-found witness is an ordinary concrete schedule:
+            // it replays against the concrete world like any other.
+            let sim = replay(casloop_literal_world, &out.schedule);
+            assert!(sim.check_mutual_exclusion().is_err());
+            assert_eq!(sim.fingerprint(), out.fingerprint);
+            let artifact = TraceArtifact {
+                world: CASLOOP_LITERAL_WORLD.into(),
+                violation: err.describe(),
+                fingerprint: out.fingerprint,
+                schedule: out.schedule,
+            };
+            match artifact.write_to("results") {
+                Ok(path) => println!(
+                    "replayable trace written to {}; replay with:\n  cargo run --release \
+                     --example verify_your_lock -- --replay {}\n",
+                    path.display(),
+                    path.display()
+                ),
+                Err(e) => println!("could not write trace artifact: {e}\n"),
+            }
+            println!(
+                "The bug is the reproduction finding (see af_exhaustive.rs): the\n\
+                 literal HelpWCS reads C before W, so a reader's C increment\n\
+                 landing between the two reads lets an exiting reader signal\n\
+                 <seq, CS> while another reader is still inside. The quotient\n\
+                 explored one representative per reader-permutation orbit and\n\
+                 still surfaced a concrete, minimal, replayable schedule.\n"
             );
         }
         other => println!("unexpected: {other:?}"),

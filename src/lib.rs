@@ -54,7 +54,7 @@ pub use ccsim::{
     blocked_spinners, run_random, run_random_with_faults, run_round_robin,
     run_round_robin_with_faults, run_solo, CrashPoint, FaultDriver, FaultPlan, Layout, Memory, Op,
     Phase, Prng, ProcId, Program, Protocol, Role, RunConfig, RunError, Sim, Step, StepKind,
-    SubMachine, SubStep, Trace, Value, VarId,
+    SubMachine, SubStep, SymmetryClass, Trace, Value, VarId,
 };
 pub use fcounter::{CasCounter, FArray, FaaCounter, SharedCounter, SimCounter};
 pub use knowledge::{
@@ -63,12 +63,13 @@ pub use knowledge::{
 pub use modelcheck::{
     bounded_abort_invariant, bounded_exit_invariant, explore, explore_par, explore_par_with,
     explore_with, post_crash_acquirability_invariant, replay, shrink, CheckConfig, CheckError,
-    CheckReport, SchedEntry, ShrinkOutcome, TraceArtifact,
+    CheckReport, SchedEntry, ShrinkOutcome, Symmetry, TraceArtifact, VisitedStats,
 };
 pub use rwcore::{
-    af_world, af_world_seq_reuse_bug, af_world_with_order, centralized_world, faa_world,
-    gated_af_world, mutex_rw_world, AfConfig, AfRwLock, AfShared, AfWorld, CentralizedRwLock,
-    FPolicy, FaaRwLock, GatedAfLock, HandleError, HelpOrder, MutexRwLock, Opcode, PidMap,
-    RawAfLock, RawRwLock, ReadGuard, ReaderHandle, Signal, WriteGuard, WriterHandle,
+    af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order, centralized_world,
+    faa_world, gated_af_world, mutex_rw_world, reader_symmetry_classes, AfConfig, AfRwLock,
+    AfShared, AfWorld, CentralizedRwLock, CounterKind, FPolicy, FaaRwLock, GatedAfLock,
+    HandleError, HelpOrder, MutexRwLock, Opcode, PidMap, RawAfLock, RawRwLock, ReadGuard,
+    ReaderHandle, Signal, WriteGuard, WriterHandle,
 };
 pub use wmutex::{ClhLock, IdMutex, TicketLock, TournamentLock};
