@@ -1,0 +1,55 @@
+//! Strict env-knob parsing for the bench crate — a facade over
+//! [`ccsim::env`], where the shared implementation lives (the sched
+//! layer needs it too and cannot depend on bench).
+//!
+//! Until this module existed, `BENCH_THREADS`, `BENCH_MODELCHECK_SYMMETRY`,
+//! `CCSIM_STALL_AFTER`, and the report/floor override sites each carried
+//! their own copy of the parse-or-abort logic, and they disagreed on
+//! empty strings: some treated `FOO=` as unset, others aborted. Now every
+//! knob goes through [`parse_strict`]/[`parse_strict_uint`]/
+//! [`read_nonempty`] and the discipline is uniform — unset means
+//! default, anything else parses exactly or the process aborts with a
+//! diagnostic naming the variable, and an empty string is a malformed
+//! value, never an unset one.
+
+pub use ccsim::env::{parse_strict, parse_strict_uint, raw_var, read_nonempty, read_strict_uint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The shared implementation carries its own unit tests in
+    // `ccsim::env`; these pin the facade's semantics at the bench knobs'
+    // call shapes.
+
+    #[test]
+    fn empty_string_is_malformed_not_unset() {
+        assert!(parse_strict_uint("BENCH_THREADS", Some(""), false).is_err());
+        assert!(parse_strict("BENCH_MODELCHECK_SYMMETRY", Some(""), |s| {
+            s.parse::<modelcheck::Symmetry>()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn symmetry_values_parse_through_the_generic_helper() {
+        use modelcheck::Symmetry;
+        let parse = |raw| parse_strict("BENCH_MODELCHECK_SYMMETRY", raw, str::parse::<Symmetry>);
+        assert_eq!(parse(None), Ok(None));
+        assert_eq!(parse(Some("quotient")), Ok(Some(Symmetry::Quotient)));
+        let err = parse(Some("Quotient")).unwrap_err();
+        assert!(err.starts_with("BENCH_MODELCHECK_SYMMETRY: "), "{err}");
+        assert!(err.contains("bad symmetry mode"), "{err}");
+    }
+
+    #[test]
+    fn out_path_overrides_reject_empty_values() {
+        // `read_nonempty` is the one helper behind every *_OUT override;
+        // its full behavior (including the empty-string panic) is tested
+        // in ccsim. Here: the default flows through when unset.
+        assert_eq!(
+            read_nonempty("BENCH_ENV_TEST_SURELY_UNSET_1137", "BENCH_locks.json"),
+            "BENCH_locks.json"
+        );
+    }
+}

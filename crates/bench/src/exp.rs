@@ -661,7 +661,8 @@ pub struct CliOptions {
 pub const USAGE: &str = "\
 usage: experiments [--list] [--filter <ids>] [--smoke] [--json] [--check] [--bless] [--results-dir <dir>]
 
-  --list             list registered experiments (id, title, paper claim)
+  --list             list registered experiments (id, title, paper claim),
+                     the lock registry, and the named workload scenarios
   --filter <ids>     comma-separated ids or id prefixes (e.g. e2,e15 or e2_writer_rmr)
   --smoke            one small config per experiment (CI budget); gates results/smoke/
   --json             print the structured JSON twin instead of the text report
@@ -712,16 +713,85 @@ pub fn filter_matches(id: &str, token: &str) -> bool {
     id == token || (id.starts_with(token) && id.as_bytes().get(token.len()) == Some(&b'_'))
 }
 
+/// The named scenarios the bench matrix runs: every preset from
+/// [`rwcore::Scenario::named`] without fault pressure (real threads
+/// cannot crash on cue; the fault presets drive the model-check suite
+/// only).
+pub fn bench_scenarios() -> Vec<rwcore::NamedScenario> {
+    rwcore::Scenario::named()
+        .into_iter()
+        .filter(|n| !n.sim_only())
+        .collect()
+}
+
+/// The lock × scenario grid the `perf_locks` lab measures for `reg`:
+/// every real-capable lock under every bench scenario, in registry ×
+/// preset order. A lock registered once in [`rwcore::LockRegistry`]
+/// appears here with no further wiring — the bench surface of the
+/// registration contract.
+pub fn scenario_matrix(reg: &rwcore::LockRegistry) -> Vec<(String, String)> {
+    let scenarios = bench_scenarios();
+    reg.entries()
+        .iter()
+        .filter(|e| e.real.is_some())
+        .flat_map(|e| {
+            scenarios
+                .iter()
+                .map(move |s| (e.id.to_string(), s.name.to_string()))
+        })
+        .collect()
+}
+
+/// Render the `--list` catalog: the experiment registry, the lock
+/// registry (with which surfaces each lock reaches), and the named
+/// scenarios with their DSL specs.
+pub fn render_list(registry: &[Box<dyn Experiment>], locks: &rwcore::LockRegistry) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(["id", "title", "paper claim"]);
+    for e in registry {
+        t.row([e.id(), e.title(), e.claim()]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nlocks (rwcore::LockRegistry::builtin):\n");
+    let mut t = Table::new(["lock", "real", "sim", "description"]);
+    for e in locks.entries() {
+        let mark = |b: bool| if b { "yes" } else { "-" };
+        t.row([
+            e.id,
+            mark(e.real.is_some()),
+            mark(e.sim.is_some()),
+            e.summary,
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nscenarios (rwcore::Scenario DSL):\n");
+    let mut t = Table::new(["scenario", "spec", "surfaces"]);
+    for n in rwcore::Scenario::named() {
+        t.row([
+            n.name,
+            n.spec,
+            if n.sim_only() {
+                "model-check suite only"
+            } else {
+                "perf_locks matrix + model-check suite"
+            },
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
 /// The unified driver: run experiments per `opts`; returns the process
 /// exit code. Progress goes to stderr; reports/diffs go to stdout.
 pub fn cli_main(opts: &CliOptions) -> i32 {
     let registry = crate::experiments::registry();
     if opts.list {
-        let mut t = Table::new(["id", "title", "paper claim"]);
-        for e in &registry {
-            t.row([e.id(), e.title(), e.claim()]);
-        }
-        print!("{}", t.render());
+        print!(
+            "{}",
+            render_list(&registry, &rwcore::LockRegistry::builtin())
+        );
         return 0;
     }
     let selected: Vec<&Box<dyn Experiment>> = registry
@@ -804,8 +874,8 @@ pub fn cli_main(opts: &CliOptions) -> i32 {
     println!("\n{combined}");
     // Persist the diff for CI artifact upload.
     if opts.check {
-        let diff_path = std::env::var("EXPERIMENTS_DIFF_OUT")
-            .unwrap_or_else(|_| "target/experiments-diff.txt".to_string());
+        let diff_path =
+            crate::env::read_nonempty("EXPERIMENTS_DIFF_OUT", "target/experiments-diff.txt");
         let diff_path = PathBuf::from(diff_path);
         if let Some(parent) = diff_path.parent() {
             let _ = std::fs::create_dir_all(parent);

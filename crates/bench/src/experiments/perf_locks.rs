@@ -1,63 +1,71 @@
-//! perf_locks — the contended real-atomics lock lab: `A_f`, the sharded
-//! `A_f` read path, the real-atomics baselines, the busy-forbidden
-//! protocol, and `std::sync::RwLock` under genuine multi-threaded
-//! contention.
+//! perf_locks — the contended real-atomics lock lab, run as a registry
+//! × scenario matrix: every real-capable lock in
+//! [`rwcore::LockRegistry::builtin`] under every bench-capable named
+//! [`rwcore::Scenario`] (see [`crate::exp::scenario_matrix`]). A lock
+//! registered once appears here with no harness edits; a scenario added
+//! to [`rwcore::Scenario::named`] becomes a new sweep section.
 //!
 //! Full mode runs up to `min(ncpu, 64)` OS threads (capped by the
 //! strict `BENCH_THREADS` parsing from [`crate::par`]), pinned to cores
 //! where the platform allows (pinning failure degrades to a report
-//! note, never an error), across five workload shapes: read-mostly
-//! (1000:1), mixed (9:1), write-heavy (1:1), reader churn (1000:1 with
-//! yields), and oversubscription (4 threads per core). Each lock ×
-//! shape cell reports throughput plus p50/p99/p999 latency from
-//! lock-free per-thread histograms ([`crate::hist`]), and the whole
-//! sweep lands in `BENCH_locks.json` (override: `BENCH_LOCKS_OUT`).
-//! Wall-clock content makes the full report non-byte-stable, so
-//! [`Experiment::deterministic`] is false there.
+//! note, never an error). Each lock × scenario cell reports throughput
+//! plus p50/p99/p999 latency from lock-free per-thread histograms
+//! ([`crate::hist`]) and — for sharded locks — the shard count the
+//! instance *actually* ran with: the sharded `A_f` caps a shard request
+//! at the CPU count, and that cap used to happen silently at the call
+//! site. The whole sweep lands in `BENCH_locks.json` (override:
+//! `BENCH_LOCKS_OUT`). Wall-clock content makes the full report
+//! non-byte-stable, so [`Experiment::deterministic`] is false there.
 //!
-//! Smoke mode is byte-stable: 4 threads, 2 shards, fixed per-thread op
-//! quotas with seeded coin flips (so the read/write split is exactly
-//! reproducible), and no timing columns. The sharded-vs-single floor
-//! only binds at >= 8 CPUs; below that the check renders a stable
-//! "skipped: fewer than 8 CPUs" string so goldens blessed on small
-//! hosts byte-match CI runners.
+//! Smoke mode is byte-stable: 4 threads, 2 shards requested, the first
+//! two scenarios of the matrix, fixed per-thread op quotas with seeded
+//! coin flips (so the read/write split is exactly reproducible), and no
+//! timing columns. The sharded-vs-single floor only binds at >= 8 CPUs;
+//! below that the check renders a stable "skipped: fewer than 8 CPUs"
+//! string so goldens blessed on small hosts byte-match CI runners.
 
 use super::prelude::*;
+use crate::exp::bench_scenarios;
 use crate::hist::format_ns;
 use crate::throughput::{
-    contended_contenders, run_contended, ContendedSample, MixedWorkload, OpBudget,
+    contended_contenders, run_contended, ContendedSample, MixedWorkload, OpBudget, RealLock,
 };
 use crate::{par, pin};
+use rwcore::NamedScenario;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wall-clock budget per full-mode cell.
 const FULL_CELL: Duration = Duration::from_millis(150);
-/// Base RNG seed; shape `i`, thread `t` streams from `SEED + 1000*i + t`.
+/// Base RNG seed; scenario `i`, thread `t` streams from
+/// `SEED + 1000*i + t`.
 const SEED: u64 = 0x10C5;
+/// Hard cap on OS threads per cell (oversubscribed scenarios multiply
+/// the base count).
+const MAX_THREADS: usize = 64;
 
-/// One workload shape of the sweep.
-struct Shape {
-    name: &'static str,
-    reads_per_write: u64,
-    churn: bool,
-    threads: usize,
-}
-
-/// A measured cell: one lock under one shape.
+/// A measured cell: one lock under one scenario.
 struct Cell {
-    shape: &'static str,
+    scenario: String,
     sample: ContendedSample,
 }
 
-fn shape_workload(shape: &Shape, index: usize, budget: OpBudget, pin: bool) -> MixedWorkload {
-    MixedWorkload {
-        threads: shape.threads,
-        reads_per_write: shape.reads_per_write,
-        churn: shape.churn,
+fn scenario_workload(
+    named: &NamedScenario,
+    index: usize,
+    base_threads: usize,
+    budget: OpBudget,
+    pin: bool,
+) -> MixedWorkload {
+    let mut wl = MixedWorkload::from_scenario(
+        named.scenario,
+        base_threads,
         budget,
         pin,
-        seed: SEED + 1000 * index as u64,
-    }
+        SEED + 1000 * index as u64,
+    );
+    wl.threads = wl.threads.min(MAX_THREADS);
+    wl
 }
 
 fn quantile_cell(sample: &ContendedSample, read: bool, q: f64) -> String {
@@ -72,6 +80,24 @@ fn quantile_cell(sample: &ContendedSample, read: bool, q: f64) -> String {
     }
 }
 
+/// Render the effective shard count of a sample (`"-"` for unsharded
+/// locks) — the satellite fix: a capped shard request is visible in the
+/// row instead of being applied silently.
+fn shards_cell(sample: &ContendedSample) -> String {
+    match sample.shards {
+        Some(s) => s.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn find_lock(locks: &[Arc<dyn RealLock>], name: &str) -> Arc<dyn RealLock> {
+    locks
+        .iter()
+        .find(|l| l.label() == name)
+        .unwrap_or_else(|| panic!("registry is missing {name}"))
+        .clone()
+}
+
 /// Registry entry for the contended lock lab.
 pub(crate) struct PerfLocks;
 
@@ -81,11 +107,11 @@ impl Experiment for PerfLocks {
     }
 
     fn title(&self) -> &'static str {
-        "contended lock lab: sharded A_f vs the field, throughput + latency tails"
+        "contended lock lab: the registry's locks under the scenario matrix"
     }
 
     fn claim(&self) -> &'static str {
-        "sharded A_f read path >= 3x single A_f read-mostly throughput at >= 8 threads; every lock x workload cell reports p99 latency"
+        "sharded A_f read path >= 3x single A_f read-mostly throughput at >= 8 threads; every lock x scenario cell reports p99 latency"
     }
 
     fn deterministic(&self, mode: Mode) -> bool {
@@ -117,31 +143,18 @@ impl Experiment for PerfLocks {
 fn run_smoke(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
     const THREADS: usize = 4;
     const SHARDS: usize = 2;
-    let shapes = [
-        Shape {
-            name: "read-mostly 1000:1",
-            reads_per_write: 1000,
-            churn: false,
-            threads: THREADS,
-        },
-        Shape {
-            name: "mixed 9:1",
-            reads_per_write: 9,
-            churn: false,
-            threads: THREADS,
-        },
-    ];
+    let scenarios = bench_scenarios();
     let quotas = [300u64, 150];
 
     let mut completed = 0usize;
     let mut total = 0usize;
-    for (i, (shape, &quota)) in shapes.iter().zip(quotas.iter()).enumerate() {
-        let wl = shape_workload(shape, i, OpBudget::PerThreadOps(quota), false);
-        let mut table = Table::new(["lock", "ops", "reads", "writes"]);
-        for lock in contended_contenders(shape.threads, SHARDS) {
+    for (i, (named, &quota)) in scenarios.iter().zip(quotas.iter()).enumerate() {
+        let wl = scenario_workload(named, i, THREADS, OpBudget::PerThreadOps(quota), false);
+        let mut table = Table::new(["lock", "ops", "reads", "writes", "shards"]);
+        for lock in contended_contenders(wl.threads, SHARDS) {
             let s = run_contended(lock, &wl);
             total += 1;
-            if s.reads + s.writes == quota * shape.threads as u64 {
+            if s.reads + s.writes == quota * wl.threads as u64 {
                 completed += 1;
             }
             table.row([
@@ -149,18 +162,19 @@ fn run_smoke(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
                 (s.reads + s.writes).to_string(),
                 s.reads.to_string(),
                 s.writes.to_string(),
+                shards_cell(&s),
             ]);
         }
         report.section(
             format!(
-                "{} — {} threads x {} ops each, {} shards, seeded",
-                shape.name, shape.threads, quota, SHARDS
+                "{} ({}) — {} threads x {} ops each, {} shards requested, seeded",
+                named.name, named.spec, wl.threads, quota, SHARDS
             ),
             table,
         );
     }
     report.check(Check::all(
-        "every lock completes its per-thread op quota in every smoke shape",
+        "every lock completes its per-thread op quota in every smoke scenario",
         completed,
         total,
     ));
@@ -177,21 +191,17 @@ fn run_smoke(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
             true,
         )
     } else {
-        let shape = Shape {
-            name: "floor probe",
-            reads_per_write: 1000,
-            churn: false,
-            threads: 8,
-        };
-        let wl = shape_workload(
-            &shape,
+        let probe = &scenarios[0]; // read-mostly
+        let wl = scenario_workload(
+            probe,
             9,
+            8,
             OpBudget::Duration(Duration::from_millis(100)),
             false,
         );
         let locks = contended_contenders(8, 8);
-        let single = run_contended(locks[0].clone(), &wl);
-        let sharded = run_contended(locks[1].clone(), &wl);
+        let single = run_contended(find_lock(&locks, "a_f"), &wl);
+        let sharded = run_contended(find_lock(&locks, "a_f-sharded"), &wl);
         let ratio = sharded.ops_per_sec() / single.ops_per_sec().max(1e-9);
         Check::new(
             "sharded read path holds the 2x read-mostly CI floor over single A_f",
@@ -212,10 +222,13 @@ fn run_smoke(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
 fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
     // Thread budget: min(ncpu, 64), at least 2 so there is contention,
     // honoring the strict BENCH_THREADS cap (satellite: rejects garbage
-    // loudly, caps silently).
-    let threads = par::worker_count(usize::MAX).clamp(2, 64);
-    let oversub = (4 * ncpu).clamp(8, 64);
-    let shards = threads.min(ncpu).max(2);
+    // loudly, caps silently). Scenario oversubscription multiplies this
+    // base, capped at MAX_THREADS.
+    let threads = par::worker_count(usize::MAX).clamp(2, MAX_THREADS);
+    // Shard request: one per thread; the registry's sharded factory caps
+    // at the CPU count and the table's "shards" column reports the
+    // effective value per row.
+    let shards_requested = threads;
 
     // Pin where possible; degrade to a note, never an error.
     let pin_ok = match pin::probe() {
@@ -228,44 +241,14 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
         }
     };
 
-    let shapes = [
-        Shape {
-            name: "read-mostly 1000:1",
-            reads_per_write: 1000,
-            churn: false,
-            threads,
-        },
-        Shape {
-            name: "mixed 9:1",
-            reads_per_write: 9,
-            churn: false,
-            threads,
-        },
-        Shape {
-            name: "write-heavy 1:1",
-            reads_per_write: 1,
-            churn: false,
-            threads,
-        },
-        Shape {
-            name: "reader churn 1000:1+yield",
-            reads_per_write: 1000,
-            churn: true,
-            threads,
-        },
-        Shape {
-            name: "oversubscribed 9:1",
-            reads_per_write: 9,
-            churn: false,
-            threads: oversub,
-        },
-    ];
-
+    let scenarios = bench_scenarios();
     let mut cells: Vec<Cell> = Vec::new();
-    for (i, shape) in shapes.iter().enumerate() {
-        let wl = shape_workload(shape, i, OpBudget::Duration(FULL_CELL), pin_ok);
-        let mut table = Table::new(["lock", "ops/s", "r p50", "r p99", "r p999", "w p99"]);
-        for lock in contended_contenders(shape.threads, shards) {
+    for (i, named) in scenarios.iter().enumerate() {
+        let wl = scenario_workload(named, i, threads, OpBudget::Duration(FULL_CELL), pin_ok);
+        let mut table = Table::new([
+            "lock", "ops/s", "r p50", "r p99", "r p999", "w p99", "shards",
+        ]);
+        for lock in contended_contenders(wl.threads, shards_requested) {
             let s = run_contended(lock, &wl);
             table.row([
                 s.lock.clone(),
@@ -274,18 +257,20 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
                 quantile_cell(&s, true, 0.99),
                 quantile_cell(&s, true, 0.999),
                 quantile_cell(&s, false, 0.99),
+                shards_cell(&s),
             ]);
             cells.push(Cell {
-                shape: shape.name,
+                scenario: named.name.to_string(),
                 sample: s,
             });
         }
         report.section(
             format!(
-                "{} — {} threads, {} shards, {}ms/cell{}",
-                shape.name,
-                shape.threads,
-                shards,
+                "{} ({}) — {} threads, {} shards requested, {}ms/cell{}",
+                named.name,
+                named.spec,
+                wl.threads,
+                shards_requested,
                 FULL_CELL.as_millis(),
                 if pin_ok { ", pinned" } else { "" }
             ),
@@ -293,28 +278,28 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
         );
     }
 
-    // Acceptance: a p99 for every lock x workload cell (over the merged
+    // Acceptance: a p99 for every lock x scenario cell (over the merged
     // read+write histogram — each cell performs at least one op).
     let with_p99 = cells
         .iter()
         .filter(|c| c.sample.merged_hist().quantile(0.99).is_some())
         .count();
     report.check(Check::all(
-        "every lock x workload cell reports a p99 latency",
+        "every lock x scenario cell reports a p99 latency",
         with_p99,
         cells.len(),
     ));
 
     // The tentpole floor: sharded read-mostly >= 3x single A_f. Only
     // binds where there is real parallelism to shard across.
-    let ops = |shape: &str, lock: &str| {
+    let ops = |scenario: &str, lock: &str| {
         cells
             .iter()
-            .find(|c| c.shape == shape && c.sample.lock == lock)
+            .find(|c| c.scenario == scenario && c.sample.lock == lock)
             .map(|c| c.sample.ops_per_sec())
     };
-    let single = ops("read-mostly 1000:1", "a_f");
-    let sharded = ops("read-mostly 1000:1", "a_f-sharded");
+    let single = ops("read-mostly", "a_f");
+    let sharded = ops("read-mostly", "a_f-sharded");
     let floor_ratio = match (single, sharded) {
         (Some(s), Some(sh)) if s > 0.0 => Some(sh / s),
         _ => None,
@@ -357,11 +342,11 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
                 .unwrap_or_else(|| "null".to_string())
         };
         cell_json.push(format!(
-            "    {{\n      \"shape\": \"{}\",\n      \"lock\": \"{}\",\n      \"threads\": {},\n      \
+            "    {{\n      \"scenario\": \"{}\",\n      \"lock\": \"{}\",\n      \"threads\": {},\n      \
              \"ops_per_sec\": {:.0},\n      \"reads\": {},\n      \"writes\": {},\n      \
              \"read_p50_ns\": {},\n      \"read_p99_ns\": {},\n      \"read_p999_ns\": {},\n      \
-             \"write_p99_ns\": {},\n      \"pinned\": {}\n    }}",
-            c.shape,
+             \"write_p99_ns\": {},\n      \"shards\": {},\n      \"pinned\": {}\n    }}",
+            c.scenario,
             s.lock,
             s.threads,
             s.ops_per_sec(),
@@ -371,6 +356,9 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
             rq(0.99),
             rq(0.999),
             wq(0.99),
+            s.shards
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".to_string()),
             s.pinned,
         ));
     }
@@ -383,13 +371,13 @@ fn run_full(report: &mut Report, notes: &mut Vec<String>, ncpu: usize) {
     };
     let json = format!(
         "{{\n  \"experiment\": \"perf_locks\",\n  \"unix_timestamp\": {unix_secs},\n  \
-         \"ncpu\": {ncpu},\n  \"threads\": {threads},\n  \"oversubscribed_threads\": {oversub},\n  \
-         \"shards\": {shards},\n  \"pinned\": {pin_ok},\n  \"cell_millis\": {},\n  \
+         \"ncpu\": {ncpu},\n  \"threads\": {threads},\n  \
+         \"shards_requested\": {shards_requested},\n  \"pinned\": {pin_ok},\n  \"cell_millis\": {},\n  \
          \"floor\": {floor_json},\n  \"cells\": [\n{}\n  ]\n}}\n",
         FULL_CELL.as_millis(),
         cell_json.join(",\n"),
     );
-    let path = std::env::var("BENCH_LOCKS_OUT").unwrap_or_else(|_| "BENCH_locks.json".to_string());
+    let path = crate::env::read_nonempty("BENCH_LOCKS_OUT", "BENCH_locks.json");
     match std::fs::write(&path, &json) {
         Ok(()) => notes.push(format!("Side artifact: {path}")),
         Err(e) => notes.push(format!("Side artifact write failed ({path}): {e}")),

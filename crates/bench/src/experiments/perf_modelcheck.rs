@@ -95,10 +95,7 @@ fn casloop_factory(
 /// instead of silently benchmarking the wrong backend — which would
 /// quietly void the A/B comparison the variable exists for.
 pub(crate) fn parse_bench_symmetry(raw: Option<&str>) -> Result<Option<Symmetry>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    Symmetry::from_str(raw)
-        .map(Some)
-        .map_err(|e| format!("BENCH_MODELCHECK_SYMMETRY: {e}"))
+    crate::env::parse_strict("BENCH_MODELCHECK_SYMMETRY", raw, Symmetry::from_str)
 }
 
 /// The backend for the newly-feasible lane: `BENCH_MODELCHECK_SYMMETRY`
@@ -108,9 +105,8 @@ pub(crate) fn parse_bench_symmetry(raw: Option<&str>) -> Result<Option<Symmetry>
 /// Panics with a clear message on a malformed override (see
 /// [`parse_bench_symmetry`]).
 fn headline_symmetry() -> Symmetry {
-    let raw = std::env::var_os("BENCH_MODELCHECK_SYMMETRY");
-    let raw = raw.as_deref().map(|s| s.to_str().unwrap_or("<non-utf8>"));
-    match parse_bench_symmetry(raw) {
+    let raw = crate::env::raw_var("BENCH_MODELCHECK_SYMMETRY");
+    match parse_bench_symmetry(raw.as_deref()) {
         Ok(Some(s)) => s,
         Ok(None) => Symmetry::Quotient,
         Err(msg) => panic!("{msg}"),
@@ -474,8 +470,7 @@ impl Experiment for PerfModelcheck {
                 new.visited.resident_bytes,
                 new.complete
             );
-            let path = std::env::var("BENCH_MODELCHECK_OUT")
-                .unwrap_or_else(|_| "BENCH_modelcheck.json".to_string());
+            let path = crate::env::read_nonempty("BENCH_MODELCHECK_OUT", "BENCH_modelcheck.json");
             match std::fs::write(&path, &json) {
                 Ok(()) => report.notes(format!("Side artifact: {path}")),
                 Err(e) => report.notes(format!("Side artifact write failed ({path}): {e}")),

@@ -212,8 +212,7 @@ impl Experiment for PerfSmoke {
                 ));
             }
             json.push_str("  ]\n}\n");
-            let path =
-                std::env::var("BENCH_CCSIM_OUT").unwrap_or_else(|_| "BENCH_ccsim.json".to_string());
+            let path = crate::env::read_nonempty("BENCH_CCSIM_OUT", "BENCH_ccsim.json");
             match std::fs::write(&path, &json) {
                 Ok(()) => report.notes(format!("Side artifact: {path}")),
                 Err(e) => report.notes(format!("Side artifact write failed ({path}): {e}")),

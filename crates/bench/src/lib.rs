@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod env;
 pub mod exp;
 pub mod experiments;
 pub mod hist;

@@ -22,18 +22,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// parallelism — which would quietly void a `BENCH_THREADS=1` determinism
 /// comparison.
 pub fn parse_bench_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    match raw.parse::<usize>() {
-        Ok(0) => Err(format!(
-            "BENCH_THREADS must be a positive integer, got \"{raw}\" \
-             (use BENCH_THREADS=1 to force a sequential sweep)"
-        )),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(format!(
-            "BENCH_THREADS must be a positive decimal integer \
-             (e.g. BENCH_THREADS=4), got \"{raw}\""
-        )),
-    }
+    let parsed = crate::env::parse_strict_uint("BENCH_THREADS", raw, false)?;
+    Ok(parsed.map(|n| n as usize))
 }
 
 /// Worker threads to use for `n_items` independent jobs: detected
@@ -47,9 +37,8 @@ pub fn worker_count(n_items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let raw = std::env::var_os("BENCH_THREADS");
-    let raw = raw.as_deref().map(|s| s.to_str().unwrap_or("<non-utf8>"));
-    let cap = match parse_bench_threads(raw) {
+    let raw = crate::env::raw_var("BENCH_THREADS");
+    let cap = match parse_bench_threads(raw.as_deref()) {
         Ok(Some(n)) => n,
         Ok(None) => hw,
         Err(msg) => panic!("{msg}"),

@@ -1,84 +1,32 @@
-//! Real-hardware throughput harness (experiment E8).
+//! Real-hardware throughput harness (experiment E8 and the contended
+//! lock lab).
 //!
 //! Measures wall-clock passages/second of the real-atomics locks under
 //! mixed read/write workloads, with per-thread roles fixed up front (the
-//! `A_f` model has distinct reader and writer processes). The external
-//! baseline is `std::sync::RwLock` only: the workspace builds offline
-//! with zero external dependencies, so the `parking_lot` contender was
-//! dropped.
+//! `A_f` model has distinct reader and writer processes). Contender sets
+//! come from [`rwcore::LockRegistry`] — a lock registered there appears
+//! here with no harness edits — and contended workload shapes come from
+//! the [`Scenario`] DSL, the same strings the model-check suite consumes.
+//!
+//! The lock adapter trait is [`rwcore::RealLock`] (formerly
+//! `BenchLock` in this module; re-exported under the old name for one
+//! release — see the CHANGELOG migration note). The external baseline is
+//! `std::sync::RwLock` only: the workspace builds offline with zero
+//! external dependencies, so the `parking_lot` contender was dropped.
 
 use crate::hist::Histogram;
 use ccsim::Prng;
-use rwcore::{
-    AfConfig, BusyForbiddenLock, CentralizedRwLock, FaaRwLock, MutexRwLock, RawAfLock, RawRwLock,
-    ShardedAfRwLock,
-};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rwcore::{LockRegistry, RealShape, Scenario};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-/// A lock adapter measured by the harness: one full passage per call,
-/// with a tiny critical section touching shared data.
-pub trait BenchLock: Send + Sync {
-    /// One reader passage by reader process `id`.
-    fn read_pass(&self, id: usize);
-    /// One writer passage by writer process `id`.
-    fn write_pass(&self, id: usize);
-    /// Implementation name for tables.
-    fn label(&self) -> String;
-}
+pub use rwcore::{RawAdapter, RealLock, StdAdapter};
 
-/// Wraps any [`RawRwLock`] (our locks) with a tiny shared-counter CS.
-#[derive(Debug)]
-pub struct RawAdapter<L> {
-    lock: L,
-    shared: AtomicU64,
-}
-
-impl<L: RawRwLock> RawAdapter<L> {
-    /// Wrap a raw lock.
-    pub fn new(lock: L) -> Self {
-        RawAdapter {
-            lock,
-            shared: AtomicU64::new(0),
-        }
-    }
-}
-
-impl<L: RawRwLock> BenchLock for RawAdapter<L> {
-    fn read_pass(&self, id: usize) {
-        self.lock.reader_lock(id);
-        std::hint::black_box(self.shared.load(Ordering::Relaxed));
-        self.lock.reader_unlock(id);
-    }
-    fn write_pass(&self, id: usize) {
-        self.lock.writer_lock(id);
-        let v = self.shared.load(Ordering::Relaxed);
-        self.shared.store(v + 1, Ordering::Relaxed);
-        self.lock.writer_unlock(id);
-    }
-    fn label(&self) -> String {
-        self.lock.name().to_string()
-    }
-}
-
-/// `std::sync::RwLock` adapter.
-#[derive(Debug, Default)]
-pub struct StdAdapter {
-    lock: std::sync::RwLock<u64>,
-}
-
-impl BenchLock for StdAdapter {
-    fn read_pass(&self, _id: usize) {
-        std::hint::black_box(*self.lock.read().unwrap());
-    }
-    fn write_pass(&self, _id: usize) {
-        *self.lock.write().unwrap() += 1;
-    }
-    fn label(&self) -> String {
-        "std::RwLock".into()
-    }
-}
+/// Deprecated alias for [`RealLock`] (the trait moved to `rwcore` so the
+/// registry can build contenders without depending on the harness).
+#[deprecated(note = "renamed to `rwcore::RealLock`; see the CHANGELOG migration note")]
+pub use rwcore::RealLock as BenchLock;
 
 /// Workload shape: how many reader and writer threads, and how many
 /// passages each performs.
@@ -137,7 +85,7 @@ pub struct ThroughputSample {
 }
 
 /// Run `workload` against `lock` once and report throughput.
-pub fn run_throughput(lock: Arc<dyn BenchLock>, workload: Workload) -> ThroughputSample {
+pub fn run_throughput(lock: Arc<dyn RealLock>, workload: Workload) -> ThroughputSample {
     let barrier = Arc::new(Barrier::new(workload.readers + workload.writers + 1));
     let mut handles = Vec::new();
     for r in 0..workload.readers {
@@ -176,19 +124,10 @@ pub fn run_throughput(lock: Arc<dyn BenchLock>, workload: Workload) -> Throughpu
     }
 }
 
-/// The standard contender set for a given `(readers, writers)` shape.
-pub fn contenders(readers: usize, writers: usize) -> Vec<Arc<dyn BenchLock>> {
-    vec![
-        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(
-            readers, writers,
-        )))),
-        Arc::new(RawAdapter::new(ShardedAfRwLock::with_auto_shards(writers))),
-        Arc::new(RawAdapter::new(CentralizedRwLock::new())),
-        Arc::new(RawAdapter::new(FaaRwLock::new(writers))),
-        Arc::new(RawAdapter::new(MutexRwLock::new(readers, writers))),
-        Arc::new(RawAdapter::new(BusyForbiddenLock::new(readers, writers))),
-        Arc::new(StdAdapter::default()),
-    ]
+/// The standard contender set for a given `(readers, writers)` shape:
+/// every real-capable lock in [`LockRegistry::builtin`], freshly built.
+pub fn contenders(readers: usize, writers: usize) -> Vec<Arc<dyn RealLock>> {
+    LockRegistry::builtin().real_locks(RealShape::new(readers, writers))
 }
 
 /// How long a contended run lasts.
@@ -202,27 +141,48 @@ pub enum OpBudget {
     PerThreadOps(u64),
 }
 
-/// A symmetric contended workload: `threads` identical threads, each
-/// flipping a seeded per-thread coin before every op — read with
-/// probability `reads_per_write / (reads_per_write + 1)`, write
-/// otherwise. Thread `t` acts as reader id `t` *and* writer id `t` of
-/// the lock under test (sized for `threads` readers and writers).
+/// A symmetric contended workload driven by a [`Scenario`]: `threads`
+/// identical threads, each deriving every per-op decision — the
+/// read/write mix coin, burst repetition, churn yields, think-time spins
+/// — from the scenario via a seeded per-thread [`Prng`]. Thread `t` acts
+/// as reader id `t` *and* writer id `t` of the lock under test (sized
+/// for `threads` readers and writers).
 #[derive(Copy, Clone, Debug)]
 pub struct MixedWorkload {
-    /// OS thread count.
+    /// OS thread count (after scenario oversubscription when built via
+    /// [`MixedWorkload::from_scenario`]).
     pub threads: usize,
-    /// Reads per write (e.g. 1000 for a 1000:1 read-mostly mix).
-    pub reads_per_write: u64,
-    /// Reader churn: threads occasionally yield the CPU between ops,
-    /// modeling passages interleaved with other work (and forcing
-    /// batch/indicator state to drain and rebuild).
-    pub churn: bool,
+    /// The scenario the per-op decisions derive from.
+    pub scenario: Scenario,
     /// Run length.
     pub budget: OpBudget,
     /// Pin thread `t` to CPU `t % ncpu` (best-effort; see [`crate::pin`]).
     pub pin: bool,
     /// Per-run RNG seed (thread `t` derives its stream from `seed + t`).
     pub seed: u64,
+}
+
+impl MixedWorkload {
+    /// The real-harness derivation of a scenario: `base_threads` slots
+    /// scaled by the scenario's oversubscription factor, everything else
+    /// carried in the scenario itself. This is the bench-side half of
+    /// the sim/real parity contract — the model-check suite derives its
+    /// side from the *same* [`Scenario`] accessors.
+    pub fn from_scenario(
+        scenario: Scenario,
+        base_threads: usize,
+        budget: OpBudget,
+        pin: bool,
+        seed: u64,
+    ) -> Self {
+        MixedWorkload {
+            threads: scenario.thread_count(base_threads),
+            scenario,
+            budget,
+            pin,
+            seed,
+        }
+    }
 }
 
 /// Result of one contended run: totals plus merged per-thread latency
@@ -245,6 +205,8 @@ pub struct ContendedSample {
     pub write_hist: Histogram,
     /// Whether every thread was successfully pinned.
     pub pinned: bool,
+    /// The shard count the lock actually ran with ([`RealLock::effective_shards`]).
+    pub shards: Option<usize>,
 }
 
 impl ContendedSample {
@@ -275,7 +237,7 @@ struct ThreadTake {
 /// barrier, record per-op latencies into thread-local histograms, and
 /// stop on the budget (a stop flag for [`OpBudget::Duration`], a local
 /// countdown for [`OpBudget::PerThreadOps`]).
-pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedSample {
+pub fn run_contended(lock: Arc<dyn RealLock>, wl: &MixedWorkload) -> ContendedSample {
     assert!(wl.threads > 0, "need at least one thread");
     let barrier = Arc::new(Barrier::new(wl.threads + 1));
     let stop = Arc::new(AtomicBool::new(false));
@@ -308,11 +270,19 @@ pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedS
                 OpBudget::PerThreadOps(n) => n,
                 OpBudget::Duration(_) => u64::MAX,
             };
+            let scenario = wl.scenario;
+            let mut prev_read = None;
             while take.reads + take.writes < quota {
                 if matches!(wl.budget, OpBudget::Duration(_)) && stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let is_read = rng.below(wl.reads_per_write as usize + 1) != 0;
+                // Burstiness first: with probability `burst`, repeat the
+                // previous op's kind instead of drawing a fresh mix coin.
+                let is_read = match prev_read {
+                    Some(prev) if scenario.burst.fires(&mut rng) => prev,
+                    _ => scenario.draw_read(&mut rng),
+                };
+                prev_read = Some(is_read);
                 let t0 = Instant::now();
                 if is_read {
                     lock.read_pass(t);
@@ -327,7 +297,10 @@ pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedS
                     take.write_hist.record(ns);
                     take.writes += 1;
                 }
-                if wl.churn && rng.below(8) == 0 {
+                for _ in 0..scenario.think {
+                    std::hint::spin_loop();
+                }
+                if scenario.churn.fires(&mut rng) {
                     std::thread::yield_now();
                 }
             }
@@ -350,6 +323,7 @@ pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedS
         read_hist: Histogram::new(),
         write_hist: Histogram::new(),
         pinned: wl.pin,
+        shards: lock.effective_shards(),
     };
     for h in handles {
         let take = h.join().expect("bench thread panicked");
@@ -363,27 +337,28 @@ pub fn run_contended(lock: Arc<dyn BenchLock>, wl: &MixedWorkload) -> ContendedS
     sample
 }
 
-/// The contended-lab contender set for `threads` symmetric threads: the
-/// single-instance `A_f`, the sharded variant (`shards` shards), the
-/// real-atomics baselines, the busy-forbidden protocol, and
-/// `std::sync::RwLock`.
-pub fn contended_contenders(threads: usize, shards: usize) -> Vec<Arc<dyn BenchLock>> {
-    vec![
-        Arc::new(RawAdapter::new(RawAfLock::new(AfConfig::new(
-            threads, threads,
-        )))),
-        Arc::new(RawAdapter::new(ShardedAfRwLock::new(shards, threads))),
-        Arc::new(RawAdapter::new(CentralizedRwLock::new())),
-        Arc::new(RawAdapter::new(FaaRwLock::new(threads))),
-        Arc::new(RawAdapter::new(MutexRwLock::new(threads, threads))),
-        Arc::new(RawAdapter::new(BusyForbiddenLock::new(threads, threads))),
-        Arc::new(StdAdapter::default()),
-    ]
+/// The contended-lab contender set for `threads` symmetric threads with
+/// an explicit shard request: every real-capable lock in
+/// [`LockRegistry::builtin`] at the symmetric shape. The sharded variant
+/// may cap the request (see [`RealLock::effective_shards`]); the
+/// per-sample `shards` field reports what it actually ran with.
+pub fn contended_contenders(threads: usize, shards: usize) -> Vec<Arc<dyn RealLock>> {
+    LockRegistry::builtin().real_locks(RealShape::symmetric(threads).with_shards(shards))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn mixed_wl(scenario: &str, threads: usize, budget: OpBudget, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            threads,
+            scenario: scenario.parse().unwrap(),
+            budget,
+            pin: false,
+            seed,
+        }
+    }
 
     #[test]
     fn all_contenders_complete_a_small_workload() {
@@ -410,14 +385,7 @@ mod tests {
 
     #[test]
     fn contended_run_completes_for_all_locks() {
-        let wl = MixedWorkload {
-            threads: 2,
-            reads_per_write: 9,
-            churn: false,
-            budget: OpBudget::PerThreadOps(200),
-            pin: false,
-            seed: 7,
-        };
+        let wl = mixed_wl("r9:1", 2, OpBudget::PerThreadOps(200), 7);
         for lock in contended_contenders(2, 2) {
             let label = lock.label();
             let s = run_contended(lock, &wl);
@@ -426,19 +394,17 @@ mod tests {
             assert_eq!(s.write_hist.count(), s.writes, "{label}");
             assert!(s.merged_hist().quantile(0.99).is_some(), "{label}");
             assert!(!s.pinned, "{label}: pinning was not requested");
+            if label == "a_f-sharded" {
+                assert_eq!(s.shards, Some(2), "{label}: effective shards surface");
+            } else {
+                assert_eq!(s.shards, None, "{label}");
+            }
         }
     }
 
     #[test]
     fn contended_op_mix_is_seed_deterministic() {
-        let wl = MixedWorkload {
-            threads: 3,
-            reads_per_write: 99,
-            churn: true,
-            budget: OpBudget::PerThreadOps(300),
-            pin: false,
-            seed: 42,
-        };
+        let wl = mixed_wl("r99:1,churn=0.125", 3, OpBudget::PerThreadOps(300), 42);
         let a = run_contended(Arc::new(StdAdapter::default()), &wl);
         let b = run_contended(Arc::new(StdAdapter::default()), &wl);
         assert_eq!((a.reads, a.writes), (b.reads, b.writes));
@@ -447,16 +413,37 @@ mod tests {
 
     #[test]
     fn contended_duration_budget_stops() {
-        let wl = MixedWorkload {
-            threads: 2,
-            reads_per_write: 9,
-            churn: false,
-            budget: OpBudget::Duration(Duration::from_millis(20)),
-            pin: false,
-            seed: 1,
-        };
+        let wl = mixed_wl("r9:1", 2, OpBudget::Duration(Duration::from_millis(20)), 1);
         let s = run_contended(Arc::new(StdAdapter::default()), &wl);
         assert!(s.reads + s.writes > 0);
         assert!(s.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn burst_and_think_scenarios_complete() {
+        let wl = mixed_wl("r3:1,burst=0.9,think=50", 2, OpBudget::PerThreadOps(200), 5);
+        let s = run_contended(Arc::new(StdAdapter::default()), &wl);
+        assert_eq!(s.reads + s.writes, 400);
+        assert!(s.reads > 0 && s.writes > 0, "bursts keep the overall mix");
+    }
+
+    #[test]
+    fn from_scenario_applies_oversubscription() {
+        let wl = MixedWorkload::from_scenario(
+            "r9:1,oversub=4".parse().unwrap(),
+            2,
+            OpBudget::PerThreadOps(10),
+            false,
+            3,
+        );
+        assert_eq!(wl.threads, 8);
+        let plain = MixedWorkload::from_scenario(
+            "r9:1".parse().unwrap(),
+            2,
+            OpBudget::PerThreadOps(10),
+            false,
+            3,
+        );
+        assert_eq!(plain.threads, 2);
     }
 }

@@ -37,6 +37,7 @@
 
 mod cache;
 mod directory;
+pub mod env;
 mod fault;
 mod fxhash;
 mod layout;

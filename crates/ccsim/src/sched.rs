@@ -34,29 +34,14 @@ pub const STALL_AFTER_ENV: &str = "CCSIM_STALL_AFTER";
 /// otherwise the value must be a positive decimal integer. Anything else
 /// is an error — the runners abort loudly instead of silently falling
 /// back to the configured threshold, the same discipline as
-/// `BENCH_THREADS`.
+/// `BENCH_THREADS`. A thin wrapper over [`crate::env::parse_strict_uint`]
+/// (the shared strict-knob core).
 ///
 /// # Errors
 /// Returns a diagnostic naming the variable on a zero, malformed, or
 /// out-of-range value.
 pub fn parse_stall_after(raw: Option<&str>) -> Result<Option<u64>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    // Strictly decimal digits: no sign, no whitespace, no radix prefixes
-    // (u64::from_str would accept a leading '+').
-    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
-        return Err(format!(
-            "{STALL_AFTER_ENV} must be a positive decimal integer, got {raw:?}"
-        ));
-    }
-    match raw.parse::<u64>() {
-        Ok(0) => Err(format!(
-            "{STALL_AFTER_ENV} must be a positive integer, got \"0\""
-        )),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(format!(
-            "{STALL_AFTER_ENV} must be a positive decimal integer, got {raw:?}"
-        )),
-    }
+    crate::env::parse_strict_uint(STALL_AFTER_ENV, raw, false)
 }
 
 /// The effective stall threshold: the `CCSIM_STALL_AFTER` override if set,
@@ -65,12 +50,7 @@ pub fn parse_stall_after(raw: Option<&str>) -> Result<Option<u64>, String> {
 /// # Panics
 /// Panics on a malformed override (see [`parse_stall_after`]).
 fn effective_stall_after(cfg: &RunConfig) -> u64 {
-    let raw = std::env::var(STALL_AFTER_ENV).ok();
-    match parse_stall_after(raw.as_deref()) {
-        Ok(Some(n)) => n,
-        Ok(None) => cfg.stall_after,
-        Err(msg) => panic!("{msg}"),
-    }
+    crate::env::read_strict_uint(STALL_AFTER_ENV, false).unwrap_or(cfg.stall_after)
 }
 
 impl Default for RunConfig {

@@ -47,6 +47,7 @@ use std::str::FromStr;
 mod artifact;
 mod par;
 mod shrink;
+pub mod suite;
 mod visited;
 
 pub use artifact::TraceArtifact;

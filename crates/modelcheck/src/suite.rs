@@ -1,0 +1,338 @@
+//! Auto-generated model-check suites over the lock registry.
+//!
+//! Every lock with a sim twin ([`rwcore::SimLock`]) gets its checks
+//! derived here instead of hand-written per-lock test drivers: Mutual
+//! Exclusion on every declared [`rwcore::SimInstance`], Bounded Exit on
+//! probe instances that declare an exit budget, and — when the driving
+//! [`Scenario`] carries fault pressure the lock's world model supports —
+//! crash/abort-augmented exploration with the post-crash-acquirability
+//! and bounded-abort invariants. Registering a lock in
+//! [`rwcore::LockRegistry`] is the *only* step; the suite picks it up.
+//!
+//! The scenario is the same DSL string the bench harness consumes
+//! (`"r2:1,xcrash=0.01,xabort=0.01"`): its `xcrash`/`xabort` rates map
+//! to the exhaustive explorer's crash/abort budgets via
+//! [`Scenario::crash_budget`]/[`Scenario::abort_budget`], intersected
+//! with the lock's [`FaultSupport`] — a fault regime a world model
+//! cannot express is skipped, not silently misreported as checked.
+//!
+//! Fault budgets are applied to **probe** instances only: each budget
+//! unit multiplies the state space, and the probe instances are the
+//! small worlds sized for exactly that. Non-probe instances are always
+//! explored failure-free (Mutual Exclusion only).
+
+use crate::{
+    bounded_abort_invariant, bounded_exit_invariant, explore_par_with,
+    post_crash_acquirability_invariant, CheckConfig, CheckError, CheckReport,
+};
+use ccsim::{Protocol, Sim};
+use rwcore::{FaultSupport, LockRegistry, Scenario, SimInstance, SimLock};
+
+/// Budget conventions of the generated invariant probes, re-exported so
+/// suite consumers and hand-written tests agree on one set of numbers.
+pub mod budgets {
+    /// Step budget of [`crate::bounded_abort_invariant`] probes.
+    pub const ABORT: u64 = 400;
+    /// Step budget of [`crate::post_crash_acquirability_invariant`]
+    /// probes.
+    pub const POST_CRASH: u64 = 4_000;
+}
+
+/// One generated check: a lock instance, the properties verified on it
+/// (in one exploration pass), and the effective exploration config.
+#[derive(Clone, Debug)]
+pub struct SuiteCase {
+    /// Registry id of the lock.
+    pub lock: String,
+    /// Instance label (e.g. `"2r+1w"`).
+    pub instance: String,
+    /// Property names checked on this instance.
+    pub properties: Vec<&'static str>,
+    /// The exploration limits and adversary budgets in force.
+    pub config: CheckConfig,
+}
+
+impl SuiteCase {
+    /// `"lock/instance: prop, prop"` — the line `--list`-style surfaces
+    /// print.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}: {}",
+            self.lock,
+            self.instance,
+            self.properties.join(", ")
+        )
+    }
+}
+
+/// A generated check together with the exploration report that passed
+/// it.
+#[derive(Clone, Debug)]
+pub struct SuiteOutcome {
+    /// The check that ran.
+    pub case: SuiteCase,
+    /// The (passing) exploration report.
+    pub report: CheckReport,
+}
+
+/// A failed generated check: which lock/instance, and the explorer's
+/// counterexample.
+#[derive(Debug)]
+pub struct SuiteFailure {
+    /// Registry id of the lock.
+    pub lock: String,
+    /// Instance label.
+    pub instance: String,
+    /// The violation, with schedule and fingerprint.
+    pub error: CheckError,
+}
+
+impl std::fmt::Display for SuiteFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}: {}", self.lock, self.instance, self.error)
+    }
+}
+
+/// The effective exploration config for one lock under `scenario`:
+/// `base` with the scenario's crash/abort budgets, intersected with
+/// what the lock's world model supports.
+pub fn check_config_for(
+    scenario: &Scenario,
+    support: FaultSupport,
+    base: &CheckConfig,
+) -> CheckConfig {
+    let mut cfg = base.clone();
+    cfg.crash_budget = if support.crash {
+        scenario.crash_budget()
+    } else {
+        0
+    };
+    // A system-wide crash composes every per-process crash at once, so
+    // one is already the expensive regime; never plan more than one.
+    cfg.crash_all_budget = if support.crash_all {
+        scenario.crash_budget().min(1)
+    } else {
+        0
+    };
+    cfg.abort_budget = if support.abort {
+        scenario.abort_budget()
+    } else {
+        0
+    };
+    cfg
+}
+
+/// The checks `scenario` generates for one sim twin. Shared by
+/// [`plan`] and [`run_suite`] so the printed plan is exactly what runs.
+fn cases_for(
+    id: &str,
+    sim: &dyn SimLock,
+    scenario: &Scenario,
+    base: &CheckConfig,
+) -> Vec<(SimInstance, SuiteCase)> {
+    let faulty = check_config_for(scenario, sim.fault_support(), base);
+    let mut failure_free = base.clone();
+    failure_free.crash_budget = 0;
+    failure_free.crash_all_budget = 0;
+    failure_free.abort_budget = 0;
+    sim.instances()
+        .into_iter()
+        .map(|inst| {
+            let config = if inst.probes {
+                faulty.clone()
+            } else {
+                failure_free.clone()
+            };
+            let mut properties = vec!["mutual-exclusion"];
+            if inst.probes && sim.exit_budget().is_some() {
+                properties.push("bounded-exit");
+            }
+            if config.crash_budget > 0 || config.crash_all_budget > 0 {
+                properties.push("post-crash-acquirability");
+            }
+            if config.abort_budget > 0 {
+                properties.push("bounded-abort");
+            }
+            let case = SuiteCase {
+                lock: id.to_string(),
+                instance: inst.label.clone(),
+                properties,
+                config,
+            };
+            (inst, case)
+        })
+        .collect()
+}
+
+/// Enumerate the checks `scenario` generates over every sim twin in
+/// `reg` — the model-check surface a registered lock appears on, and
+/// what `experiments --list`-style listings print.
+pub fn plan(reg: &LockRegistry, scenario: &Scenario, base: &CheckConfig) -> Vec<SuiteCase> {
+    reg.sim_entries()
+        .flat_map(|(id, sim)| {
+            cases_for(id, sim.as_ref(), scenario, base)
+                .into_iter()
+                .map(|(_, case)| case)
+        })
+        .collect()
+}
+
+/// Run one generated check: a single exploration pass over the instance
+/// with every applicable invariant probe attached.
+pub fn run_case(
+    sim: &dyn SimLock,
+    inst: &SimInstance,
+    case: &SuiteCase,
+    protocol: Protocol,
+    workers: usize,
+) -> Result<CheckReport, CheckError> {
+    type Probe = Box<dyn Fn(&Sim) -> Result<(), String> + Sync>;
+    let mut probes: Vec<Probe> = Vec::new();
+    if case.properties.contains(&"bounded-exit") {
+        let budget = sim
+            .exit_budget()
+            .expect("bounded-exit planned without a budget");
+        probes.push(Box::new(bounded_exit_invariant(budget)));
+    }
+    if case.properties.contains(&"post-crash-acquirability") {
+        probes.push(Box::new(post_crash_acquirability_invariant(
+            budgets::POST_CRASH,
+        )));
+    }
+    if case.properties.contains(&"bounded-abort") {
+        probes.push(Box::new(bounded_abort_invariant(budgets::ABORT)));
+    }
+    explore_par_with(
+        || sim.build(inst, protocol),
+        &case.config,
+        workers,
+        move |s| probes.iter().try_for_each(|p| p(s)),
+    )
+}
+
+/// Run the whole generated suite for `scenario` over every sim twin in
+/// `reg`, stopping at the first failure.
+///
+/// # Errors
+/// The first failing check, with the lock/instance it failed on and the
+/// explorer's deterministic counterexample.
+pub fn run_suite(
+    reg: &LockRegistry,
+    scenario: &Scenario,
+    base: &CheckConfig,
+    protocol: Protocol,
+    workers: usize,
+) -> Result<Vec<SuiteOutcome>, Box<SuiteFailure>> {
+    let mut outcomes = Vec::new();
+    for (id, sim) in reg.sim_entries() {
+        for (inst, case) in cases_for(id, sim.as_ref(), scenario, base) {
+            match run_case(sim.as_ref(), &inst, &case, protocol, workers) {
+                Ok(report) => outcomes.push(SuiteOutcome { case, report }),
+                Err(error) => {
+                    return Err(Box::new(SuiteFailure {
+                        lock: case.lock,
+                        instance: case.instance,
+                        error,
+                    }))
+                }
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure_free() -> Scenario {
+        "r9:1".parse().unwrap()
+    }
+
+    #[test]
+    fn plan_covers_every_sim_twin() {
+        let reg = LockRegistry::builtin();
+        let base = CheckConfig::default();
+        let cases = plan(&reg, &failure_free(), &base);
+        let locks: std::collections::BTreeSet<&str> =
+            cases.iter().map(|c| c.lock.as_str()).collect();
+        for (id, _) in reg.sim_entries() {
+            assert!(locks.contains(id), "{id} missing from the plan");
+        }
+        // Failure-free scenario: no fault properties anywhere.
+        for c in &cases {
+            assert!(
+                c.properties.contains(&"mutual-exclusion"),
+                "{}",
+                c.describe()
+            );
+            assert!(
+                !c.properties.contains(&"post-crash-acquirability"),
+                "{}",
+                c.describe()
+            );
+            assert_eq!(c.config.crash_budget, 0, "{}", c.describe());
+        }
+        // Probe instances with an exit budget get the Bounded Exit probe.
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.lock == "a_f" && c.properties.contains(&"bounded-exit")),
+            "a_f probes plan Bounded Exit"
+        );
+        // Baselines opted out via exit_budget = None.
+        assert!(
+            cases
+                .iter()
+                .filter(|c| c.lock == "centralized-cas")
+                .all(|c| !c.properties.contains(&"bounded-exit")),
+            "baselines never plan Bounded Exit"
+        );
+    }
+
+    #[test]
+    fn faulty_scenario_plans_fault_properties_where_supported() {
+        let reg = LockRegistry::builtin();
+        let scenario: Scenario = "r2:1,xcrash=0.01,xabort=0.01".parse().unwrap();
+        let base = CheckConfig::default();
+        let cases = plan(&reg, &scenario, &base);
+        let af_probe = cases
+            .iter()
+            .find(|c| c.lock == "a_f" && c.instance == "2r+1w")
+            .expect("a_f probe instance planned");
+        assert!(af_probe.properties.contains(&"post-crash-acquirability"));
+        assert!(af_probe.properties.contains(&"bounded-abort"));
+        assert_eq!(af_probe.config.crash_budget, 1);
+        assert_eq!(af_probe.config.crash_all_budget, 1);
+        assert_eq!(af_probe.config.abort_budget, 1);
+        // The larger a_f instance stays failure-free (probes gate cost).
+        let af_large = cases
+            .iter()
+            .find(|c| c.lock == "a_f" && c.instance == "2r+2w")
+            .expect("a_f large instance planned");
+        assert_eq!(af_large.config.crash_budget, 0);
+        // Locks without fault support never plan fault properties.
+        for c in cases.iter().filter(|c| c.lock == "a_f-sharded") {
+            assert!(
+                !c.properties.contains(&"post-crash-acquirability"),
+                "{}",
+                c.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn config_intersection_respects_support() {
+        let scenario: Scenario = "r1:1,xcrash=0.2,xabort=0.01".parse().unwrap();
+        let base = CheckConfig::default();
+        let all = check_config_for(&scenario, FaultSupport::ALL, &base);
+        assert_eq!(all.crash_budget, 2);
+        assert_eq!(all.crash_all_budget, 1, "crash-alls cap at one");
+        assert_eq!(all.abort_budget, 1);
+        let none = check_config_for(&scenario, FaultSupport::NONE, &base);
+        assert_eq!(
+            (none.crash_budget, none.crash_all_budget, none.abort_budget),
+            (0, 0, 0)
+        );
+    }
+}

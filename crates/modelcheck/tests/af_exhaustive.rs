@@ -1,5 +1,11 @@
-//! Exhaustive model checks of the `A_f` lock (Theorem 18's safety claims)
-//! and the reproduction finding on the HelpWCS read order.
+//! Exhaustive model checks of the `A_f` lock (Theorem 18's safety
+//! claims) — the coverage the auto-generated registry suite
+//! (`suite_registry.rs`) does *not* produce: alternate group policies
+//! and protocols, exhaustive (uncapped) fault adversaries, and the
+//! negative-control counterexamples. Routine Mutual Exclusion /
+//! Bounded Exit sweeps over the registered lock variants moved to the
+//! generated suite; add a lock to [`rwcore::LockRegistry::builtin`] and
+//! it is checked there with no test edits here.
 //!
 //! Larger configurations (e.g. n=3, m=1, f=1: 48.9M states, all safe) run
 //! in the `e5_properties` experiment binary in release mode; these tests
@@ -11,6 +17,11 @@ use modelcheck::{
     post_crash_acquirability_invariant, replay, shrink, CheckConfig, CheckError, TraceArtifact,
 };
 use rwcore::{af_world, af_world_seq_reuse_bug, af_world_with_order, AfConfig, FPolicy, HelpOrder};
+
+// Mutual Exclusion sweeps over the plain, gated, sharded, and CAS-loop
+// registered variants (formerly individual tests here and in
+// `sharded_af.rs`) now run through the generated suite — see
+// `suite_registry.rs::failure_free_suite_passes_for_every_builtin_sim_twin`.
 
 fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn() -> ccsim::Sim {
     move || {
@@ -25,41 +36,6 @@ fn af_factory(n: usize, m: usize, policy: FPolicy, order: HelpOrder) -> impl Fn(
         )
         .sim
     }
-}
-
-#[test]
-fn af_2readers_1writer_exhaustively_safe() {
-    // `workers: 0` sizes the pool to the host; counts are identical at
-    // any worker count (see `par_determinism.rs`).
-    let report = explore_par(
-        af_factory(2, 1, FPolicy::One, HelpOrder::WaitersFirst),
-        &CheckConfig {
-            passages_per_proc: 1,
-            ..Default::default()
-        },
-        0,
-    )
-    .expect("A_f n=2 m=1 must be safe");
-    assert!(report.complete, "state space must be exhausted");
-    assert!(
-        report.states_explored > 10_000,
-        "expected a non-trivial space, got {}",
-        report.states_explored
-    );
-}
-
-#[test]
-fn af_2readers_2writers_exhaustively_safe() {
-    let report = explore_par(
-        af_factory(2, 2, FPolicy::One, HelpOrder::WaitersFirst),
-        &CheckConfig {
-            passages_per_proc: 1,
-            ..Default::default()
-        },
-        0,
-    )
-    .expect("A_f n=2 m=2 must be safe");
-    assert!(report.complete);
 }
 
 #[test]
@@ -129,34 +105,6 @@ fn paper_literal_help_order_violates_mutual_exclusion() {
         }
         other => panic!("expected an MX violation, got {other}"),
     }
-}
-
-/// Ablation safety: replacing the f-array with a CAS-loop counter keeps
-/// the lock *safe* (both counters are linearizable) — it only destroys
-/// the complexity bound (see experiment E13).
-#[test]
-fn cas_loop_counter_variant_is_safe() {
-    let report = explore(
-        || {
-            rwcore::af_world_custom(
-                AfConfig {
-                    readers: 2,
-                    writers: 1,
-                    policy: FPolicy::One,
-                },
-                Protocol::WriteBack,
-                HelpOrder::WaitersFirst,
-                rwcore::CounterKind::CasLoop,
-            )
-            .sim
-        },
-        &CheckConfig {
-            passages_per_proc: 1,
-            ..Default::default()
-        },
-    )
-    .expect("the ablated lock must still be safe");
-    assert!(report.complete);
 }
 
 /// Crash robustness: `A_f` is not a recoverable lock, but in the RME
@@ -304,33 +252,4 @@ fn waiters_first_survives_capped_n3_exploration() {
     )
     .expect("no violation within the capped slice");
     assert!(!report.complete, "cap should bind at n=3");
-}
-
-/// The writer-biased (gated) variant preserves Mutual Exclusion: the gate
-/// only delays readers before they touch the A_f protocol, so the state
-/// space (exhausted here for n=2, m=1, and n=2, m=2) stays safe.
-#[test]
-fn gated_variant_is_safe() {
-    for (n, m) in [(2usize, 1usize), (2, 2)] {
-        let report = explore_par(
-            || {
-                rwcore::gated_af_world(
-                    AfConfig {
-                        readers: n,
-                        writers: m,
-                        policy: FPolicy::One,
-                    },
-                    Protocol::WriteBack,
-                )
-                .sim
-            },
-            &CheckConfig {
-                passages_per_proc: 1,
-                ..Default::default()
-            },
-            0,
-        )
-        .unwrap_or_else(|e| panic!("gated n={n} m={m}: {e}"));
-        assert!(report.complete, "n={n} m={m}");
-    }
 }

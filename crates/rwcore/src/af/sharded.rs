@@ -471,6 +471,9 @@ impl crate::baselines::real::RawRwLock for ShardedAfRwLock {
     fn name(&self) -> &'static str {
         "a_f-sharded"
     }
+    fn effective_shards(&self) -> Option<usize> {
+        Some(self.shards())
+    }
 }
 
 #[cfg(test)]

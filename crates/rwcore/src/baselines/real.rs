@@ -29,6 +29,13 @@ pub trait RawRwLock: Send + Sync {
     fn writer_unlock(&self, id: usize);
     /// Short implementation name for bench tables.
     fn name(&self) -> &'static str;
+    /// The shard count the instance actually runs with (sharded
+    /// variants only; they may cap a requested count at the CPU count,
+    /// and report tables surface the effective value). `None` for
+    /// unsharded locks.
+    fn effective_shards(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl RawRwLock for crate::af::real::RawAfLock {

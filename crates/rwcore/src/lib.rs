@@ -36,6 +36,9 @@ mod af;
 pub mod baselines;
 mod busy_forbidden;
 mod config;
+pub mod lock;
+pub mod registry;
+pub mod scenario;
 mod sig;
 mod world;
 
@@ -53,6 +56,12 @@ pub use baselines::real::{CentralizedRwLock, FaaRwLock, MutexRwLock, RawRwLock};
 pub use baselines::sim::{centralized_world, faa_world, mutex_rw_world, BaselineWorld};
 pub use busy_forbidden::BusyForbiddenLock;
 pub use config::{AfConfig, FPolicy, GroupSlot};
+pub use lock::{
+    FaultSupport, RawAdapter, RealLock, RealLockFactory, RealShape, SimInstance, SimLock,
+    StdAdapter,
+};
+pub use registry::{LockEntry, LockRegistry};
+pub use scenario::{NamedScenario, Rate, Scenario};
 pub use sig::{Opcode, Signal};
 pub use world::{
     af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order,

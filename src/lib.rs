@@ -68,8 +68,9 @@ pub use modelcheck::{
 pub use rwcore::{
     af_world, af_world_custom, af_world_seq_reuse_bug, af_world_with_order, centralized_world,
     faa_world, gated_af_world, mutex_rw_world, reader_symmetry_classes, AfConfig, AfRwLock,
-    AfShared, AfWorld, CentralizedRwLock, CounterKind, FPolicy, FaaRwLock, GatedAfLock,
-    HandleError, HelpOrder, MutexRwLock, Opcode, PidMap, RawAfLock, RawRwLock, ReadGuard,
-    ReaderHandle, Signal, WriteGuard, WriterHandle,
+    AfShared, AfWorld, CentralizedRwLock, CounterKind, FPolicy, FaaRwLock, FaultSupport,
+    GatedAfLock, HandleError, HelpOrder, LockEntry, LockRegistry, MutexRwLock, Opcode, PidMap,
+    Rate, RawAfLock, RawRwLock, ReadGuard, ReaderHandle, RealLock, RealLockFactory, RealShape,
+    Scenario, Signal, SimInstance, SimLock, WriteGuard, WriterHandle,
 };
 pub use wmutex::{ClhLock, IdMutex, TicketLock, TournamentLock};

@@ -9,12 +9,7 @@
 use rwlock_repro::*;
 
 fn seed_offset() -> u64 {
-    match std::env::var("RANDOMIZED_SEED") {
-        Ok(s) => s
-            .parse()
-            .unwrap_or_else(|_| panic!("RANDOMIZED_SEED must be a u64, got {s:?}")),
-        Err(_) => 0,
-    }
+    ccsim::env::read_strict_uint("RANDOMIZED_SEED", true).unwrap_or(0)
 }
 
 /// Drive `sim` through `steps` random scheduler choices, occasionally

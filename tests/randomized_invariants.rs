@@ -12,12 +12,7 @@ use rwlock_repro::*;
 /// disjoint family of configurations and schedules. Unset (the default)
 /// keeps the recorded seeds, so a plain `cargo test` stays reproducible.
 fn seed_offset() -> u64 {
-    match std::env::var("RANDOMIZED_SEED") {
-        Ok(s) => s
-            .parse()
-            .unwrap_or_else(|_| panic!("RANDOMIZED_SEED must be a u64, got {s:?}")),
-        Err(_) => 0,
-    }
+    ccsim::env::read_strict_uint("RANDOMIZED_SEED", true).unwrap_or(0)
 }
 
 /// Reconstruct the schedule a traced execution took: one entry per
