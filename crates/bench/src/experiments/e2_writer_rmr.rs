@@ -6,7 +6,32 @@
 //! column stays near a constant per policy as `n` grows.
 
 use super::prelude::*;
+use crate::rmr::{measure_registry_solo, LockSoloSample};
 use crate::standard_sweep;
+use rwcore::LockRegistry;
+
+/// The instance shape of the registry solo-RMR section shared by E2 and
+/// E3: every registered sim lock at 16 readers / 1 writer, write-back.
+pub(crate) const REGISTRY_SOLO_N: usize = 16;
+
+/// Measure the registry-wide solo sweep (cheap: two cold solo passages
+/// per lock, so E2 and E3 each just measure it afresh).
+pub(crate) fn registry_solo() -> Vec<LockSoloSample> {
+    measure_registry_solo(
+        &LockRegistry::builtin(),
+        REGISTRY_SOLO_N,
+        1,
+        Protocol::WriteBack,
+    )
+}
+
+/// Render one role's column of a [`LockSoloSample`].
+pub(crate) fn solo_cell(cell: &Result<u64, String>) -> String {
+    match cell {
+        Ok(rmrs) => rmrs.to_string(),
+        Err(reason) => format!("skipped: {reason}"),
+    }
+}
 
 /// The sweep shared by E2 and E3 (the [`Ctx`] cache makes the second
 /// user free): every `(protocol, n, policy)` of the standard grid, or a
@@ -74,11 +99,33 @@ impl Experiment for E2 {
             }
             report.section(format!("{protocol:?} protocol"), table);
         }
+
+        // Every registered sim lock's cold writer passage, for free: a
+        // newly registered lock shows up here with no experiment edits.
+        let solo = registry_solo();
+        let mut reg_table = Table::new(["lock", "writer solo RMR"]);
+        let mut af_row_ok = false;
+        for s in &solo {
+            if s.id == "a_f" {
+                af_row_ok = matches!(s.writer_solo_rmrs, Ok(r) if r > 0);
+            }
+            reg_table.row([s.id.to_string(), solo_cell(&s.writer_solo_rmrs)]);
+        }
+        report.section(
+            format!("registry locks, writer solo passage (n={REGISTRY_SOLO_N}, write-back)"),
+            reg_table,
+        );
         report
             .check(Check::le_f64(
                 "writer RMR/f stays a small constant independent of n",
                 worst_ratio,
                 9.0,
+            ))
+            .check(Check::new(
+                "the flagship a_f lock has a registry writer row",
+                "a_f writer solo passage completes with > 0 RMRs",
+                if af_row_ok { "present" } else { "MISSING" },
+                af_row_ok,
             ))
             .notes(
                 "Expected shape: RMR/f is a small constant (the per-group loop body)\n\

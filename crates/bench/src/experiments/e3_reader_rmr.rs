@@ -6,7 +6,7 @@
 //! a writer holds the CS). The `RMR / log2(K)` column stays near a
 //! constant as `n` grows (K = n/f is the group size).
 
-use super::e2_writer_rmr::af_sweep;
+use super::e2_writer_rmr::{af_sweep, registry_solo, solo_cell, REGISTRY_SOLO_N};
 use super::prelude::*;
 
 /// Registry entry for the reader half of Lemma 17.
@@ -60,11 +60,33 @@ impl Experiment for E3 {
             }
             report.section(format!("{protocol:?} protocol"), table);
         }
+
+        // The reader half of the registry enumeration (writer half in
+        // E2): every registered sim lock's cold reader passage.
+        let solo = registry_solo();
+        let mut reg_table = Table::new(["lock", "reader solo RMR"]);
+        let mut af_row_ok = false;
+        for s in &solo {
+            if s.id == "a_f" {
+                af_row_ok = matches!(s.reader_solo_rmrs, Ok(r) if r > 0);
+            }
+            reg_table.row([s.id.to_string(), solo_cell(&s.reader_solo_rmrs)]);
+        }
+        report.section(
+            format!("registry locks, reader solo passage (n={REGISTRY_SOLO_N}, write-back)"),
+            reg_table,
+        );
         report
             .check(Check::le_f64(
                 "reader solo RMR/log2(K) stays a small constant independent of n",
                 worst_ratio,
                 8.0,
+            ))
+            .check(Check::new(
+                "the flagship a_f lock has a registry reader row",
+                "a_f reader solo passage completes with > 0 RMRs",
+                if af_row_ok { "present" } else { "MISSING" },
+                af_row_ok,
             ))
             .notes(
                 "Expected shape: RMR/log2(K) is a small constant — reader cost is\n\

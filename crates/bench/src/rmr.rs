@@ -5,8 +5,8 @@
 //! per passage, split by section, under schedules chosen to exercise the
 //! paper's claimed bounds.
 
-use ccsim::{run_round_robin, run_solo, Phase, ProcId, Protocol, RunConfig, Sim};
-use rwcore::{af_world, AfConfig, FPolicy};
+use ccsim::{run_round_robin, run_solo, Phase, ProcId, Protocol, Role, RunConfig, Sim};
+use rwcore::{af_world, AfConfig, FPolicy, LockRegistry, SimInstance};
 
 /// RMR measurements for one `A_f` configuration.
 #[derive(Copy, Clone, Debug)]
@@ -140,6 +140,65 @@ pub fn measure_af(cfg: AfConfig, protocol: Protocol) -> AfRmrSample {
         reader_concurrent_max_rmrs,
         reader_wait_path_rmrs,
     }
+}
+
+/// Solo passage RMRs for one [`LockRegistry`] entry (E2/E3 registry
+/// sections): cold-cache reader and writer passages, roles discovered
+/// from the sim itself so the measurement needs nothing but the
+/// registry id.
+#[derive(Clone, Debug)]
+pub struct LockSoloSample {
+    /// The registry id of the measured lock.
+    pub id: &'static str,
+    /// Cold solo reader passage RMRs; `Err` carries the reason the
+    /// passage did not complete (a lock whose readers park behind a
+    /// peer, or a budget bust) instead of wedging the sweep.
+    pub reader_solo_rmrs: Result<u64, String>,
+    /// Cold solo writer passage RMRs, same convention.
+    pub writer_solo_rmrs: Result<u64, String>,
+}
+
+/// Run `p` solo through one complete cold passage; `Err` on a stall.
+fn try_solo_passage(sim: &mut Sim, p: ProcId) -> Result<u64, String> {
+    sim.reset_stats();
+    let target = sim.stats(p).passages + 1;
+    match run_solo(sim, p, 10_000_000, |s| s.stats(p).passages >= target) {
+        Some(_) => Ok(passage_rmrs(sim, p)),
+        None => Err(format!("{p} stalled solo")),
+    }
+}
+
+/// Measure cold solo reader and writer passages for every registered
+/// lock with a simulated twin, in registration order — newly registered
+/// locks get an RMR row with no experiment edits.
+pub fn measure_registry_solo(
+    reg: &LockRegistry,
+    readers: usize,
+    writers: usize,
+    protocol: Protocol,
+) -> Vec<LockSoloSample> {
+    reg.sim_entries()
+        .map(|(id, lock)| {
+            let find = |sim: &Sim, role: Role| {
+                (0..sim.n_procs())
+                    .map(ProcId)
+                    .find(|&p| sim.role(p) == role)
+                    .expect("instance fields both roles")
+            };
+            // Fresh world per role: both passages start from cold caches.
+            let mut sim = lock.build(&SimInstance::new(readers, writers), protocol);
+            let r = find(&sim, Role::Reader);
+            let reader_solo_rmrs = try_solo_passage(&mut sim, r);
+            let mut sim = lock.build(&SimInstance::new(readers, writers), protocol);
+            let w = find(&sim, Role::Writer);
+            let writer_solo_rmrs = try_solo_passage(&mut sim, w);
+            LockSoloSample {
+                id,
+                reader_solo_rmrs,
+                writer_solo_rmrs,
+            }
+        })
+        .collect()
 }
 
 /// Mutex (E6) measurement: solo passage RMRs and contended mean passage

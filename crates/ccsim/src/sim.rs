@@ -54,6 +54,38 @@ fn proc_sig(i: usize, prog: &dyn Program) -> u64 {
     h.finish()
 }
 
+/// Append the tag-prefixed prefix-code encoding of `v` to `out` (the
+/// unit of [`Sim::canonical_vec`]'s serialization). The tag determines
+/// how many words follow, so concatenations parse unambiguously. When
+/// the value sits in a class member's owned slot, a [`Value::Proc`]
+/// reference to the owner itself is canonicalized to a dedicated tag:
+/// "this slot names its own owner" is the index-free fact, whichever
+/// concrete process that is (the vector analogue of
+/// [`SELF_REF_SENTINEL`]).
+fn encode_value(v: Value, owner: Option<ProcId>, out: &mut Vec<u64>) {
+    match v {
+        Value::Nil => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.push(i as u64);
+        }
+        Value::Pair(a, b) => {
+            out.push(2);
+            out.push(a as u64);
+            out.push(b as u64);
+        }
+        Value::Proc(q) if owner == Some(q) => out.push(3),
+        Value::Proc(q) => {
+            out.push(4);
+            out.push(q.0 as u64);
+        }
+        Value::Bool(b) => {
+            out.push(5);
+            out.push(b as u64);
+        }
+    }
+}
+
 /// A set of processes declared interchangeable for the symmetry-quotient
 /// canonical fingerprint: permuting the *local states* of the members
 /// (together with their per-member `owned` shared-variable slices) maps
@@ -243,6 +275,12 @@ pub struct Sim {
     /// [`Sim::declare_symmetry`]; consulted only by the canonical
     /// fingerprint ([`Sim::fingerprint_canonical`]), never by stepping.
     symmetry: Vec<SymmetryClass>,
+    /// `owned_mask[v]` — variable `v` appears in some class member's
+    /// owned slice (derived by [`Sim::declare_symmetry`]; lets the
+    /// canonical serialization skip owned slots in O(1) per variable).
+    owned_mask: Vec<bool>,
+    /// `class_member[p]` — process `p` belongs to some declared class.
+    class_member: Vec<bool>,
     trace: Option<Trace>,
     steps: u64,
 }
@@ -266,6 +304,7 @@ impl Sim {
             .map(|(i, p)| proc_sig(i, &**p))
             .collect();
         let procs_fp = proc_sigs.iter().fold(0u64, |acc, s| acc ^ s);
+        let n_vars = mem.n_vars();
         Sim {
             mem,
             procs,
@@ -275,6 +314,8 @@ impl Sim {
             proc_sigs,
             procs_fp,
             symmetry: Vec::new(),
+            owned_mask: vec![false; n_vars],
+            class_member: vec![false; n],
             trace: None,
             steps: 0,
         }
@@ -716,6 +757,8 @@ impl Sim {
                 );
             }
         }
+        self.owned_mask = seen_vars;
+        self.class_member = seen_procs;
         self.symmetry = classes;
     }
 
@@ -797,6 +840,89 @@ impl Sim {
         h.finish()
     }
 
+    /// Append the **canonical state vector** of this configuration to
+    /// `out`: the full, losslessly parseable serialization the set-based
+    /// (LDD) visited backend stores, as opposed to the 64-bit digests of
+    /// [`Sim::fingerprint`] / [`Sim::fingerprint_canonical`]. Layout, in
+    /// order:
+    ///
+    /// 1. every shared variable **not** owned by a symmetry-class member,
+    ///    in `VarId` order, as a tag-prefixed value encoding;
+    /// 2. for every process outside the declared classes, in slot order:
+    ///    its [`Program::fingerprint64`] digest and its annotation word;
+    /// 3. per declared [`SymmetryClass`], in declaration order: one
+    ///    length-prefixed *member bundle* per member — digest, annotation
+    ///    word, then the member's owned values (with [`Value::Proc`]
+    ///    self-references canonicalized) — with the bundles sorted
+    ///    lexicographically. Sorting erases which member holds which
+    ///    state, so permuting class members yields an identical vector:
+    ///    this is the true orbit canonicalization the Zobrist multiset
+    ///    *fold* of [`Sim::fingerprint_canonical`] can only approximate
+    ///    by hashing.
+    ///
+    /// Cache state and metrics are excluded, matching the fingerprint
+    /// discipline: they never influence observable behaviour, only RMR
+    /// accounting. Every section is a prefix code (tags determine value
+    /// lengths; bundles carry explicit lengths), so for a fixed world
+    /// shape the serialization is injective on canonical states: two
+    /// configurations produce equal vectors iff they differ only by a
+    /// declared-class permutation (given equal annotations).
+    pub fn canonical_vec(&self, out: &mut Vec<u64>) {
+        self.canonical_vec_annotated(|_| 0, out);
+    }
+
+    /// [`Sim::canonical_vec`] with a caller-chosen annotation word mixed
+    /// into each process's serialization — *inside* the sorted member
+    /// bundle for class members, positionally for everyone else. The
+    /// model checker uses this to key exploration semantics (remaining
+    /// passage quota, in-flight abort flag) that must travel with a
+    /// member's local state under a permutation; keying them by process
+    /// index would merge states whose permuted members disagree.
+    pub fn canonical_vec_annotated(&self, annot: impl Fn(ProcId) -> u64, out: &mut Vec<u64>) {
+        // 1. Shared memory minus class-owned slots, in VarId order.
+        for v in 0..self.mem.n_vars() {
+            if !self.owned_mask[v] {
+                encode_value(self.mem.peek(VarId(v)), None, out);
+            }
+        }
+        // 2. Non-class processes, positionally.
+        for (i, p) in self.procs.iter().enumerate() {
+            if !self.class_member[i] {
+                out.push(p.fingerprint64());
+                out.push(annot(ProcId(i)));
+            }
+        }
+        // 3. Per class: the sorted multiset of member bundles.
+        for class in &self.symmetry {
+            let base = out.len();
+            // `declare_symmetry` caps classes at 64 members.
+            let mut ranges = [(0u32, 0u32); 64];
+            for (j, &p) in class.members().iter().enumerate() {
+                let start = out.len();
+                out.push(0); // length placeholder
+                out.push(self.procs[p.0].fingerprint64());
+                out.push(annot(p));
+                for &v in &class.owned()[j] {
+                    encode_value(self.mem.peek(v), Some(p), out);
+                }
+                out[start] = (out.len() - start) as u64;
+                ranges[j] = (start as u32, out.len() as u32);
+            }
+            let k = class.members().len();
+            let unsorted_end = out.len();
+            ranges[..k].sort_unstable_by(|&(as_, ae), &(bs, be)| {
+                out[as_ as usize..ae as usize].cmp(&out[bs as usize..be as usize])
+            });
+            // Re-emit the bundles in sorted order, then drop the
+            // unsorted originals — no extra allocation once `out` is
+            // warm.
+            for &(s, e) in &ranges[..k] {
+                out.extend_from_within(s as usize..e as usize);
+            }
+            out.drain(base..unsorted_end);
+        }
+    }
+
     /// True if every process is in its remainder section (a *quiescent*
     /// configuration, §2.1).
     pub fn is_quiescent(&self) -> bool {
@@ -816,6 +942,8 @@ impl Sim {
             proc_sigs: self.proc_sigs.clone(),
             procs_fp: self.procs_fp,
             symmetry: self.symmetry.clone(),
+            owned_mask: self.owned_mask.clone(),
+            class_member: self.class_member.clone(),
             trace: None,
             steps: self.steps,
         }
@@ -846,6 +974,8 @@ impl Sim {
         dst.proc_sigs.clone_from(&self.proc_sigs);
         dst.procs_fp = self.procs_fp;
         dst.symmetry.clone_from(&self.symmetry);
+        dst.owned_mask.clone_from(&self.owned_mask);
+        dst.class_member.clone_from(&self.class_member);
         dst.trace = None;
         dst.steps = self.steps;
     }
@@ -1329,6 +1459,87 @@ mod tests {
         dst.step(ProcId(0));
         a.clone_world_into(&mut dst);
         assert_eq!(dst.fingerprint_canonical(), a.fingerprint_canonical());
+    }
+
+    fn canon_vec(sim: &Sim) -> Vec<u64> {
+        let mut v = Vec::new();
+        sim.canonical_vec(&mut v);
+        v
+    }
+
+    #[test]
+    fn canonical_vec_merges_swapped_symmetric_members() {
+        let mut a = per_slot_world(3);
+        let mut b = per_slot_world(3);
+        a.step(ProcId(0));
+        a.step(ProcId(0));
+        b.step(ProcId(2));
+        b.step(ProcId(2));
+        // The vectors agree exactly where the canonical fingerprints do.
+        assert_eq!(canon_vec(&a), canon_vec(&b));
+        assert_ne!(canon_vec(&a), canon_vec(&per_slot_world(3)));
+    }
+
+    #[test]
+    fn canonical_vec_keeps_identity_leaks_distinct() {
+        // Same setup as the fingerprint test: a *shared* flag holding the
+        // writer's id is not owned by either member, so the states are
+        // observably different and the vectors must differ.
+        let mut a = world(&[Role::Reader, Role::Reader]);
+        let mut b = world(&[Role::Reader, Role::Reader]);
+        a.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0), ProcId(1)])]);
+        b.declare_symmetry(vec![SymmetryClass::new(vec![ProcId(0), ProcId(1)])]);
+        a.step(ProcId(0));
+        a.step(ProcId(0));
+        b.step(ProcId(1));
+        b.step(ProcId(1));
+        assert_ne!(canon_vec(&a), canon_vec(&b));
+    }
+
+    #[test]
+    fn canonical_vec_without_classes_is_positional() {
+        // No declared classes: every process serializes by slot, so a
+        // swap of local states stays distinct (like the concrete
+        // fingerprint).
+        let mut a = per_slot_world(2);
+        let mut b = per_slot_world(2);
+        a.declare_symmetry(Vec::new());
+        b.declare_symmetry(Vec::new());
+        a.step(ProcId(0));
+        b.step(ProcId(1));
+        assert_ne!(canon_vec(&a), canon_vec(&b));
+    }
+
+    #[test]
+    fn canonical_vec_annotation_travels_with_members() {
+        // Annotations are folded inside the sorted bundles: swapping
+        // members *together with* their annotations merges, swapping
+        // only the states (annotations keyed to the old indices) must
+        // not.
+        let mut a = per_slot_world(2);
+        let mut b = per_slot_world(2);
+        a.step(ProcId(0));
+        b.step(ProcId(1));
+        let mark_p0 = |p: ProcId| (p == ProcId(0)) as u64;
+        let mark_p1 = |p: ProcId| (p == ProcId(1)) as u64;
+        let mut av = Vec::new();
+        a.canonical_vec_annotated(mark_p0, &mut av);
+        let mut bv = Vec::new();
+        b.canonical_vec_annotated(mark_p1, &mut bv);
+        assert_eq!(av, bv, "state and annotation permuted together");
+        let mut bv_stuck = Vec::new();
+        b.canonical_vec_annotated(mark_p0, &mut bv_stuck);
+        assert_ne!(av, bv_stuck, "annotation pinned to the old member");
+    }
+
+    #[test]
+    fn canonical_vec_appends_and_is_reproducible() {
+        let mut sim = per_slot_world(2);
+        sim.step(ProcId(1));
+        let mut buf = vec![0xdead_beefu64];
+        sim.canonical_vec(&mut buf);
+        assert_eq!(buf[0], 0xdead_beef, "appends, never overwrites");
+        assert_eq!(buf[1..].to_vec(), canon_vec(&sim));
     }
 
     #[test]

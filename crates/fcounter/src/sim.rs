@@ -81,6 +81,26 @@ impl SimCounter {
         sum_of(mem.peek(self.nodes[self.shape.root()]))
     }
 
+    /// The shared variable backing process `leaf`'s leaf — the location a
+    /// symmetry declaration must list as owned by that process.
+    ///
+    /// # Panics
+    /// Panics if `leaf >= processes()`.
+    pub fn leaf_var(&self, leaf: usize) -> VarId {
+        assert!(leaf < self.shape.leaves(), "leaf {leaf} out of range");
+        self.nodes[self.shape.leaf(leaf)]
+    }
+
+    /// Are `a` and `b` sibling leaves (same parent node)? Sibling leaves
+    /// are the only pairs whose swap is a transition automorphism of the
+    /// refresh (see [`AddMachine`]'s read order).
+    pub fn leaves_are_siblings(&self, a: usize, b: usize) -> bool {
+        a < self.shape.leaves()
+            && b < self.shape.leaves()
+            && a != b
+            && self.shape.leaf(a) / 2 == self.shape.leaf(b) / 2
+    }
+
     fn var(&self, heap: usize) -> VarId {
         self.nodes[heap]
     }
@@ -131,16 +151,16 @@ enum AddPc {
         path_pos: usize,
         round: u8,
     },
-    ReadLeft {
+    ReadFirst {
         path_pos: usize,
         round: u8,
         node_old: Value,
     },
-    ReadRight {
+    ReadSecond {
         path_pos: usize,
         round: u8,
         node_old: Value,
-        left_sum: i64,
+        first_sum: i64,
     },
     Cas {
         path_pos: usize,
@@ -153,6 +173,14 @@ enum AddPc {
 
 /// Step machine for one wait-free `add`: write own leaf, then
 /// double-refresh each internal node up to the root. `Θ(log K)` steps.
+///
+/// At the leaf level (`path_pos == 0`) the refresh reads the process's
+/// **own** leaf first and its sibling second; higher levels read
+/// left-then-right. Addition is commutative, so the computed sum is
+/// unchanged — but the own-first order makes swapping two sibling-leaf
+/// processes a transition automorphism (each machine's next shared
+/// access maps to the swapped machine's next shared access), which is
+/// what lets f-array worlds declare reader symmetry classes.
 #[derive(Clone, Debug)]
 pub struct AddMachine {
     counter: SimCounter,
@@ -171,11 +199,21 @@ impl AddMachine {
             AddPc::ReadNode { path_pos, round }
         }
     }
+
+    /// The two children of `path[path_pos]` in *read order*: own leaf
+    /// first at the leaf level, left-then-right above it.
+    fn children_in_read_order(&self, path_pos: usize) -> (usize, usize) {
+        let (l, r) = self.counter.shape.children(self.path[path_pos]);
+        if path_pos == 0 && r == self.leaf_heap {
+            (r, l)
+        } else {
+            (l, r)
+        }
+    }
 }
 
 impl SubMachine for AddMachine {
     fn poll(&self) -> SubStep {
-        let shape = self.counter.shape;
         match &self.pc {
             AddPc::WriteLeaf => SubStep::Op(Op::write(
                 self.counter.var(self.leaf_heap),
@@ -184,13 +222,13 @@ impl SubMachine for AddMachine {
             AddPc::ReadNode { path_pos, .. } => {
                 SubStep::Op(Op::Read(self.counter.var(self.path[*path_pos])))
             }
-            AddPc::ReadLeft { path_pos, .. } => {
-                let (l, _) = shape.children(self.path[*path_pos]);
-                SubStep::Op(Op::Read(self.counter.var(l)))
+            AddPc::ReadFirst { path_pos, .. } => {
+                let (first, _) = self.children_in_read_order(*path_pos);
+                SubStep::Op(Op::Read(self.counter.var(first)))
             }
-            AddPc::ReadRight { path_pos, .. } => {
-                let (_, r) = shape.children(self.path[*path_pos]);
-                SubStep::Op(Op::Read(self.counter.var(r)))
+            AddPc::ReadSecond { path_pos, .. } => {
+                let (_, second) = self.children_in_read_order(*path_pos);
+                SubStep::Op(Op::Read(self.counter.var(second)))
             }
             AddPc::Cas {
                 path_pos,
@@ -209,32 +247,32 @@ impl SubMachine for AddMachine {
     fn resume(&mut self, response: Value) {
         self.pc = match self.pc.clone() {
             AddPc::WriteLeaf => self.refresh_start(0, 0),
-            AddPc::ReadNode { path_pos, round } => AddPc::ReadLeft {
+            AddPc::ReadNode { path_pos, round } => AddPc::ReadFirst {
                 path_pos,
                 round,
                 node_old: response,
             },
-            AddPc::ReadLeft {
+            AddPc::ReadFirst {
                 path_pos,
                 round,
                 node_old,
-            } => AddPc::ReadRight {
+            } => AddPc::ReadSecond {
                 path_pos,
                 round,
                 node_old,
-                left_sum: sum_of(response),
+                first_sum: sum_of(response),
             },
-            AddPc::ReadRight {
+            AddPc::ReadSecond {
                 path_pos,
                 round,
                 node_old,
-                left_sum,
+                first_sum,
             } => {
                 let (ver, _) = match node_old {
                     Value::Pair(v, s) => (v, s),
                     other => panic!("internal node held {other:?}"),
                 };
-                let sum = left_sum + sum_of(response);
+                let sum = first_sum + sum_of(response);
                 AddPc::Cas {
                     path_pos,
                     round,
@@ -261,9 +299,13 @@ impl SubMachine for AddMachine {
     }
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        // Deliberately index-free: `leaf_heap` is a per-process constant
+        // (the handle's leaf), so under the per-process fingerprint salt
+        // it carries no information, and hashing it would make sibling
+        // readers' otherwise-identical machines distinguishable — which
+        // would defeat the f-array symmetry quotient.
         self.pc.hash(&mut h);
         self.new_leaf_value.hash(&mut h);
-        self.leaf_heap.hash(&mut h);
     }
 }
 
@@ -465,6 +507,44 @@ mod tests {
             schedules_tested += 1;
         }
         assert!(schedules_tested > 50, "tested {schedules_tested} schedules");
+    }
+
+    #[test]
+    fn leaf_refresh_reads_own_leaf_first() {
+        // k=2: both processes share one parent; each must read its own
+        // leaf before its sibling's during the leaf-level refresh.
+        let (mut mem, c) = world(2);
+        for leaf in 0..2 {
+            let mut h = c.handle(leaf);
+            let mut m = h.add(1);
+            // Step 1: leaf write. Step 2: parent read. Step 3: first
+            // child read — must be the process's own leaf.
+            for _ in 0..2 {
+                let SubStep::Op(op) = m.poll() else {
+                    panic!("add finished early")
+                };
+                let out = mem.apply(ProcId(leaf), &op);
+                m.resume(out.response);
+            }
+            match m.poll() {
+                SubStep::Op(Op::Read(v)) => {
+                    assert_eq!(v, c.leaf_var(leaf), "leaf {leaf} reads own leaf first")
+                }
+                other => panic!("expected first child read, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_leaf_detection() {
+        let (_, c) = world(4);
+        assert!(c.leaves_are_siblings(0, 1));
+        assert!(c.leaves_are_siblings(3, 2));
+        assert!(!c.leaves_are_siblings(1, 2));
+        assert!(!c.leaves_are_siblings(0, 0));
+        let (_, c3) = world(3);
+        assert!(c3.leaves_are_siblings(0, 1));
+        assert!(!c3.leaves_are_siblings(1, 2), "pad leaf is not a partner");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Ad-hoc sizing probe for visited-store experiments.
+//!
+//! `cargo run --release -p modelcheck --example visited_probe -- \
+//!      <casloop|farray> <readers> <writers> <crash_budget> <symmetry> <backend> [workers]`
+//!
+//! Prints states / visited entries / LDD node counts / resident bytes /
+//! op-cache traffic / wall-clock so bench floors can be chosen from
+//! measurements instead of guesses.
+
+use ccsim::Protocol;
+use modelcheck::{explore_par, CheckConfig, Symmetry, VisitedBackend};
+use rwcore::{af_world_custom, AfConfig, CounterKind, FPolicy, HelpOrder};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args[0].as_str() {
+        "casloop" => CounterKind::CasLoop,
+        "farray" => CounterKind::FArray,
+        other => panic!("unknown kind {other}"),
+    };
+    let readers: usize = args[1].parse().unwrap();
+    let writers: usize = args[2].parse().unwrap();
+    let crash_budget: u32 = args[3].parse().unwrap();
+    let symmetry: Symmetry = args[4].parse().unwrap();
+    let backend: VisitedBackend = args[5].parse().unwrap();
+    let workers: usize = args.get(6).map(|w| w.parse().unwrap()).unwrap_or(8);
+
+    let cfg = AfConfig {
+        readers,
+        writers,
+        policy: FPolicy::One,
+    };
+    let check = CheckConfig {
+        passages_per_proc: 1,
+        crash_budget,
+        max_states: 200_000_000,
+        symmetry,
+        backend,
+        ..Default::default()
+    };
+    let factory =
+        move || af_world_custom(cfg, Protocol::WriteBack, HelpOrder::WaitersFirst, kind).sim;
+    let mut vec0 = Vec::new();
+    factory().canonical_vec(&mut vec0);
+    let words = vec0.len() + 3; // + the three budget words
+    let start = Instant::now();
+    let report = explore_par(factory, &check, workers).expect("safe space");
+    let secs = start.elapsed().as_secs_f64();
+    let v = report.visited;
+    println!(
+        "kind={} n={readers} m={writers} crash={crash_budget} sym={symmetry} backend={backend} \
+         workers={workers}",
+        args[0]
+    );
+    println!(
+        "complete={} states={} entries={} secs={secs:.1} states/s={:.0}",
+        report.complete,
+        report.states_explored,
+        v.entries,
+        report.states_explored as f64 / secs
+    );
+    println!(
+        "resident_bytes={} bytes/state={:.2} nodes={} hits={} misses={} hit_rate={:?} skew={:?}",
+        v.resident_bytes,
+        v.resident_bytes as f64 / v.entries.max(1) as f64,
+        v.nodes,
+        v.op_cache_hits,
+        v.op_cache_misses,
+        v.op_cache_hit_rate(),
+        v.shard_skew()
+    );
+    println!(
+        "vector_words={words} explicit_bytes={} compression_vs_explicit={:.2}",
+        v.entries * words as u64 * 8,
+        (v.entries * words as u64 * 8) as f64 / v.resident_bytes as f64
+    );
+}

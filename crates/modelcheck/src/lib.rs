@@ -229,6 +229,54 @@ impl FromStr for Symmetry {
     }
 }
 
+/// How the visited set *stores* configurations, orthogonal to the
+/// [`Symmetry`] key discipline (see [`CheckConfig::backend`]).
+///
+/// Parsed strictly from `"hash"` or `"ldd"` (exact, lowercase);
+/// anything else is a loud [`Err`], matching the [`Symmetry`] and
+/// env-knob discipline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum VisitedBackend {
+    /// One 64-bit digest per configuration in a 64-way striped hash set
+    /// (the default). O(1) per insert, but resident bytes grow linearly
+    /// with the state count and digests cannot share structure.
+    #[default]
+    Hash,
+    /// The full canonical state vector in an LDD-style set store:
+    /// hash-consed `(value, down, right)` nodes prefix- and suffix-share
+    /// serialized states, so resident bytes track the *structure* of the
+    /// reachable set rather than its cardinality. Collision-free by
+    /// construction (vectors, not digests). Requires a vector key
+    /// discipline: combining with [`Symmetry::FullRehash`] panics.
+    Ldd,
+}
+
+impl fmt::Display for VisitedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VisitedBackend::Hash => "hash",
+            VisitedBackend::Ldd => "ldd",
+        })
+    }
+}
+
+impl FromStr for VisitedBackend {
+    type Err = String;
+
+    /// Strict parse: exactly `"hash"` or `"ldd"` — a malformed backend
+    /// selection must abort loudly, never silently fall back to a store
+    /// with different resident-byte semantics.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(VisitedBackend::Hash),
+            "ldd" => Ok(VisitedBackend::Ldd),
+            other => Err(format!(
+                "bad visited backend {other:?}: expected \"hash\" or \"ldd\""
+            )),
+        }
+    }
+}
+
 /// Exploration limits and quotas.
 #[derive(Clone, Debug)]
 pub struct CheckConfig {
@@ -269,6 +317,12 @@ pub struct CheckConfig {
     /// expansion (per key) and deterministic BFS-minimal counterexamples;
     /// they differ in which configurations share a key and in cost.
     pub symmetry: Symmetry,
+    /// How visited configurations are stored: hashed digests
+    /// ([`VisitedBackend::Hash`], the default) or full canonical vectors
+    /// in the LDD set store ([`VisitedBackend::Ldd`]). Orthogonal to
+    /// [`CheckConfig::symmetry`], except that the LDD store needs a
+    /// vector form and therefore rejects [`Symmetry::FullRehash`].
+    pub backend: VisitedBackend,
 }
 
 impl Default for CheckConfig {
@@ -282,6 +336,7 @@ impl Default for CheckConfig {
             crash_all_budget: 0,
             abort_budget: 0,
             symmetry: Symmetry::Off,
+            backend: VisitedBackend::default(),
         }
     }
 }
@@ -664,8 +719,9 @@ pub fn explore_with(
     let quota = cfg.passages_per_proc;
     let full = cfg.symmetry == Symmetry::FullRehash;
     let root_budgets = Budgets::of(cfg);
-    let visited = visited::backend(cfg.symmetry);
-    visited.insert(visited.key(&root, quota, root_budgets));
+    let visited = visited::backend(cfg.symmetry, cfg.backend);
+    let mut vscratch: Vec<u64> = Vec::new();
+    visited.insert(&root, quota, root_budgets, &mut vscratch);
 
     let mut report = CheckReport {
         states_explored: 1,
@@ -741,7 +797,7 @@ pub fn explore_with(
             });
         }
 
-        if !visited.insert(visited.key(&child, quota, budgets)) {
+        if !visited.insert(&child, quota, budgets, &mut vscratch) {
             if !full {
                 pool.push(child);
             }

@@ -12,13 +12,15 @@
 //! scheme of parallel SPIN) — subtree-sized work units, handed out from
 //! the root end where they are biggest.
 //!
-//! Deduplication goes through a [`crate::visited::Visited`] backend — a
-//! visited set sharded across 64 striped `Mutex<HashSet>` shards
-//! selected by the top bits of the state key, so concurrent inserts
-//! rarely contend. The backend is chosen by
-//! [`crate::CheckConfig::symmetry`]: concrete O(1) incremental keys,
+//! Deduplication goes through a [`crate::visited::Visited`] backend —
+//! 64 mutex-striped shards selected by the top bits of the state key
+//! (or of the state vector's hash), so concurrent inserts rarely
+//! contend. The key discipline is chosen by
+//! [`crate::CheckConfig::symmetry`] — concrete O(1) incremental keys,
 //! symmetry-quotient canonical keys, or the full-rehash SipHash
-//! baseline the perf suite measures against.
+//! baseline the perf suite measures against — and the storage by
+//! [`crate::CheckConfig::backend`]: hashed digests or canonical state
+//! vectors in the LDD set store.
 //!
 //! ## Determinism
 //!
@@ -210,6 +212,7 @@ fn run_job(
     job: Job,
     arena: &mut Vec<SchedEntry>,
     pool: &mut Vec<Sim>,
+    vscratch: &mut Vec<u64>,
     invariant: &(dyn Fn(&Sim) -> Result<(), String> + Sync),
     part: &mut Partial,
 ) {
@@ -281,7 +284,7 @@ fn run_job(
             return;
         }
 
-        if !sh.visited.insert(sh.visited.key(&child, sh.quota, budgets)) {
+        if !sh.visited.insert(&child, sh.quota, budgets, vscratch) {
             if !sh.full {
                 pool.push(child);
             }
@@ -325,8 +328,17 @@ fn worker(sh: &Shared<'_>, invariant: &(dyn Fn(&Sim) -> Result<(), String> + Syn
     let mut part = Partial::default();
     let mut arena: Vec<SchedEntry> = Vec::new();
     let mut pool: Vec<Sim> = Vec::new();
+    let mut vscratch: Vec<u64> = Vec::new();
     while let Some(job) = sh.next_job() {
-        run_job(sh, job, &mut arena, &mut pool, invariant, &mut part);
+        run_job(
+            sh,
+            job,
+            &mut arena,
+            &mut pool,
+            &mut vscratch,
+            invariant,
+            &mut part,
+        );
         sh.job_done();
     }
     part
@@ -359,9 +371,10 @@ fn min_violation(
     // schedule on concrete states (a violation at concrete depth d has
     // its orbit reached at quotient depth <= d, because class
     // permutations map offered entries to offered entries).
-    let keys = visited::backend(cfg.symmetry);
+    let keys = visited::backend(cfg.symmetry, cfg.backend);
+    let mut vscratch: Vec<u64> = Vec::new();
     let mut visited: HashSet<u64, FxBuildHasher> = HashSet::default();
-    visited.insert(keys.key(&root, quota, root_budgets));
+    visited.insert(keys.key(&root, quota, root_budgets, &mut vscratch));
     let mut level: Vec<(Sim, Vec<SchedEntry>, Budgets)> = vec![(root, Vec::new(), root_budgets)];
     let mut entries: Vec<SchedEntry> = Vec::new();
 
@@ -391,7 +404,9 @@ fn min_violation(
                         fingerprint: child.fingerprint(),
                     };
                 }
-                if visited.insert(keys.key(&child, quota, nb)) && sched.len() < cfg.max_depth {
+                if visited.insert(keys.key(&child, quota, nb, &mut vscratch))
+                    && sched.len() < cfg.max_depth
+                {
                     next_level.push((child, sched, nb));
                 }
             }
@@ -449,7 +464,7 @@ pub fn explore_par_with(
     let root = factory();
     let quota = cfg.passages_per_proc;
     let root_budgets = Budgets::of(cfg);
-    let backend = visited::backend(cfg.symmetry);
+    let backend = visited::backend(cfg.symmetry, cfg.backend);
     let sh = Shared {
         cfg,
         quota,
@@ -465,8 +480,9 @@ pub fn explore_par_with(
         violated: AtomicBool::new(false),
         capped: AtomicBool::new(false),
     };
+    let mut root_scratch: Vec<u64> = Vec::new();
     sh.visited
-        .insert(sh.visited.key(&root, quota, root_budgets));
+        .insert(&root, quota, root_budgets, &mut root_scratch);
 
     let mut root_entries = Vec::new();
     push_entries(

@@ -22,7 +22,7 @@
 //! explored failure-free (Mutual Exclusion only).
 
 use crate::{
-    bounded_abort_invariant, bounded_exit_invariant, explore_par_with,
+    bounded_abort_invariant, bounded_exit_invariant, explore_par_with, explore_with,
     post_crash_acquirability_invariant, CheckConfig, CheckError, CheckReport,
 };
 use ccsim::{Protocol, Sim};
@@ -177,16 +177,11 @@ pub fn plan(reg: &LockRegistry, scenario: &Scenario, base: &CheckConfig) -> Vec<
         .collect()
 }
 
-/// Run one generated check: a single exploration pass over the instance
-/// with every applicable invariant probe attached.
-pub fn run_case(
-    sim: &dyn SimLock,
-    inst: &SimInstance,
-    case: &SuiteCase,
-    protocol: Protocol,
-    workers: usize,
-) -> Result<CheckReport, CheckError> {
-    type Probe = Box<dyn Fn(&Sim) -> Result<(), String> + Sync>;
+type Probe = Box<dyn Fn(&Sim) -> Result<(), String> + Sync>;
+
+/// The invariant probes a planned case attaches (beyond the always-on
+/// Mutual Exclusion check), derived from its property list.
+fn probes_for(sim: &dyn SimLock, case: &SuiteCase) -> Vec<Probe> {
     let mut probes: Vec<Probe> = Vec::new();
     if case.properties.contains(&"bounded-exit") {
         let budget = sim
@@ -202,12 +197,59 @@ pub fn run_case(
     if case.properties.contains(&"bounded-abort") {
         probes.push(Box::new(bounded_abort_invariant(budgets::ABORT)));
     }
+    probes
+}
+
+/// Run one generated check: a single exploration pass over the instance
+/// with every applicable invariant probe attached.
+pub fn run_case(
+    sim: &dyn SimLock,
+    inst: &SimInstance,
+    case: &SuiteCase,
+    protocol: Protocol,
+    workers: usize,
+) -> Result<CheckReport, CheckError> {
+    let probes = probes_for(sim, case);
     explore_par_with(
         || sim.build(inst, protocol),
         &case.config,
         workers,
         move |s| probes.iter().try_for_each(|p| p(s)),
     )
+}
+
+/// [`run_case`] on the *sequential* explorer — identical checks, single
+/// thread. The backend-parity suite drives every case through both
+/// explorers; reports from the two must agree exactly on a complete run.
+pub fn run_case_seq(
+    sim: &dyn SimLock,
+    inst: &SimInstance,
+    case: &SuiteCase,
+    protocol: Protocol,
+) -> Result<CheckReport, CheckError> {
+    let probes = probes_for(sim, case);
+    explore_with(
+        || sim.build(inst, protocol),
+        &case.config,
+        move |s| probes.iter().try_for_each(|p| p(s)),
+    )
+}
+
+/// The (instance, case) pairs `scenario` generates for every sim twin —
+/// the iteration surface external harnesses (e.g. the backend-parity
+/// suite) use to run each case under custom configs.
+pub fn planned_cases(
+    reg: &LockRegistry,
+    scenario: &Scenario,
+    base: &CheckConfig,
+) -> Vec<(String, SimInstance, SuiteCase)> {
+    reg.sim_entries()
+        .flat_map(|(id, sim)| {
+            cases_for(id, sim.as_ref(), scenario, base)
+                .into_iter()
+                .map(move |(inst, case)| (id.to_string(), inst, case))
+        })
+        .collect()
 }
 
 /// Run the whole generated suite for `scenario` over every sim twin in

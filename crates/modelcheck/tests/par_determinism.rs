@@ -17,7 +17,7 @@
 use ccsim::{Phase, Protocol, Sim};
 use modelcheck::{
     explore, explore_par, explore_par_with, explore_with, replay, shrink, CheckConfig, CheckError,
-    Symmetry,
+    Symmetry, VisitedBackend, VisitedStats,
 };
 use rwcore::{af_world_with_order, AfConfig, FPolicy, HelpOrder};
 
@@ -38,15 +38,51 @@ fn af_factory(n: usize, m: usize) -> impl Fn() -> Sim {
     }
 }
 
+/// The top-6-bits shard selector must spread states evenly: once the
+/// store is comfortably past one-entry-per-shard territory, the fullest
+/// shard may hold at most 4× the emptiest. A skew past that means the
+/// fingerprint's high bits are biased and `explore_par`'s per-shard
+/// locks degrade toward a global one. Below a mean occupancy of 64 a
+/// 4× max/min ratio is within Poisson noise (√μ fluctuations), so the
+/// bound is only asserted past that point.
+fn assert_balanced_shards(visited: &VisitedStats, label: &str) {
+    if visited.entries < 64 * 64 {
+        return; // occupancy too small for max/min to beat sampling noise
+    }
+    let skew = visited
+        .shard_skew()
+        .unwrap_or_else(|| panic!("{label}: {} entries left a shard empty", visited.entries));
+    assert!(
+        skew < 4.0,
+        "{label}: shard occupancy skew {skew:.2} (max {}, min {}) exceeds 4x",
+        visited.shard_max,
+        visited.shard_min
+    );
+}
+
 /// Sequential counts (incremental keys), sequential counts (full-rehash
 /// SipHash keys), and parallel counts at every worker count must all
-/// agree on a complete run.
+/// agree on a complete run — and both visited storages (hash map and
+/// LDD) must shard the space without hot spots.
 fn assert_all_explorers_agree(factory: &(impl Fn() -> Sim + Sync), cfg: &CheckConfig, label: &str) {
     let seq = explore(factory, cfg).unwrap_or_else(|e| panic!("{label}: sequential: {e}"));
     assert!(
         seq.complete,
         "{label}: sequential run must exhaust the space"
     );
+    assert_balanced_shards(&seq.visited, &format!("{label} (hash)"));
+
+    let ldd_cfg = CheckConfig {
+        backend: VisitedBackend::Ldd,
+        ..cfg.clone()
+    };
+    let ldd = explore(factory, &ldd_cfg).unwrap_or_else(|e| panic!("{label}: ldd: {e}"));
+    assert_eq!(
+        seq.counts(),
+        ldd.counts(),
+        "{label}: the LDD visited store partitions the space differently"
+    );
+    assert_balanced_shards(&ldd.visited, &format!("{label} (ldd)"));
 
     let full_cfg = CheckConfig {
         symmetry: Symmetry::FullRehash,
@@ -68,6 +104,7 @@ fn assert_all_explorers_agree(factory: &(impl Fn() -> Sim + Sync), cfg: &CheckCo
             par.counts(),
             "{label}: explore_par(workers={workers}) diverged from sequential"
         );
+        assert_balanced_shards(&par.visited, &format!("{label} (par workers={workers})"));
     }
 }
 

@@ -21,8 +21,8 @@ use rwcore::{
 
 const MODES: [Symmetry; 3] = [Symmetry::Off, Symmetry::Quotient, Symmetry::FullRehash];
 
-/// A CAS-loop-counter `A_f` world: the one lock family that declares
-/// reader [`ccsim::SymmetryClass`]es (see `rwcore::reader_symmetry_classes`).
+/// A CAS-loop-counter `A_f` world: declares whole-group reader
+/// [`ccsim::SymmetryClass`]es (see `rwcore::reader_symmetry_classes`).
 fn casloop_factory(n: usize, m: usize) -> impl Fn() -> Sim {
     move || {
         af_world_custom(
@@ -39,20 +39,26 @@ fn casloop_factory(n: usize, m: usize) -> impl Fn() -> Sim {
     }
 }
 
-/// An f-array world: declares *no* classes, so the quotient partition
-/// must degenerate to the concrete one exactly.
-fn farray_factory(n: usize, m: usize) -> impl Fn() -> Sim {
+/// An f-array world with `f(n) = n` (singleton groups): width-1 counter
+/// trees have no sibling leaf pairs, so the world declares *no* classes
+/// and the quotient partition must degenerate to the concrete one
+/// exactly.
+fn classless_farray_factory(n: usize, m: usize) -> impl Fn() -> Sim {
     move || {
-        af_world_with_order(
+        let world = af_world_with_order(
             AfConfig {
                 readers: n,
                 writers: m,
-                policy: FPolicy::One,
+                policy: FPolicy::Linear,
             },
             Protocol::WriteBack,
             HelpOrder::WaitersFirst,
-        )
-        .sim
+        );
+        assert!(
+            world.sim.symmetry_classes().is_empty(),
+            "singleton-group worlds must declare no classes"
+        );
+        world.sim
     }
 }
 
@@ -124,7 +130,7 @@ fn casloop_verdicts_agree_and_orbit_bounds_hold() {
 /// occupancy, at every worker count.
 #[test]
 fn undeclared_worlds_quotient_degenerates_to_concrete() {
-    let factory = farray_factory(2, 1);
+    let factory = classless_farray_factory(2, 1);
     let cfg = CheckConfig {
         passages_per_proc: 1,
         ..Default::default()
@@ -156,6 +162,108 @@ fn undeclared_worlds_quotient_degenerates_to_concrete() {
     }
     assert_eq!(counts[0], counts[1], "quotient must degenerate exactly");
     assert_eq!(counts[0], counts[2], "full-rehash oracle disagrees");
+}
+
+/// An f-array world whose two readers form one sibling-leaf-pair class
+/// (n=2, one group: width-2 counter trees), each member owning its
+/// `C`/`W` leaf slots.
+fn farray_pair_factory(m: usize) -> impl Fn() -> Sim {
+    move || {
+        let world = af_world_with_order(
+            AfConfig {
+                readers: 2,
+                writers: m,
+                policy: FPolicy::One,
+            },
+            Protocol::WriteBack,
+            HelpOrder::WaitersFirst,
+        );
+        assert_eq!(world.sim.symmetry_classes().len(), 1);
+        world.sim
+    }
+}
+
+/// F-array worlds now declare sibling-pair classes: the three modes
+/// agree on verdicts, and the quotient is a genuine strict reduction
+/// bounded by the orbit size — the tentpole soundness check for orbit
+/// canonicalization of the counter heap.
+#[test]
+fn farray_verdicts_agree_and_quotient_strictly_reduces() {
+    for (m, crash_budget) in [(1usize, 0u32), (1, 1)] {
+        let factory = farray_pair_factory(m);
+        let cfg = CheckConfig {
+            passages_per_proc: 1,
+            crash_budget,
+            ..Default::default()
+        };
+        let label = format!("FArray n=2 m={m} crash_budget={crash_budget}");
+        let run = |symmetry: Symmetry| {
+            explore(
+                &factory,
+                &CheckConfig {
+                    symmetry,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{label} {symmetry}: unexpected violation: {e}"))
+        };
+        let off = run(Symmetry::Off);
+        let quo = run(Symmetry::Quotient);
+        let full = run(Symmetry::FullRehash);
+        assert!(off.complete && quo.complete && full.complete, "{label}");
+        assert_eq!(off.counts(), full.counts(), "{label}");
+        assert!(
+            quo.states_explored < off.states_explored,
+            "{label}: quotient did not merge anything"
+        );
+        assert!(
+            off.states_explored <= quo.states_explored * 2,
+            "{label}: impossible reduction for a 2-member class"
+        );
+    }
+}
+
+/// The heart of f-array orbit canonicalization: permuting the two
+/// same-class readers — *including mid-refresh*, with one add machine
+/// suspended between its leaf write and its parent refresh reads —
+/// reaches configurations with equal canonical vectors and equal
+/// canonical fingerprints, while remaining concretely distinct.
+#[test]
+fn farray_mid_refresh_permutation_has_equal_canonical_vectors() {
+    use ccsim::ProcId;
+    let factory = farray_pair_factory(1);
+    // Asymmetric step splits: reader A takes `a` solo steps (for a >= 2
+    // this suspends its counter add mid-tree-walk), reader B takes `b`.
+    for (a, b) in [(1usize, 0usize), (3, 0), (4, 2), (7, 3), (11, 5)] {
+        let mut sa = factory();
+        for _ in 0..a {
+            sa.step(ProcId(0));
+        }
+        for _ in 0..b {
+            sa.step(ProcId(1));
+        }
+        let mut sb = factory();
+        for _ in 0..a {
+            sb.step(ProcId(1));
+        }
+        for _ in 0..b {
+            sb.step(ProcId(0));
+        }
+        assert_ne!(
+            sa.fingerprint(),
+            sb.fingerprint(),
+            "({a},{b}): the permuted runs are concretely distinct"
+        );
+        assert_eq!(
+            sa.fingerprint_canonical(),
+            sb.fingerprint_canonical(),
+            "({a},{b}): canonical fingerprints must merge the orbit"
+        );
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        sa.canonical_vec(&mut va);
+        sb.canonical_vec(&mut vb);
+        assert_eq!(va, vb, "({a},{b}): canonical vectors must merge the orbit");
+    }
 }
 
 /// Parallel quotient exploration is still deterministic and agrees with

@@ -78,6 +78,30 @@ impl GroupCounter {
             GroupCounter::CasLoop(v) => mem.peek(*v).expect_int(),
         }
     }
+
+    /// The heap variable registered process `leaf` writes through
+    /// (f-array), or `None` — single-word counters have no per-process
+    /// slots. Used to declare per-reader *owned* variables for symmetry
+    /// classes.
+    pub fn leaf_var(&self, leaf: usize) -> Option<VarId> {
+        match self {
+            GroupCounter::FArray(c) => Some(c.leaf_var(leaf)),
+            GroupCounter::CasLoop(_) => None,
+        }
+    }
+
+    /// Whether two registered processes' leaves share a parent in the
+    /// counter tree (always false for single-word counters, which have
+    /// no tree). Sibling leaves are the unit of f-array reader symmetry:
+    /// a refresh at their common parent reads its *own* side first, so
+    /// swapping the two leaf values (together with their owners) is a
+    /// transition automorphism — which no wider leaf permutation is.
+    pub fn leaves_are_siblings(&self, a: usize, b: usize) -> bool {
+        match self {
+            GroupCounter::FArray(c) => c.leaves_are_siblings(a, b),
+            GroupCounter::CasLoop(_) => false,
+        }
+    }
 }
 
 /// A per-process handle on a [`GroupCounter`].

@@ -104,14 +104,12 @@ pub fn af_world_with_order(cfg: AfConfig, protocol: Protocol, order: HelpOrder) 
 /// Fully parameterised world: `HelpWCS` read order and group-counter
 /// implementation (the E13 ablation runs `CounterKind::CasLoop`).
 ///
-/// `CasLoop` worlds additionally declare one [`SymmetryClass`] per reader
-/// group with at least two members (see [`reader_symmetry_classes`]), so
-/// the model checker's `Symmetry::Quotient` mode collapses reader
-/// permutations. `FArray` worlds declare none: a tree counter's refresh
-/// machine reads its *absolute* left/right heap children in program
-/// order, so swapping two leaf values mid-refresh changes which partial
-/// sum the machine has already latched — reader swaps are not transition
-/// automorphisms there, and merging those states would be unsound.
+/// Both counter kinds declare reader [`SymmetryClass`]es (see
+/// [`reader_symmetry_classes`]) so the model checker's
+/// `Symmetry::Quotient` mode collapses reader permutations: `CasLoop`
+/// worlds one class per reader group of size ≥ 2, `FArray` worlds one
+/// class per *sibling leaf pair* of the counter trees, each member
+/// owning its `C`/`W` leaf slots.
 pub fn af_world_custom(
     cfg: AfConfig,
     protocol: Protocol,
@@ -130,39 +128,81 @@ pub fn af_world_custom(
         procs.push(Box::new(AfWriterSim::new(Arc::clone(&shared), w)));
     }
     let mut sim = Sim::new(mem, procs);
-    sim.declare_symmetry(reader_symmetry_classes(cfg, counters));
+    sim.declare_symmetry(reader_symmetry_classes(&shared));
     AfWorld { sim, shared, pids }
 }
 
-/// The interchangeable-reader classes of an `A_f` world: one class per
-/// reader group of size ≥ 2, `CasLoop` counters only.
+/// The interchangeable-reader classes of an `A_f` world.
 ///
-/// Within a group, `CasLoop` readers are *identical* machines — the
-/// group's `C`/`W` counters are single CAS words shared by the whole
-/// group (the per-reader leaf slot is ignored, see
+/// **CAS-loop counters:** one class per reader group of size ≥ 2. Within
+/// a group, `CasLoop` readers are *identical* machines — the group's
+/// `C`/`W` counters are single CAS words shared by the whole group (the
+/// per-reader leaf slot is ignored, see
 /// [`crate::af::counters::GroupHandle::CasLoop`]), reader code never
-/// writes a process id to shared memory, and
-/// [`AfReaderSim`]'s fingerprint is index-free. Swapping two same-group
-/// readers therefore maps every configuration to one with an identical
-/// successor structure, which is exactly the soundness obligation of
-/// [`ccsim::SymmetryClass`]. Readers in *different* groups touch
-/// different counters and are not interchangeable. Writers are never
-/// symmetric: the tournament-mutex entry protocol stores writer ids in
-/// its tree nodes.
-pub fn reader_symmetry_classes(cfg: AfConfig, counters: CounterKind) -> Vec<SymmetryClass> {
-    if counters != CounterKind::CasLoop {
-        return Vec::new();
-    }
-    let groups = cfg.groups();
-    let mut members: Vec<Vec<ProcId>> = vec![Vec::new(); groups];
+/// writes a process id to shared memory, and [`AfReaderSim`]'s
+/// fingerprint is index-free. Swapping two same-group readers therefore
+/// maps every configuration to one with an identical successor
+/// structure, which is exactly the soundness obligation of
+/// [`ccsim::SymmetryClass`].
+///
+/// **F-array counters:** one class per *sibling leaf pair* of the
+/// counter trees — readers whose leaves share a parent in both the `C`
+/// and `W` heaps — each member owning its two leaf variables. Sibling
+/// pairs (and nothing wider) are sound because the refresh machine
+/// visits its own leaf *first* at the leaf-parent level
+/// (`fcounter::AddMachine`; leaf addition is commutative, so the two
+/// read orders produce the same parent sum) and its fingerprint is
+/// index-free: swapping the two readers together with their leaf values
+/// commutes with every transition, including a refresh latched halfway
+/// between the two leaf reads. A wider permutation would swap leaves
+/// under *different* parents, changing which partial sums an in-flight
+/// refresh has already latched — not an automorphism. Unpaired readers
+/// (odd group populations; their sibling slot is a constant-zero pad
+/// leaf) stay out of any class.
+///
+/// Readers in *different* groups touch different counters and are never
+/// interchangeable; writers never are: the tournament-mutex entry
+/// protocol stores writer ids in its tree nodes.
+pub fn reader_symmetry_classes(shared: &AfShared) -> Vec<SymmetryClass> {
+    let cfg = shared.cfg;
+    let mut by_group: Vec<Vec<(usize, ProcId)>> = vec![Vec::new(); shared.groups];
     for r in 0..cfg.readers {
-        members[cfg.group_of(r).group].push(ProcId(r));
+        let slot = cfg.group_of(r);
+        by_group[slot.group].push((slot.leaf, ProcId(r)));
     }
-    members
-        .into_iter()
-        .filter(|m| m.len() >= 2)
-        .map(SymmetryClass::new)
-        .collect()
+    let mut classes = Vec::new();
+    for (g, members) in by_group.iter().enumerate() {
+        let (c, w) = (&shared.c[g], &shared.w[g]);
+        if c.leaf_var(0).is_none() {
+            // Single-word counters: the whole group is one class.
+            if members.len() >= 2 {
+                classes.push(SymmetryClass::new(
+                    members.iter().map(|&(_, p)| p).collect(),
+                ));
+            }
+            continue;
+        }
+        // F-array: leaves are assigned contiguously (`group_of`), so the
+        // sibling of leaf 2t is leaf 2t+1 when populated.
+        for pair in members.chunks(2) {
+            let [(la, pa), (lb, pb)] = pair else { continue };
+            if !c.leaves_are_siblings(*la, *lb) {
+                continue;
+            }
+            debug_assert!(w.leaves_are_siblings(*la, *lb), "C/W trees share shape");
+            let own = |leaf: usize| -> Vec<_> {
+                vec![
+                    c.leaf_var(leaf).expect("f-array leaf"),
+                    w.leaf_var(leaf).expect("f-array leaf"),
+                ]
+            };
+            classes.push(SymmetryClass::with_owned(
+                vec![*pa, *pb],
+                vec![own(*la), own(*lb)],
+            ));
+        }
+    }
+    classes
 }
 
 /// [`af_world`] with the writers' crash-recovery epoch burn disabled —
@@ -334,8 +374,9 @@ mod tests {
     }
 
     #[test]
-    fn casloop_worlds_declare_reader_symmetry_farray_worlds_do_not() {
-        // f=1 over 3 readers: one class holding all readers.
+    fn casloop_worlds_declare_whole_group_classes() {
+        // f=1 over 3 readers: one class holding all readers, no owned
+        // variables (the CAS words are common to the whole group).
         let cfg = AfConfig {
             readers: 3,
             writers: 1,
@@ -350,11 +391,7 @@ mod tests {
         let classes = world.sim.symmetry_classes();
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].members(), [ProcId(0), ProcId(1), ProcId(2)]);
-
-        // The same config with f-array counters must declare nothing:
-        // tree-counter refresh is not permutation-invariant.
-        let farray = af_world(cfg, Protocol::WriteBack);
-        assert!(farray.sim.symmetry_classes().is_empty());
+        assert!(classes[0].owned().iter().all(Vec::is_empty));
 
         // Two groups of two: two classes, disjoint, group-aligned.
         let cfg4 = AfConfig {
@@ -379,7 +416,66 @@ mod tests {
             writers: 1,
             policy: FPolicy::Groups(2),
         };
-        assert_eq!(reader_symmetry_classes(cfg3, CounterKind::CasLoop).len(), 1);
+        let world3 = af_world_custom(
+            cfg3,
+            Protocol::WriteBack,
+            HelpOrder::WaitersFirst,
+            CounterKind::CasLoop,
+        );
+        assert_eq!(reader_symmetry_classes(&world3.shared).len(), 1);
+    }
+
+    #[test]
+    fn farray_worlds_declare_sibling_leaf_pair_classes() {
+        // f=1 over 3 readers: tree of width 4, leaves (0,1) are siblings
+        // and reader 2's sibling slot is the constant pad leaf — one
+        // two-member class, each member owning its C and W leaf.
+        let cfg = AfConfig {
+            readers: 3,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let world = af_world(cfg, Protocol::WriteBack);
+        let classes = world.sim.symmetry_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members(), [ProcId(0), ProcId(1)]);
+        for (j, leaf) in [0usize, 1].into_iter().enumerate() {
+            assert_eq!(
+                classes[0].owned()[j],
+                vec![
+                    world.shared.c[0].leaf_var(leaf).unwrap(),
+                    world.shared.w[0].leaf_var(leaf).unwrap(),
+                ],
+                "member {j} owns its own leaf slots"
+            );
+        }
+
+        // Two groups of two: width-2 trees, both leaves siblings — one
+        // pair class per group.
+        let cfg4 = AfConfig {
+            readers: 4,
+            writers: 1,
+            policy: FPolicy::Groups(2),
+        };
+        let world4 = af_world(cfg4, Protocol::WriteBack);
+        let classes4 = world4.sim.symmetry_classes();
+        assert_eq!(classes4.len(), 2);
+        assert_eq!(classes4[0].members(), [ProcId(0), ProcId(1)]);
+        assert_eq!(classes4[1].members(), [ProcId(2), ProcId(3)]);
+        assert!(classes4.iter().all(|c| c.owned()[0].len() == 2));
+
+        // Four readers in one group: width-4 tree, sibling pairs (0,1)
+        // and (2,3) — two classes, never a cross-parent pair.
+        let cfg1g = AfConfig {
+            readers: 4,
+            writers: 1,
+            policy: FPolicy::One,
+        };
+        let world1g = af_world(cfg1g, Protocol::WriteBack);
+        let classes1g = world1g.sim.symmetry_classes();
+        assert_eq!(classes1g.len(), 2);
+        assert_eq!(classes1g[0].members(), [ProcId(0), ProcId(1)]);
+        assert_eq!(classes1g[1].members(), [ProcId(2), ProcId(3)]);
     }
 
     #[test]
